@@ -1,0 +1,366 @@
+// Benchmark harness: one benchmark per reproduction experiment E1-E11
+// (DESIGN.md §3) plus micro-benchmarks of the hot paths. Each experiment
+// benchmark exercises the same workload as its internal/expt counterpart
+// at a fixed representative size and reports the domain metric (rounds,
+// infection time) alongside ns/op, so `go test -bench=. -benchmem`
+// regenerates the headline series of every table in EXPERIMENTS.md.
+package cobrawalk_test
+
+import (
+	"fmt"
+	"testing"
+
+	"cobrawalk"
+	"cobrawalk/internal/core"
+	"cobrawalk/internal/graph"
+	"cobrawalk/internal/rng"
+	"cobrawalk/internal/spectral"
+)
+
+func buildRandomRegular(b *testing.B, n, deg int) *graph.Graph {
+	b.Helper()
+	g, err := graph.RandomRegularConnected(n, deg, rng.New(42))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return g
+}
+
+func benchCover(b *testing.B, g *graph.Graph, branch core.Branching) {
+	b.Helper()
+	c, err := core.NewCobra(g, core.WithBranching(branch), core.WithMaxRounds(1<<20))
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := rng.New(1)
+	var rounds int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := c.Run(0, r)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Covered {
+			b.Fatal("uncovered run")
+		}
+		rounds += int64(res.CoverTime)
+	}
+	b.ReportMetric(float64(rounds)/float64(b.N), "rounds/op")
+}
+
+func benchInfect(b *testing.B, g *graph.Graph, branch core.Branching, opts ...core.Option) {
+	b.Helper()
+	opts = append([]core.Option{core.WithBranching(branch), core.WithMaxRounds(1 << 20)}, opts...)
+	p, err := core.NewBIPS(g, opts...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := rng.New(1)
+	var rounds int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := p.Run(0, r)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Infected {
+			b.Fatal("uninfected run")
+		}
+		rounds += int64(res.InfectionTime)
+	}
+	b.ReportMetric(float64(rounds)/float64(b.N), "rounds/op")
+}
+
+// BenchmarkE1CobraCoverExpander: Theorem 1 — cover time across degrees at
+// fixed n; rounds/op should be ~equal across sub-benchmarks (degree
+// independence) and ~logarithmic in n.
+func BenchmarkE1CobraCoverExpander(b *testing.B) {
+	for _, deg := range []int{3, 8, 16} {
+		b.Run(fmt.Sprintf("r=%d/n=4096", deg), func(b *testing.B) {
+			benchCover(b, buildRandomRegular(b, 4096, deg), core.DefaultBranching)
+		})
+	}
+	b.Run("complete/n=1024", func(b *testing.B) {
+		g, err := graph.Complete(1024)
+		if err != nil {
+			b.Fatal(err)
+		}
+		benchCover(b, g, core.DefaultBranching)
+	})
+}
+
+// BenchmarkE2BipsInfection: Theorem 2 — infection time on the same
+// families; duality (Theorem 4) predicts rounds/op tracks E1.
+func BenchmarkE2BipsInfection(b *testing.B) {
+	for _, deg := range []int{4, 12} {
+		b.Run(fmt.Sprintf("r=%d/n=4096", deg), func(b *testing.B) {
+			benchInfect(b, buildRandomRegular(b, 4096, deg), core.DefaultBranching)
+		})
+	}
+}
+
+// BenchmarkE3FractionalBranching: Theorem 3 — cover time under branching
+// 1+ρ; rounds/op should scale ≈ 1/ρ.
+func BenchmarkE3FractionalBranching(b *testing.B) {
+	g := buildRandomRegular(b, 2048, 8)
+	for _, rho := range []float64{0.1, 0.25, 0.5, 0.9} {
+		b.Run(fmt.Sprintf("rho=%.2f", rho), func(b *testing.B) {
+			benchCover(b, g, core.Branching{K: 1, Rho: rho})
+		})
+	}
+}
+
+// BenchmarkE4Duality: Theorem 4 — the exact subset-space verification and
+// the Monte-Carlo estimator.
+func BenchmarkE4Duality(b *testing.B) {
+	b.Run("exact/petersen", func(b *testing.B) {
+		g, err := graph.Petersen()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			ed, err := core.ComputeExactDuality(g, 0, 8, core.DefaultBranching)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if ed.MaxAbsError() > 1e-10 {
+				b.Fatal("duality violated")
+			}
+		}
+	})
+	b.Run("montecarlo/rand-3-reg-128", func(b *testing.B) {
+		g := buildRandomRegular(b, 128, 3)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := core.EstimateDuality(g, 1, 0, 8, 500, core.DefaultBranching, uint64(i)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkE5GrowthBound: Lemma 1 — closed-form conditional growth
+// evaluation against the spectral bound.
+func BenchmarkE5GrowthBound(b *testing.B) {
+	g := buildRandomRegular(b, 4096, 8)
+	lambda, err := spectral.LambdaMax(g, spectral.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := rng.New(3)
+	set, err := core.RandomInfectedSet(g, 0, 512, r)
+	if err != nil {
+		b.Fatal(err)
+	}
+	bound := core.Lemma1Bound(len(set), g.N(), lambda, core.DefaultBranching)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		exact, err := core.ExactExpectedGrowth(g, 0, set, core.DefaultBranching)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if exact < bound-1e-9 {
+			b.Fatal("Lemma 1 violated")
+		}
+	}
+}
+
+// BenchmarkE6BipsPhases: Lemmas 2-4 — full trajectory with phase
+// detection.
+func BenchmarkE6BipsPhases(b *testing.B) {
+	g := buildRandomRegular(b, 4096, 8)
+	p, err := core.NewBIPS(g, core.WithMaxRounds(1<<20))
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := rng.New(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := p.Run(0, r)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ph := core.DetectPhases(res.Sizes, g.N(), 48)
+		if ph.Full < 0 {
+			b.Fatal("phase detection failed")
+		}
+	}
+}
+
+// BenchmarkE7LambdaSweep: gap dependence — cover time on a skewed torus
+// (small gap) vs a square torus (larger gap).
+func BenchmarkE7LambdaSweep(b *testing.B) {
+	shapes := [][2]int{{64, 64}, {256, 16}, {1024, 4}}
+	for _, s := range shapes {
+		b.Run(fmt.Sprintf("torus-%dx%d", s[0], s[1]), func(b *testing.B) {
+			g, err := graph.Torus(s[0], s[1])
+			if err != nil {
+				b.Fatal(err)
+			}
+			benchCover(b, g, core.DefaultBranching)
+		})
+	}
+}
+
+// BenchmarkE8FamilyScaling: the Dutta et al. families — K_n (log n),
+// constant-degree expander (log n, improved from log² n), 2-D torus
+// (≈ √n).
+func BenchmarkE8FamilyScaling(b *testing.B) {
+	b.Run("complete-2048", func(b *testing.B) {
+		g, err := graph.Complete(2048)
+		if err != nil {
+			b.Fatal(err)
+		}
+		benchCover(b, g, core.DefaultBranching)
+	})
+	b.Run("rand-3-reg-4096", func(b *testing.B) {
+		benchCover(b, buildRandomRegular(b, 4096, 3), core.DefaultBranching)
+	})
+	b.Run("torus-64x64", func(b *testing.B) {
+		g, err := graph.Torus(64, 64)
+		if err != nil {
+			b.Fatal(err)
+		}
+		benchCover(b, g, core.DefaultBranching)
+	})
+}
+
+// BenchmarkE9ProtocolComparison: COBRA vs the baseline broadcast
+// protocols on one expander.
+func BenchmarkE9ProtocolComparison(b *testing.B) {
+	g := buildRandomRegular(b, 2048, 8)
+	b.Run("cobra-k2", func(b *testing.B) { benchCover(b, g, core.DefaultBranching) })
+	b.Run("push", func(b *testing.B) {
+		r := rng.New(1)
+		var rounds int64
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			res, err := cobrawalk.Push(g, 0, cobrawalk.BaselineConfig{}, r)
+			if err != nil || !res.Covered {
+				b.Fatalf("push: %v covered=%v", err, res.Covered)
+			}
+			rounds += int64(res.Rounds)
+		}
+		b.ReportMetric(float64(rounds)/float64(b.N), "rounds/op")
+	})
+	b.Run("push-pull", func(b *testing.B) {
+		r := rng.New(1)
+		var rounds int64
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			res, err := cobrawalk.PushPull(g, 0, cobrawalk.BaselineConfig{}, r)
+			if err != nil || !res.Covered {
+				b.Fatalf("push-pull: %v covered=%v", err, res.Covered)
+			}
+			rounds += int64(res.Rounds)
+		}
+		b.ReportMetric(float64(rounds)/float64(b.N), "rounds/op")
+	})
+	b.Run("flood", func(b *testing.B) {
+		r := rng.New(1)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if res, err := cobrawalk.Flood(g, 0, cobrawalk.BaselineConfig{}, r); err != nil || !res.Covered {
+				b.Fatalf("flood: %v", err)
+			}
+		}
+	})
+}
+
+// BenchmarkE10Bipartite: the λ = 1 scope boundary — COBRA still covers
+// hypercubes and K_{r,r} fast.
+func BenchmarkE10Bipartite(b *testing.B) {
+	b.Run("hypercube-12", func(b *testing.B) {
+		g, err := graph.Hypercube(12)
+		if err != nil {
+			b.Fatal(err)
+		}
+		benchCover(b, g, core.DefaultBranching)
+	})
+	b.Run("K512,512", func(b *testing.B) {
+		g, err := graph.CompleteBipartite(512, 512)
+		if err != nil {
+			b.Fatal(err)
+		}
+		benchCover(b, g, core.DefaultBranching)
+	})
+}
+
+// BenchmarkE11TailDecay: tail sampling for the eq. (1) restart argument —
+// one cover run per iteration feeds the empirical survival function.
+func BenchmarkE11TailDecay(b *testing.B) {
+	benchCover(b, buildRandomRegular(b, 1024, 8), core.DefaultBranching)
+}
+
+// --- micro-benchmarks of the hot paths ---
+
+func BenchmarkCobraStep(b *testing.B) {
+	g := buildRandomRegular(b, 65536, 8)
+	c, err := core.NewCobra(g)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := rng.New(1)
+	if err := c.Reset(0); err != nil {
+		b.Fatal(err)
+	}
+	// Advance to a saturated frontier so steps are representative.
+	for i := 0; i < 30; i++ {
+		c.Step(r)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Step(r)
+	}
+	b.ReportMetric(float64(c.ActiveCount()), "active-set")
+}
+
+func BenchmarkBipsStepExact(b *testing.B) {
+	benchBipsStep(b)
+}
+
+func BenchmarkBipsStepFast(b *testing.B) {
+	benchBipsStep(b, core.WithFastSampling())
+}
+
+func benchBipsStep(b *testing.B, opts ...core.Option) {
+	b.Helper()
+	g := buildRandomRegular(b, 65536, 8)
+	p, err := core.NewBIPS(g, opts...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := rng.New(1)
+	if err := p.Reset(0); err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 30; i++ {
+		p.Step(r)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Step(r)
+	}
+	b.ReportMetric(float64(p.InfectedCount()), "infected")
+}
+
+func BenchmarkLambdaMax(b *testing.B) {
+	g := buildRandomRegular(b, 16384, 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := spectral.LambdaMax(g, spectral.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRandomRegularGeneration(b *testing.B) {
+	r := rng.New(7)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := graph.RandomRegular(16384, 8, r); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,52 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunBasic(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{"-graph", "complete:32", "-trials", "10", "-seed", "3"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"graph:", "λmax:", "infection time", "phases"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunFastPathAndFractional(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{"-graph", "complete:32", "-trials", "10", "-fast", "-k", "1", "-rho", "0.4"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "infection time") {
+		t.Fatalf("missing summary:\n%s", buf.String())
+	}
+}
+
+func TestRunSourceFlag(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-graph", "petersen", "-trials", "5", "-source", "7"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-graph", "bogus"}, &buf); err == nil {
+		t.Fatal("bad spec should fail")
+	}
+	if err := run([]string{"-graph", "petersen", "-source", "99"}, &buf); err == nil {
+		t.Fatal("bad source should fail")
+	}
+	if err := run([]string{"-graph", "cycle:500", "-trials", "2", "-max-rounds", "1"}, &buf); err == nil {
+		t.Fatal("capped run should fail")
+	}
+}

@@ -1,0 +1,123 @@
+// Command cobrasim runs Monte-Carlo COBRA cover-time experiments on a
+// chosen graph family and prints summary statistics.
+//
+// Usage:
+//
+//	cobrasim -graph rand-reg:4096:8 -k 2 -trials 100 -seed 1
+//	cobrasim -graph complete:1024 -k 1 -rho 0.5 -trials 50 -hist
+//
+// The -graph flag uses the specification grammar of internal/cli.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"os"
+
+	"cobrawalk/internal/cli"
+	"cobrawalk/internal/core"
+	"cobrawalk/internal/rng"
+	"cobrawalk/internal/sim"
+	"cobrawalk/internal/spectral"
+	"cobrawalk/internal/stats"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "cobrasim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("cobrasim", flag.ContinueOnError)
+	var (
+		graphSpec = fs.String("graph", "rand-reg:1024:8", "graph specification (see internal/cli)")
+		k         = fs.Int("k", 2, "integer branching factor")
+		rho       = fs.Float64("rho", 0, "fractional extra branching probability in [0,1)")
+		trials    = fs.Int("trials", 100, "number of independent runs")
+		seed      = fs.Uint64("seed", 1, "master RNG seed")
+		start     = fs.Int("start", 0, "start vertex")
+		workers   = fs.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
+		maxRounds = fs.Int("max-rounds", 1<<20, "per-run round cap")
+		hist      = fs.Bool("hist", false, "print a cover-time histogram")
+		noSpec    = fs.Bool("no-spectral", false, "skip the λ measurement (large graphs)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	g, err := cli.BuildGraph(*graphSpec, rng.NewStream(*seed, 0x9))
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "graph: %s\n", g)
+
+	if !*noSpec {
+		lambda, err := spectral.LambdaMax(g, spectral.Options{})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "λmax: %.6f  gap: %.6f  T=log(n)/gap³: %.1f\n",
+			lambda, 1-lambda, math.Log(float64(g.N()))/math.Pow(1-lambda, 3))
+	}
+
+	branch := core.Branching{K: *k, Rho: *rho}
+	if _, err := core.NewCobra(g, core.WithBranching(branch), core.WithMaxRounds(*maxRounds)); err != nil {
+		return err
+	}
+	type outcome struct{ cover, msgs float64 }
+	res, err := sim.RunWithState(context.Background(),
+		sim.Spec{Trials: *trials, Seed: *seed, Workers: *workers},
+		func() *core.Cobra {
+			c, err := core.NewCobra(g, core.WithBranching(branch), core.WithMaxRounds(*maxRounds))
+			if err != nil {
+				panic(err) // unreachable: validated above
+			}
+			return c
+		},
+		func(c *core.Cobra, trial int, r *rng.Rand) (outcome, error) {
+			out, err := c.Run(int32(*start), r)
+			if err != nil {
+				return outcome{}, err
+			}
+			if !out.Covered {
+				return outcome{}, fmt.Errorf("trial hit the %d-round cap", *maxRounds)
+			}
+			return outcome{float64(out.CoverTime), float64(out.Transmissions)}, nil
+		})
+	if err != nil {
+		return err
+	}
+	covers := sim.Floats(res, func(o outcome) float64 { return o.cover })
+	s, err := stats.Summarize(covers)
+	if err != nil {
+		return err
+	}
+	ci, err := stats.NormalCI(covers, 0.95)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "cover time (%s, %d trials): mean %.2f [%.2f, %.2f]  median %.0f  p95 %.0f  max %.0f\n",
+		branch, *trials, s.Mean, ci.Lo, ci.Hi, s.Median, s.P95, s.Max)
+	fmt.Fprintf(w, "cover/log2(n): %.3f   transmissions/run: %.0f (%.2f per vertex)\n",
+		s.Mean/math.Log2(float64(g.N())),
+		stats.Mean(sim.Floats(res, func(o outcome) float64 { return o.msgs })),
+		stats.Mean(sim.Floats(res, func(o outcome) float64 { return o.msgs }))/float64(g.N()))
+
+	if *hist {
+		h, err := stats.NewHistogram(s.Min, s.Max+1, 20)
+		if err != nil {
+			return err
+		}
+		for _, c := range covers {
+			h.Add(c)
+		}
+		fmt.Fprintln(w, "\ncover-time histogram:")
+		fmt.Fprint(w, h.Render(48))
+	}
+	return nil
+}

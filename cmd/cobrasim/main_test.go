@@ -1,0 +1,59 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunBasic(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{"-graph", "complete:32", "-trials", "10", "-seed", "3"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"graph:", "λmax:", "cover time", "cover/log2(n):"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunHistogramAndFractional(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{"-graph", "petersen", "-trials", "20", "-k", "1", "-rho", "0.5", "-hist"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "histogram") {
+		t.Fatalf("missing histogram:\n%s", buf.String())
+	}
+}
+
+func TestRunNoSpectral(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{"-graph", "cycle:16", "-trials", "5", "-no-spectral"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "λmax") {
+		t.Fatal("spectral output present despite -no-spectral")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-graph", "bogus:1"}, &buf); err == nil {
+		t.Fatal("bad graph spec should fail")
+	}
+	if err := run([]string{"-graph", "complete:8", "-k", "0"}, &buf); err == nil {
+		t.Fatal("bad branching should fail")
+	}
+	if err := run([]string{"-graph", "cycle:1000", "-trials", "2", "-max-rounds", "1"}, &buf); err == nil {
+		t.Fatal("round-capped run should surface as error")
+	}
+	if err := run([]string{"-not-a-flag"}, &buf); err == nil {
+		t.Fatal("bad flag should fail")
+	}
+}

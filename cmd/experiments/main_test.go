@@ -1,0 +1,55 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunList(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-list"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, id := range []string{"E1", "E4", "E11"} {
+		if !strings.Contains(out, id) {
+			t.Fatalf("listing missing %s:\n%s", id, out)
+		}
+	}
+}
+
+func TestRunSingleExperiment(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-run", "E4", "-scale", "smoke", "-seed", "5"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "=== E4") || !strings.Contains(out, "exact duality") {
+		t.Fatalf("E4 output unexpected:\n%s", out)
+	}
+}
+
+func TestRunMultipleExperiments(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-run", "E5, E4", "-scale", "smoke"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "=== E5") || !strings.Contains(out, "=== E4") {
+		t.Fatalf("missing experiment sections:\n%s", out)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-scale", "galactic"}, &buf); err == nil {
+		t.Fatal("bad scale should fail")
+	}
+	if err := run([]string{"-run", "E99", "-scale", "smoke"}, &buf); err == nil {
+		t.Fatal("unknown id should fail")
+	}
+	if err := run([]string{"-bogus"}, &buf); err == nil {
+		t.Fatal("bad flag should fail")
+	}
+}

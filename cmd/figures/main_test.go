@@ -1,0 +1,41 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunWritesAllFigures(t *testing.T) {
+	dir := t.TempDir()
+	var buf bytes.Buffer
+	if err := run([]string{"-out", dir, "-scale", "smoke", "-seed", "3"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"fig1-cover-vs-n.svg", "fig2-cover-vs-gap.svg", "fig3-trajectory.svg"} {
+		data, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		s := string(data)
+		if !strings.HasPrefix(s, "<svg") || !strings.Contains(s, "polyline") {
+			t.Fatalf("%s does not look like a chart:\n%.200s", name, s)
+		}
+		if !strings.Contains(buf.String(), name) {
+			t.Fatalf("missing progress line for %s", name)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-bogus"}, &buf); err == nil {
+		t.Fatal("bad flag should fail")
+	}
+	// Unwritable output directory.
+	if err := run([]string{"-out", "/dev/null/x", "-scale", "smoke"}, &buf); err == nil {
+		t.Fatal("unwritable out dir should fail")
+	}
+}

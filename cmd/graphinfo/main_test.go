@@ -1,0 +1,70 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunBasic(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-graph", "petersen"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"vertices:   10", "edges:      15", "3-regular",
+		"λmax:       0.666667", "bipartite:  false", "cheeger",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunSpectrum(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-graph", "cycle:6", "-spectrum"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "spectrum (6 eigenvalues)") {
+		t.Fatalf("missing spectrum:\n%s", buf.String())
+	}
+}
+
+func TestRunIrregular(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-graph", "star:6"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "irregular") {
+		t.Fatalf("missing irregular flag:\n%s", buf.String())
+	}
+}
+
+func TestRunWriteFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "g.edges")
+	var buf bytes.Buffer
+	if err := run([]string{"-graph", "cycle:5", "-write", path}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "n 5") {
+		t.Fatalf("edge file content: %s", data)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-graph", "nope"}, &buf); err == nil {
+		t.Fatal("bad spec should fail")
+	}
+	if err := run([]string{"-graph", "rand-reg:2000:3", "-spectrum"}, &buf); err == nil {
+		t.Fatal("dense spectrum beyond limit should fail")
+	}
+}

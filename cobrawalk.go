@@ -1,0 +1,199 @@
+package cobrawalk
+
+import (
+	"cobrawalk/internal/baseline"
+	"cobrawalk/internal/core"
+	"cobrawalk/internal/graph"
+	"cobrawalk/internal/rng"
+	"cobrawalk/internal/spectral"
+	"cobrawalk/internal/stats"
+	"cobrawalk/internal/walk"
+)
+
+// Graph is an immutable simple undirected graph in CSR form. See the
+// Builder and the generator functions for construction.
+type Graph = graph.Graph
+
+// Builder accumulates edges and produces a validated Graph.
+type Builder = graph.Builder
+
+// Rand is a seeded xoshiro256++ generator; all simulation randomness flows
+// through values of this type. Not safe for concurrent use — derive one
+// per goroutine with NewRandStream.
+type Rand = rng.Rand
+
+// NewRand returns a deterministic generator for the given seed.
+func NewRand(seed uint64) *Rand { return rng.New(seed) }
+
+// NewRandStream returns generator number `stream` of an independent family
+// derived from seed, for reproducible parallelism.
+func NewRandStream(seed, stream uint64) *Rand { return rng.NewStream(seed, stream) }
+
+// NewBuilder returns a graph builder for n vertices with capacity for
+// edgeHint undirected edges.
+func NewBuilder(n, edgeHint int) *Builder { return graph.NewBuilder(n, edgeHint) }
+
+// Graph generators (see internal/graph for the full catalogue).
+var (
+	// Complete returns the complete graph K_n.
+	Complete = graph.Complete
+	// Cycle returns the cycle C_n.
+	Cycle = graph.Cycle
+	// Hypercube returns the d-dimensional hypercube on 2^d vertices.
+	Hypercube = graph.Hypercube
+	// Torus returns the regular discrete torus with the given sides (>= 3).
+	Torus = graph.Torus
+	// Grid returns the (irregular) grid with the given sides.
+	Grid = graph.Grid
+	// Circulant returns the circulant graph with the given offsets.
+	Circulant = graph.Circulant
+	// CompleteBipartite returns K_{a,b}.
+	CompleteBipartite = graph.CompleteBipartite
+	// Paley returns the Paley graph on a prime q ≡ 1 (mod 4).
+	Paley = graph.Paley
+	// Petersen returns the Petersen graph.
+	Petersen = graph.Petersen
+	// RandomRegular returns a random simple r-regular graph.
+	RandomRegular = graph.RandomRegular
+	// RandomRegularConnected retries RandomRegular until connected.
+	RandomRegularConnected = graph.RandomRegularConnected
+	// ReadGraph parses the text edge-list format produced by WriteGraph.
+	ReadGraph = graph.Read
+	// WriteGraph serialises a graph in the text edge-list format.
+	WriteGraph = graph.Write
+)
+
+// SpectralReport collects λ₂, λ_n, λ_max, the spectral gap and derived
+// quantities for a graph.
+type SpectralReport = spectral.Report
+
+// SpectralOptions tunes the iterative eigensolvers.
+type SpectralOptions = spectral.Options
+
+// Analyze computes the spectral report of g with default solver options.
+func Analyze(g *Graph) (SpectralReport, error) {
+	return spectral.Analyze(g, spectral.Options{})
+}
+
+// LambdaMax returns λ = max_{i≥2}|λ_i| of the transition matrix of g — the
+// quantity the paper's bounds are stated in.
+func LambdaMax(g *Graph) (float64, error) {
+	return spectral.LambdaMax(g, spectral.Options{})
+}
+
+// Spectrum returns all transition-matrix eigenvalues of g in non-increasing
+// order (dense solver; graphs up to 1500 vertices).
+func Spectrum(g *Graph) ([]float64, error) { return spectral.DenseSpectrum(g) }
+
+// Branching describes a process branching factor: K pushes always, plus
+// one more with probability Rho (Theorem 3's 1+ρ regime is K=1, Rho=ρ).
+type Branching = core.Branching
+
+// Cobra is a reusable COBRA process; BIPS is its dual epidemic process.
+type (
+	Cobra       = core.Cobra
+	CobraResult = core.CobraResult
+	BIPS        = core.BIPS
+	BipsResult  = core.BipsResult
+	RoundStat   = core.RoundStat
+	PhaseTimes  = core.PhaseTimes
+)
+
+// Option configures process construction.
+type Option = core.Option
+
+// Process options, re-exported from internal/core.
+var (
+	// WithBranching sets the branching factor (default k = 2).
+	WithBranching = core.WithBranching
+	// WithK is shorthand for WithBranching(Branching{K: k}).
+	WithK = core.WithK
+	// WithMaxRounds caps the rounds a Run may execute.
+	WithMaxRounds = core.WithMaxRounds
+	// WithHitTimes records first-visit rounds per vertex (COBRA).
+	WithHitTimes = core.WithHitTimes
+	// WithTrace records a per-round trace.
+	WithTrace = core.WithTrace
+	// WithFastSampling switches BIPS to the closed-form Bernoulli path.
+	WithFastSampling = core.WithFastSampling
+)
+
+// NewCobra returns a reusable COBRA process on g (default branching k=2).
+func NewCobra(g *Graph, opts ...Option) (*Cobra, error) { return core.NewCobra(g, opts...) }
+
+// NewBIPS returns a reusable BIPS process on g (default branching k=2).
+func NewBIPS(g *Graph, opts ...Option) (*BIPS, error) { return core.NewBIPS(g, opts...) }
+
+// DetectPhases decomposes a BIPS size trajectory into the paper's three
+// proof phases (Lemmas 2-4).
+var DetectPhases = core.DetectPhases
+
+// Duality machinery (Theorem 4).
+type (
+	// DualityEstimate holds Monte-Carlo estimates of both sides of the
+	// duality for t = 0..T.
+	DualityEstimate = core.DualityEstimate
+	// ExactDuality holds the exact subset-space evaluation of both sides.
+	ExactDuality = core.ExactDuality
+)
+
+var (
+	// EstimateDuality estimates both sides of Theorem 4 by Monte Carlo.
+	EstimateDuality = core.EstimateDuality
+	// ComputeExactDuality verifies Theorem 4 exactly on graphs with at
+	// most MaxExactVertices vertices.
+	ComputeExactDuality = core.ComputeExactDuality
+	// Lemma1Bound is the paper's one-step growth lower bound.
+	Lemma1Bound = core.Lemma1Bound
+	// ExactExpectedGrowth evaluates E(|A_{t+1}| | A_t = A) in closed form.
+	ExactExpectedGrowth = core.ExactExpectedGrowth
+)
+
+// MaxExactVertices bounds the exact duality solver (subset-space cost 4^n).
+const MaxExactVertices = core.MaxExactVertices
+
+// Summary holds descriptive statistics of a sample.
+type Summary = stats.Summary
+
+// Summarize computes the Summary of a sample.
+var Summarize = stats.Summarize
+
+// DefaultBranching is the paper's canonical k = 2 branching factor.
+var DefaultBranching = core.DefaultBranching
+
+// Baseline protocols for comparison experiments (the paper's §1 context).
+type (
+	// BaselineResult reports one baseline protocol run.
+	BaselineResult = baseline.Result
+	// BaselineConfig bounds baseline protocol runs.
+	BaselineConfig = baseline.Config
+)
+
+var (
+	// Push runs the classic push rumour-spreading protocol.
+	Push = baseline.Push
+	// PushPull runs the push-pull protocol.
+	PushPull = baseline.PushPull
+	// Flood runs full flooding (rounds = eccentricity of the start).
+	Flood = baseline.Flood
+	// RandomWalkCover covers the graph with a single random walk.
+	RandomWalkCover = baseline.RandomWalkCover
+	// MultiWalkCover covers the graph with k independent random walks.
+	MultiWalkCover = baseline.MultiWalkCover
+)
+
+// Random-walk theory: exact anchors for the k = 1 end of the branching
+// spectrum.
+var (
+	// ExpectedHittingTimes solves the absorbing-chain system exactly.
+	ExpectedHittingTimes = walk.ExpectedHittingTimes
+	// PairwiseHittingTimes returns the full hitting-time matrix.
+	PairwiseHittingTimes = walk.PairwiseHittingTimes
+	// MatthewsBounds sandwiches the walk cover time from hitting times.
+	MatthewsBounds = walk.MatthewsBounds
+	// StationaryDistribution is the degree-proportional walk stationary law.
+	StationaryDistribution = walk.StationaryDistribution
+)
+
+// Gini summarises inequality of a non-negative sample (load balance).
+var Gini = stats.Gini

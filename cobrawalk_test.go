@@ -1,0 +1,241 @@
+package cobrawalk_test
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"testing"
+
+	"cobrawalk"
+)
+
+func TestFacadeEndToEnd(t *testing.T) {
+	r := cobrawalk.NewRand(1)
+	g, err := cobrawalk.RandomRegularConnected(256, 8, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := cobrawalk.Analyze(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Gap <= 0 || rep.Gap >= 1 {
+		t.Fatalf("gap = %v", rep.Gap)
+	}
+
+	proc, err := cobrawalk.NewCobra(g, cobrawalk.WithHitTimes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := proc.Run(0, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Covered || res.CoverTime < int(math.Log2(256)) {
+		t.Fatalf("cover result: %+v", res)
+	}
+
+	epi, err := cobrawalk.NewBIPS(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bres, err := epi.Run(0, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bres.Infected {
+		t.Fatalf("infection result: %+v", bres)
+	}
+	phases := cobrawalk.DetectPhases(bres.Sizes, g.N(), 16)
+	if phases.Full < 0 {
+		t.Fatalf("phases: %+v", phases)
+	}
+}
+
+func TestFacadeDuality(t *testing.T) {
+	g, err := cobrawalk.Petersen()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ed, err := cobrawalk.ComputeExactDuality(g, 0, 5, cobrawalk.DefaultBranching)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ed.MaxAbsError() > 1e-10 {
+		t.Fatalf("duality error %v", ed.MaxAbsError())
+	}
+	if cobrawalk.MaxExactVertices < 10 {
+		t.Fatal("exact solver limit regressed below Petersen size")
+	}
+}
+
+func TestFacadeGrowthBound(t *testing.T) {
+	g, err := cobrawalk.Complete(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lambda, err := cobrawalk.LambdaMax(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	set := []int32{0, 1, 2}
+	exact, err := cobrawalk.ExactExpectedGrowth(g, 0, set, cobrawalk.DefaultBranching)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bound := cobrawalk.Lemma1Bound(3, 16, lambda, cobrawalk.DefaultBranching)
+	if exact < bound-1e-9 {
+		t.Fatalf("Lemma 1 violated via facade: %v < %v", exact, bound)
+	}
+}
+
+func TestFacadeBaselines(t *testing.T) {
+	g, err := cobrawalk.Complete(32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := cobrawalk.NewRand(2)
+	res, err := cobrawalk.Push(g, 0, cobrawalk.BaselineConfig{}, r)
+	if err != nil || !res.Covered {
+		t.Fatalf("push: %+v, %v", res, err)
+	}
+	res, err = cobrawalk.Flood(g, 0, cobrawalk.BaselineConfig{}, r)
+	if err != nil || res.Rounds != 1 {
+		t.Fatalf("flood: %+v, %v", res, err)
+	}
+	res, err = cobrawalk.MultiWalkCover(g, 0, 4, cobrawalk.BaselineConfig{}, r)
+	if err != nil || !res.Covered {
+		t.Fatalf("walks: %+v, %v", res, err)
+	}
+}
+
+func TestFacadeGraphIO(t *testing.T) {
+	g, err := cobrawalk.Cycle(9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := cobrawalk.WriteGraph(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	h, err := cobrawalk.ReadGraph(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.N() != 9 || h.M() != 9 {
+		t.Fatalf("round trip: %v", h)
+	}
+}
+
+func TestFacadeSpectrum(t *testing.T) {
+	g, err := cobrawalk.Petersen()
+	if err != nil {
+		t.Fatal(err)
+	}
+	eig, err := cobrawalk.Spectrum(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(eig) != 10 || math.Abs(eig[0]-1) > 1e-9 {
+		t.Fatalf("spectrum: %v", eig)
+	}
+}
+
+func TestFacadeBuilder(t *testing.T) {
+	b := cobrawalk.NewBuilder(3, 3)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	b.AddEdge(2, 0)
+	g, err := b.Build("triangle")
+	if err != nil || g.M() != 3 {
+		t.Fatalf("builder: %v, %v", g, err)
+	}
+}
+
+func TestFacadeWalkTheory(t *testing.T) {
+	g, err := cobrawalk.Complete(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := cobrawalk.ExpectedHittingTimes(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(h[5]-9) > 1e-8 {
+		t.Fatalf("K10 hitting time = %v, want 9", h[5])
+	}
+	hit, err := cobrawalk.PairwiseHittingTimes(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, hi, err := cobrawalk.MatthewsBounds(hit)
+	if err != nil || lo > hi {
+		t.Fatalf("Matthews bounds (%v, %v): %v", lo, hi, err)
+	}
+	pi, err := cobrawalk.StationaryDistribution(g)
+	if err != nil || math.Abs(pi[0]-0.1) > 1e-12 {
+		t.Fatalf("stationary: %v, %v", pi, err)
+	}
+	gini, err := cobrawalk.Gini([]float64{1, 1, 1})
+	if err != nil || gini != 0 {
+		t.Fatalf("Gini: %v, %v", gini, err)
+	}
+}
+
+func TestFacadeStreams(t *testing.T) {
+	a := cobrawalk.NewRandStream(9, 0)
+	b := cobrawalk.NewRandStream(9, 1)
+	if a.Uint64() == b.Uint64() {
+		t.Fatal("streams look identical")
+	}
+}
+
+// ExampleNewCobra demonstrates the basic cover-time workflow.
+func ExampleNewCobra() {
+	g, err := cobrawalk.Complete(64)
+	if err != nil {
+		panic(err)
+	}
+	proc, err := cobrawalk.NewCobra(g) // branching k = 2
+	if err != nil {
+		panic(err)
+	}
+	res, err := proc.Run(0, cobrawalk.NewRand(1))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("covered:", res.Covered, "in O(log n) rounds:", res.CoverTime <= 30)
+	// Output: covered: true in O(log n) rounds: true
+}
+
+// ExampleComputeExactDuality verifies Theorem 4 on a small graph.
+func ExampleComputeExactDuality() {
+	g, err := cobrawalk.Petersen()
+	if err != nil {
+		panic(err)
+	}
+	ed, err := cobrawalk.ComputeExactDuality(g, 0, 6, cobrawalk.DefaultBranching)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("Theorem 4 max error below 1e-10:", ed.MaxAbsError() < 1e-10)
+	// Output: Theorem 4 max error below 1e-10: true
+}
+
+// ExampleNewBIPS demonstrates the dual epidemic process.
+func ExampleNewBIPS() {
+	g, err := cobrawalk.Complete(64)
+	if err != nil {
+		panic(err)
+	}
+	epi, err := cobrawalk.NewBIPS(g)
+	if err != nil {
+		panic(err)
+	}
+	res, err := epi.Run(0, cobrawalk.NewRand(1))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("fully infected:", res.Infected, "source in A_0:", res.Sizes[0] == 1)
+	// Output: fully infected: true source in A_0: true
+}

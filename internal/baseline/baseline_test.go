@@ -1,0 +1,239 @@
+package baseline
+
+import (
+	"math"
+	"testing"
+
+	"cobrawalk/internal/graph"
+	"cobrawalk/internal/rng"
+)
+
+// mk returns a curried constructor-checker so call sites can expand
+// multi-value returns directly: g := mk(t)(graph.Complete(5)).
+func mk(t *testing.T) func(*graph.Graph, error) *graph.Graph {
+	return func(g *graph.Graph, err error) *graph.Graph {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return g
+	}
+}
+
+func TestValidation(t *testing.T) {
+	g := mk(t)(graph.Complete(5))
+	r := rng.New(1)
+	protos := All(4)
+	for _, p := range protos {
+		t.Run(p.Name, func(t *testing.T) {
+			if _, err := p.Run(nil, 0, Config{}, r); err == nil {
+				t.Fatal("nil graph should fail")
+			}
+			if _, err := p.Run(g, -1, Config{}, r); err == nil {
+				t.Fatal("bad start should fail")
+			}
+			if _, err := p.Run(g, 5, Config{}, r); err == nil {
+				t.Fatal("out-of-range start should fail")
+			}
+		})
+	}
+	iso := mk(t)(graph.FromEdges("iso", 3, [][2]int32{{0, 1}}))
+	if _, err := Push(iso, 0, Config{}, r); err == nil {
+		t.Fatal("isolated vertex should fail")
+	}
+	if _, err := MultiWalkCover(g, 0, 0, Config{}, r); err == nil {
+		t.Fatal("zero walkers should fail")
+	}
+}
+
+func TestAllProtocolsCoverCompleteGraph(t *testing.T) {
+	g := mk(t)(graph.Complete(32))
+	r := rng.New(2)
+	for _, p := range All(4) {
+		t.Run(p.Name, func(t *testing.T) {
+			res, err := p.Run(g, 0, Config{}, r)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !res.Covered {
+				t.Fatalf("%s failed to cover K32", p.Name)
+			}
+			if res.Rounds < 1 || res.Transmissions < 1 {
+				t.Fatalf("%s: degenerate result %+v", p.Name, res)
+			}
+		})
+	}
+}
+
+func TestFloodRoundsEqualEccentricity(t *testing.T) {
+	cases := []struct {
+		g    *graph.Graph
+		s    int32
+		want int
+	}{
+		{mk(t)(graph.Cycle(10)), 0, 5},
+		{mk(t)(graph.Complete(7)), 3, 1},
+		{mk(t)(graph.Hypercube(4)), 0, 4},
+		{mk(t)(graph.Path(6)), 0, 5},
+	}
+	r := rng.New(3)
+	for _, tc := range cases {
+		res, err := Flood(tc.g, tc.s, Config{}, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Covered || res.Rounds != tc.want {
+			t.Fatalf("%s: flood rounds = %d (covered=%v), want %d",
+				tc.g.Name(), res.Rounds, res.Covered, tc.want)
+		}
+	}
+}
+
+func TestPushLogarithmicOnComplete(t *testing.T) {
+	// Frieze–Grimmett: push on K_n informs everyone in ≈ log2(n) + ln(n)
+	// rounds. For n = 512: ≈ 9 + 6.2 ≈ 15.2. Check the mean is within a
+	// generous band.
+	g := mk(t)(graph.Complete(512))
+	r := rng.New(4)
+	const trials = 40
+	sum := 0.0
+	for i := 0; i < trials; i++ {
+		res, err := Push(g, 0, Config{}, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Covered {
+			t.Fatal("push failed to cover")
+		}
+		sum += float64(res.Rounds)
+	}
+	mean := sum / trials
+	want := math.Log2(512) + math.Log(512)
+	if mean < want-4 || mean > want+6 {
+		t.Fatalf("push mean rounds %.2f, theory ≈ %.2f", mean, want)
+	}
+}
+
+func TestPushPullFasterOrEqualToPush(t *testing.T) {
+	// Push-pull dominates push on average: it does everything push does
+	// plus pulls. Compare means on a random regular graph.
+	gr := rng.New(5)
+	g, err := graph.RandomRegularConnected(256, 3, gr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const trials = 30
+	meanOf := func(f func(*graph.Graph, int32, Config, *rng.Rand) (Result, error)) float64 {
+		r := rng.New(6)
+		sum := 0.0
+		for i := 0; i < trials; i++ {
+			res, err := f(g, 0, Config{}, r)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !res.Covered {
+				t.Fatal("uncovered")
+			}
+			sum += float64(res.Rounds)
+		}
+		return sum / trials
+	}
+	push, pushPull := meanOf(Push), meanOf(PushPull)
+	if pushPull > push+1 {
+		t.Fatalf("push-pull (%.2f rounds) slower than push (%.2f)", pushPull, push)
+	}
+}
+
+func TestRandomWalkCoverCycleQuadratic(t *testing.T) {
+	// Cover time of C_n by a single walk is exactly n(n-1)/2 in
+	// expectation. For n = 24: 276. Check the empirical mean within 25%.
+	g := mk(t)(graph.Cycle(24))
+	r := rng.New(7)
+	const trials = 60
+	sum := 0.0
+	for i := 0; i < trials; i++ {
+		res, err := RandomWalkCover(g, 0, Config{}, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Covered {
+			t.Fatal("uncovered walk")
+		}
+		sum += float64(res.Rounds)
+	}
+	mean := sum / trials
+	want := 24.0 * 23 / 2
+	if math.Abs(mean-want)/want > 0.25 {
+		t.Fatalf("C24 walk cover mean %.1f, theory %.1f", mean, want)
+	}
+}
+
+func TestMultiWalkSpeedup(t *testing.T) {
+	// k walks cover no slower (in rounds) than one walk on average.
+	g := mk(t)(graph.Cycle(20))
+	const trials = 40
+	meanOf := func(k int) float64 {
+		r := rng.New(8)
+		sum := 0.0
+		for i := 0; i < trials; i++ {
+			res, err := MultiWalkCover(g, 0, k, Config{}, r)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sum += float64(res.Rounds)
+		}
+		return sum / trials
+	}
+	one, eight := meanOf(1), meanOf(8)
+	if eight > one {
+		t.Fatalf("8 walks (%.1f rounds) slower than 1 walk (%.1f)", eight, one)
+	}
+	if eight > one/2 {
+		t.Fatalf("8 walks (%.1f) show no meaningful speedup over 1 (%.1f)", eight, one)
+	}
+}
+
+func TestMaxRoundsCap(t *testing.T) {
+	g := mk(t)(graph.Cycle(1000))
+	r := rng.New(9)
+	for _, p := range All(2) {
+		res, err := p.Run(g, 0, Config{MaxRounds: 2}, r)
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name, err)
+		}
+		if p.Name == "flood" {
+			if res.Covered {
+				t.Fatal("flood covered C1000 in 2 rounds?")
+			}
+			continue
+		}
+		if res.Covered || res.Rounds != 2 {
+			t.Fatalf("%s: capped run %+v", p.Name, res)
+		}
+	}
+}
+
+func TestTransmissionAccounting(t *testing.T) {
+	// Push sends exactly (number of informed vertices) messages per round;
+	// flooding sends Σ deg(informed). Verify on K4 round 1.
+	g := mk(t)(graph.Complete(4))
+	r := rng.New(10)
+	res, err := Push(g, 0, Config{MaxRounds: 1}, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Transmissions != 1 {
+		t.Fatalf("push round-1 transmissions = %d, want 1", res.Transmissions)
+	}
+	res, err = Flood(g, 0, Config{MaxRounds: 1}, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Transmissions != 3 {
+		t.Fatalf("flood round-1 transmissions = %d, want 3", res.Transmissions)
+	}
+	// Flood on K4 covers in 1 round.
+	if !res.Covered {
+		t.Fatal("flood should cover K4 in one round")
+	}
+}

@@ -1,0 +1,249 @@
+// Package cli holds the plumbing shared by the command-line tools: a
+// graph-specification mini-language so every binary accepts the same
+// -graph flag, and output helpers.
+//
+// Grammar (all sizes decimal integers):
+//
+//	complete:N            complete graph K_N
+//	cycle:N               cycle C_N
+//	path:N                path P_N
+//	star:N                star K_{1,N-1}
+//	hypercube:D           hypercube Q_D (2^D vertices)
+//	torus:S1xS2[x...]     torus with the given side lengths
+//	grid:S1xS2[x...]      grid (no wrap-around)
+//	rand-reg:N:R          random R-regular graph on N vertices (connected)
+//	erdos-renyi:N:P       G(N, P) random graph
+//	circulant:N:D1,D2,..  circulant with offsets D1, D2, ...
+//	paley:Q               Paley graph (prime Q ≡ 1 mod 4)
+//	margulis:M            Margulis expander on M² vertices
+//	complete-bipartite:A:B
+//	ring-of-cliques:K:C
+//	barbell:C:P
+//	petersen | prism      named graphs
+package cli
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"cobrawalk/internal/graph"
+	"cobrawalk/internal/rng"
+)
+
+// BuildGraph parses a graph specification and constructs the graph.
+// Random families draw from the provided generator.
+func BuildGraph(spec string, r *rng.Rand) (*graph.Graph, error) {
+	parts := strings.Split(spec, ":")
+	kind := parts[0]
+	args := parts[1:]
+
+	num := func(i int) (int, error) {
+		if i >= len(args) {
+			return 0, fmt.Errorf("cli: %s needs at least %d argument(s)", kind, i+1)
+		}
+		v, err := strconv.Atoi(args[i])
+		if err != nil {
+			return 0, fmt.Errorf("cli: %s argument %d: %w", kind, i+1, err)
+		}
+		return v, nil
+	}
+	sides := func(i int) ([]int, error) {
+		if i >= len(args) {
+			return nil, fmt.Errorf("cli: %s needs a size list like 32x32", kind)
+		}
+		var out []int
+		for _, s := range strings.Split(args[i], "x") {
+			v, err := strconv.Atoi(s)
+			if err != nil {
+				return nil, fmt.Errorf("cli: bad side %q: %w", s, err)
+			}
+			out = append(out, v)
+		}
+		return out, nil
+	}
+	wantArgs := func(n int) error {
+		if len(args) != n {
+			return fmt.Errorf("cli: %s takes %d argument(s), got %d", kind, n, len(args))
+		}
+		return nil
+	}
+
+	switch kind {
+	case "complete":
+		if err := wantArgs(1); err != nil {
+			return nil, err
+		}
+		n, err := num(0)
+		if err != nil {
+			return nil, err
+		}
+		return graph.Complete(n)
+	case "cycle":
+		if err := wantArgs(1); err != nil {
+			return nil, err
+		}
+		n, err := num(0)
+		if err != nil {
+			return nil, err
+		}
+		return graph.Cycle(n)
+	case "path":
+		if err := wantArgs(1); err != nil {
+			return nil, err
+		}
+		n, err := num(0)
+		if err != nil {
+			return nil, err
+		}
+		return graph.Path(n)
+	case "star":
+		if err := wantArgs(1); err != nil {
+			return nil, err
+		}
+		n, err := num(0)
+		if err != nil {
+			return nil, err
+		}
+		return graph.Star(n)
+	case "hypercube":
+		if err := wantArgs(1); err != nil {
+			return nil, err
+		}
+		d, err := num(0)
+		if err != nil {
+			return nil, err
+		}
+		return graph.Hypercube(d)
+	case "torus":
+		if err := wantArgs(1); err != nil {
+			return nil, err
+		}
+		s, err := sides(0)
+		if err != nil {
+			return nil, err
+		}
+		return graph.Torus(s...)
+	case "grid":
+		if err := wantArgs(1); err != nil {
+			return nil, err
+		}
+		s, err := sides(0)
+		if err != nil {
+			return nil, err
+		}
+		return graph.Grid(s...)
+	case "rand-reg":
+		if err := wantArgs(2); err != nil {
+			return nil, err
+		}
+		n, err := num(0)
+		if err != nil {
+			return nil, err
+		}
+		deg, err := num(1)
+		if err != nil {
+			return nil, err
+		}
+		return graph.RandomRegularConnected(n, deg, r)
+	case "erdos-renyi":
+		if err := wantArgs(2); err != nil {
+			return nil, err
+		}
+		n, err := num(0)
+		if err != nil {
+			return nil, err
+		}
+		p, err := strconv.ParseFloat(args[1], 64)
+		if err != nil {
+			return nil, fmt.Errorf("cli: bad probability %q: %w", args[1], err)
+		}
+		return graph.ErdosRenyi(n, p, r)
+	case "circulant":
+		if err := wantArgs(2); err != nil {
+			return nil, err
+		}
+		n, err := num(0)
+		if err != nil {
+			return nil, err
+		}
+		var offs []int
+		for _, s := range strings.Split(args[1], ",") {
+			v, err := strconv.Atoi(s)
+			if err != nil {
+				return nil, fmt.Errorf("cli: bad offset %q: %w", s, err)
+			}
+			offs = append(offs, v)
+		}
+		return graph.Circulant(n, offs)
+	case "paley":
+		if err := wantArgs(1); err != nil {
+			return nil, err
+		}
+		q, err := num(0)
+		if err != nil {
+			return nil, err
+		}
+		return graph.Paley(q)
+	case "margulis":
+		if err := wantArgs(1); err != nil {
+			return nil, err
+		}
+		m, err := num(0)
+		if err != nil {
+			return nil, err
+		}
+		return graph.Margulis(m)
+	case "complete-bipartite":
+		if err := wantArgs(2); err != nil {
+			return nil, err
+		}
+		a, err := num(0)
+		if err != nil {
+			return nil, err
+		}
+		b, err := num(1)
+		if err != nil {
+			return nil, err
+		}
+		return graph.CompleteBipartite(a, b)
+	case "ring-of-cliques":
+		if err := wantArgs(2); err != nil {
+			return nil, err
+		}
+		k, err := num(0)
+		if err != nil {
+			return nil, err
+		}
+		c, err := num(1)
+		if err != nil {
+			return nil, err
+		}
+		return graph.RingOfCliques(k, c)
+	case "barbell":
+		if err := wantArgs(2); err != nil {
+			return nil, err
+		}
+		c, err := num(0)
+		if err != nil {
+			return nil, err
+		}
+		p, err := num(1)
+		if err != nil {
+			return nil, err
+		}
+		return graph.Barbell(c, p)
+	case "petersen":
+		if err := wantArgs(0); err != nil {
+			return nil, err
+		}
+		return graph.Petersen()
+	case "prism":
+		if err := wantArgs(0); err != nil {
+			return nil, err
+		}
+		return graph.PrismGraph()
+	default:
+		return nil, fmt.Errorf("cli: unknown graph family %q (see package cli docs for the grammar)", kind)
+	}
+}

@@ -1,0 +1,244 @@
+// Package contact implements the continuous-time contact process (Harris
+// 1974), the classical epidemic model the paper identifies as COBRA's
+// continuous counterpart (§1): every infected vertex infects each
+// neighbour at rate µ and recovers at rate 1. Unlike COBRA/BIPS, the plain
+// contact process can die out; with a persistent source (the continuous
+// analogue of BIPS) extinction is impossible and full-infection times
+// become meaningful.
+//
+// Simulation uses the Gillespie algorithm: event times are exponential
+// with the current total rate, and events are recoveries (uniform over
+// recoverable vertices) or infection attempts (infected vertex chosen
+// proportionally to degree, then a uniform neighbour).
+package contact
+
+import (
+	"errors"
+	"fmt"
+
+	"cobrawalk/internal/graph"
+	"cobrawalk/internal/rng"
+)
+
+// Config parameterises the contact process.
+type Config struct {
+	// Mu is the per-edge infection rate (recovery rate is fixed at 1).
+	Mu float64
+	// PersistentSource pins the source vertex in the infected state, the
+	// continuous analogue of the paper's BIPS process.
+	PersistentSource bool
+	// StopOnCoverage ends the run as soon as every vertex has been
+	// infected at least once. Coverage is the natural finite objective for
+	// the persistent-source process: simultaneous full infection (|I| = n)
+	// is an exponentially rare fluctuation of the SIS equilibrium and is
+	// generally unreachable, unlike in the discrete BIPS process.
+	StopOnCoverage bool
+	// MaxTime caps simulated time (default 1e6).
+	MaxTime float64
+	// MaxEvents caps simulated events (default 50M) as a safety valve for
+	// supercritical runs that neither die nor finish.
+	MaxEvents int
+}
+
+func (c Config) maxTime() float64 {
+	if c.MaxTime <= 0 {
+		return 1e6
+	}
+	return c.MaxTime
+}
+
+func (c Config) maxEvents() int {
+	if c.MaxEvents <= 0 {
+		return 50_000_000
+	}
+	return c.MaxEvents
+}
+
+// Result reports one contact-process run.
+type Result struct {
+	// Extinct reports whether the infection died out (impossible with a
+	// persistent source).
+	Extinct bool
+	// ExtinctionTime is the time of extinction (0 if not extinct).
+	ExtinctionTime float64
+	// CoveredAll reports whether every vertex was infected at least once.
+	CoveredAll bool
+	// CoverTime is the time the last first-infection happened (only valid
+	// when CoveredAll).
+	CoverTime float64
+	// FullyInfectedTime is the first time the infected set equalled V, or
+	// -1 if that never happened.
+	FullyInfectedTime float64
+	// PeakInfected is the largest infected-set size observed.
+	PeakInfected int
+	// Events is the number of simulated events.
+	Events int
+	// EndTime is the simulated time at which the run stopped.
+	EndTime float64
+}
+
+// Process is a reusable contact-process simulator on a fixed graph.
+// Not safe for concurrent use.
+type Process struct {
+	g   *graph.Graph
+	cfg Config
+
+	// Infected set with O(1) insert/remove: members holds the vertices,
+	// pos[v] is v's index in members or -1.
+	members []int32
+	pos     []int32
+	sumDeg  int64
+	maxDeg  int
+
+	firstHit []float64 // first-infection time per vertex, -1 if never
+	hitCount int
+}
+
+// New validates the configuration and returns a simulator.
+func New(g *graph.Graph, cfg Config) (*Process, error) {
+	if g == nil || g.N() == 0 {
+		return nil, errors.New("contact: empty graph")
+	}
+	if g.MinDegree() == 0 {
+		return nil, errors.New("contact: graph has an isolated vertex")
+	}
+	if cfg.Mu < 0 {
+		return nil, fmt.Errorf("contact: negative infection rate %v", cfg.Mu)
+	}
+	return &Process{
+		g:        g,
+		cfg:      cfg,
+		pos:      make([]int32, g.N()),
+		firstHit: make([]float64, g.N()),
+		maxDeg:   g.MaxDegree(),
+	}, nil
+}
+
+func (p *Process) reset(source int32) error {
+	if source < 0 || int(source) >= p.g.N() {
+		return fmt.Errorf("contact: source %d out of range [0,%d)", source, p.g.N())
+	}
+	p.members = p.members[:0]
+	for i := range p.pos {
+		p.pos[i] = -1
+		p.firstHit[i] = -1
+	}
+	p.sumDeg = 0
+	p.hitCount = 0
+	p.add(source, 0)
+	return nil
+}
+
+func (p *Process) add(v int32, now float64) {
+	if p.pos[v] >= 0 {
+		return
+	}
+	p.pos[v] = int32(len(p.members))
+	p.members = append(p.members, v)
+	p.sumDeg += int64(p.g.Degree(v))
+	if p.firstHit[v] < 0 {
+		p.firstHit[v] = now
+		p.hitCount++
+	}
+}
+
+func (p *Process) remove(v int32) {
+	i := p.pos[v]
+	last := p.members[len(p.members)-1]
+	p.members[i] = last
+	p.pos[last] = i
+	p.members = p.members[:len(p.members)-1]
+	p.pos[v] = -1
+	p.sumDeg -= int64(p.g.Degree(v))
+}
+
+// Run simulates the process from a single infected source until
+// extinction, full infection with a persistent source, or a cap.
+func (p *Process) Run(source int32, r *rng.Rand) (Result, error) {
+	if err := p.reset(source); err != nil {
+		return Result{}, err
+	}
+	var res Result
+	res.FullyInfectedTime = -1
+	now := 0.0
+	maxTime := p.cfg.maxTime()
+	maxEvents := p.cfg.maxEvents()
+	n := p.g.N()
+	res.PeakInfected = 1
+
+	for res.Events < maxEvents && now < maxTime {
+		infected := len(p.members)
+		if infected == 0 {
+			res.Extinct = true
+			res.ExtinctionTime = now
+			break
+		}
+		recoverable := float64(infected)
+		if p.cfg.PersistentSource {
+			recoverable--
+		}
+		rateInfect := p.cfg.Mu * float64(p.sumDeg)
+		total := recoverable + rateInfect
+		if total <= 0 {
+			// Persistent source with µ = 0: frozen forever.
+			break
+		}
+		now += r.ExpFloat64() / total
+		if now > maxTime {
+			now = maxTime
+			break
+		}
+		res.Events++
+		if r.Float64()*total < recoverable {
+			// Recovery of a uniformly random recoverable vertex.
+			for {
+				v := p.members[r.Intn(infected)]
+				if p.cfg.PersistentSource && v == source {
+					continue
+				}
+				p.remove(v)
+				break
+			}
+		} else {
+			// Infection attempt from a degree-weighted infected vertex.
+			var src int32
+			for {
+				src = p.members[r.Intn(len(p.members))]
+				if p.maxDeg == 0 || r.Float64()*float64(p.maxDeg) < float64(p.g.Degree(src)) {
+					break
+				}
+			}
+			u := p.g.Neighbor(src, r.Intn(p.g.Degree(src)))
+			if p.pos[u] < 0 {
+				p.add(u, now)
+			}
+		}
+		if len(p.members) > res.PeakInfected {
+			res.PeakInfected = len(p.members)
+		}
+		if len(p.members) == n && res.FullyInfectedTime < 0 {
+			res.FullyInfectedTime = now
+			if p.cfg.PersistentSource {
+				break // nothing further can change the recorded quantities
+			}
+		}
+		if p.cfg.StopOnCoverage && p.hitCount == n {
+			break
+		}
+	}
+	res.EndTime = now
+	res.CoveredAll = p.hitCount == n
+	if res.CoveredAll {
+		maxHit := 0.0
+		for _, h := range p.firstHit {
+			if h > maxHit {
+				maxHit = h
+			}
+		}
+		res.CoverTime = maxHit
+	}
+	return res, nil
+}
+
+// InfectedCount returns the current infected-set size (diagnostics).
+func (p *Process) InfectedCount() int { return len(p.members) }

@@ -1,0 +1,246 @@
+package contact
+
+import (
+	"math"
+	"testing"
+
+	"cobrawalk/internal/graph"
+	"cobrawalk/internal/rng"
+)
+
+func mk(t *testing.T) func(*graph.Graph, error) *graph.Graph {
+	return func(g *graph.Graph, err error) *graph.Graph {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return g
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	g := mk(t)(graph.Complete(5))
+	if _, err := New(nil, Config{Mu: 1}); err == nil {
+		t.Fatal("nil graph should fail")
+	}
+	if _, err := New(g, Config{Mu: -1}); err == nil {
+		t.Fatal("negative rate should fail")
+	}
+	iso := mk(t)(graph.FromEdges("iso", 3, [][2]int32{{0, 1}}))
+	if _, err := New(iso, Config{Mu: 1}); err == nil {
+		t.Fatal("isolated vertex should fail")
+	}
+	p, err := New(g, Config{Mu: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Run(9, rng.New(1)); err == nil {
+		t.Fatal("bad source should fail")
+	}
+}
+
+func TestZeroRateDiesImmediately(t *testing.T) {
+	g := mk(t)(graph.Complete(8))
+	p, err := New(g, Config{Mu: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := p.Run(0, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Extinct {
+		t.Fatalf("µ=0 should go extinct: %+v", res)
+	}
+	if res.CoveredAll || res.PeakInfected != 1 {
+		t.Fatalf("µ=0 spread: %+v", res)
+	}
+	// Extinction time is a single Exp(1) recovery: positive, finite.
+	if res.ExtinctionTime <= 0 || math.IsInf(res.ExtinctionTime, 1) {
+		t.Fatalf("extinction time %v", res.ExtinctionTime)
+	}
+}
+
+func TestZeroRatePersistentFreezes(t *testing.T) {
+	g := mk(t)(graph.Complete(8))
+	p, err := New(g, Config{Mu: 0, PersistentSource: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := p.Run(0, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Extinct {
+		t.Fatal("persistent source cannot go extinct")
+	}
+	if res.Events != 0 {
+		t.Fatalf("frozen process simulated %d events", res.Events)
+	}
+}
+
+func TestPersistentSourceNeverExtinct(t *testing.T) {
+	g := mk(t)(graph.Cycle(16))
+	p, err := New(g, Config{Mu: 0.3, PersistentSource: true, MaxEvents: 20000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(2)
+	for trial := 0; trial < 10; trial++ {
+		res, err := p.Run(0, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Extinct {
+			t.Fatalf("trial %d: persistent source went extinct: %+v", trial, res)
+		}
+	}
+}
+
+func TestSupercriticalCoversCompleteGraph(t *testing.T) {
+	// On K_n with µ·(n-1) >> 1 the process is strongly supercritical:
+	// starting from one vertex it should reach full infection quickly
+	// (with a persistent source, always).
+	g := mk(t)(graph.Complete(32))
+	p, err := New(g, Config{Mu: 1, PersistentSource: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(3)
+	res, err := p.Run(0, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FullyInfectedTime < 0 {
+		t.Fatalf("supercritical persistent run never fully infected: %+v", res)
+	}
+	if !res.CoveredAll {
+		t.Fatalf("full infection without coverage? %+v", res)
+	}
+	if res.CoverTime > res.FullyInfectedTime+1e-9 {
+		t.Fatalf("cover time %v after full-infection time %v", res.CoverTime, res.FullyInfectedTime)
+	}
+}
+
+func TestSubcriticalDiesWithoutCovering(t *testing.T) {
+	// Far subcritical (µ·deg << 1) on a large cycle: the infection dies
+	// long before covering, in every trial.
+	g := mk(t)(graph.Cycle(200))
+	p, err := New(g, Config{Mu: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(4)
+	for trial := 0; trial < 20; trial++ {
+		res, err := p.Run(0, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Extinct {
+			t.Fatalf("trial %d: subcritical run survived: %+v", trial, res)
+		}
+		if res.CoveredAll {
+			t.Fatalf("trial %d: subcritical run covered C200: %+v", trial, res)
+		}
+	}
+}
+
+func TestSurvivalMonotoneInMu(t *testing.T) {
+	// Extinction before coverage should become rarer as µ grows.
+	g := mk(t)(graph.Complete(24))
+	r := rng.New(5)
+	coverage := func(mu float64) float64 {
+		// Cap events: supercritical SIS on a finite graph survives for an
+		// exponentially long time, and coverage (if it happens) happens
+		// early — there is no information past ~10^5 events here.
+		p, err := New(g, Config{Mu: mu, MaxEvents: 100_000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		const trials = 60
+		covered := 0
+		for i := 0; i < trials; i++ {
+			res, err := p.Run(0, r)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.CoveredAll {
+				covered++
+			}
+		}
+		return float64(covered) / trials
+	}
+	lo, hi := coverage(0.05), coverage(2)
+	if hi < lo {
+		t.Fatalf("coverage rate not increasing in µ: %v (µ=0.05) vs %v (µ=2)", lo, hi)
+	}
+	if hi < 0.9 {
+		t.Fatalf("strongly supercritical coverage only %v", hi)
+	}
+}
+
+func TestEventCap(t *testing.T) {
+	g := mk(t)(graph.Complete(16))
+	p, err := New(g, Config{Mu: 1, MaxEvents: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := p.Run(0, rng.New(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Events > 5 {
+		t.Fatalf("event cap exceeded: %+v", res)
+	}
+}
+
+func TestTimeCap(t *testing.T) {
+	g := mk(t)(graph.Cycle(8))
+	p, err := New(g, Config{Mu: 0.5, PersistentSource: true, MaxTime: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := p.Run(0, rng.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.EndTime > 2+1e-9 {
+		t.Fatalf("time cap exceeded: %+v", res)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	g := mk(t)(graph.Petersen())
+	p, err := New(g, Config{Mu: 0.8, PersistentSource: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := p.Run(0, rng.New(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := p.Run(0, rng.New(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Events != b.Events || a.FullyInfectedTime != b.FullyInfectedTime {
+		t.Fatalf("non-deterministic: %+v vs %+v", a, b)
+	}
+}
+
+func TestExpFloat64Mean(t *testing.T) {
+	r := rng.New(11)
+	const draws = 200_000
+	sum := 0.0
+	for i := 0; i < draws; i++ {
+		x := r.ExpFloat64()
+		if x < 0 {
+			t.Fatalf("negative exponential %v", x)
+		}
+		sum += x
+	}
+	mean := sum / draws
+	if math.Abs(mean-1) > 0.02 {
+		t.Fatalf("Exp(1) mean = %v", mean)
+	}
+}

@@ -1,0 +1,55 @@
+package contact
+
+import (
+	"testing"
+
+	"cobrawalk/internal/graph"
+	"cobrawalk/internal/rng"
+)
+
+func TestStopOnCoverage(t *testing.T) {
+	g := mk(t)(graph.Cycle(32))
+	p, err := New(g, Config{Mu: 1, PersistentSource: true, StopOnCoverage: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(1)
+	res, err := p.Run(0, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.CoveredAll {
+		t.Fatalf("persistent supercritical run did not cover: %+v", res)
+	}
+	if res.CoverTime <= 0 {
+		t.Fatalf("cover time %v", res.CoverTime)
+	}
+	// With StopOnCoverage the run should end at (or just after) coverage,
+	// not grind to the event cap.
+	if res.Events >= p.cfg.maxEvents() {
+		t.Fatalf("run hit the event cap despite StopOnCoverage: %+v", res)
+	}
+}
+
+func TestCoverageBeforeFullInfection(t *testing.T) {
+	// On a larger sparse graph, coverage must complete strictly before any
+	// simultaneous full infection (which essentially never happens).
+	g := mk(t)(graph.Cycle(64))
+	p, err := New(g, Config{Mu: 2, PersistentSource: true, StopOnCoverage: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(2)
+	for trial := 0; trial < 5; trial++ {
+		res, err := p.Run(0, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.CoveredAll {
+			t.Fatalf("trial %d: not covered: %+v", trial, res)
+		}
+		if res.FullyInfectedTime >= 0 && res.FullyInfectedTime < res.CoverTime {
+			t.Fatalf("full infection before coverage? %+v", res)
+		}
+	}
+}

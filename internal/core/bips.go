@@ -1,0 +1,271 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"cobrawalk/internal/graph"
+	"cobrawalk/internal/rng"
+)
+
+// BIPS is a reusable Biased Infection with Persistent Source process on a
+// fixed graph. A designated source vertex is permanently infected; at every
+// round every other vertex samples K random neighbours uniformly with
+// replacement (plus one with probability Rho) and belongs to the next
+// infected set A_{t+1} iff at least one sample lies in A_t. The process is
+// the time-reversal dual of COBRA (Theorem 4) and the vehicle for the
+// paper's analysis (Theorem 2, Lemmas 1-4).
+//
+// Only vertices with at least one infected neighbour can become infected,
+// so each Step costs O(Σ_{v∈A_t} deg(v)) rather than O(n·K).
+//
+// A BIPS is not safe for concurrent use; run one per goroutine.
+type BIPS struct {
+	g   *graph.Graph
+	cfg config
+
+	source   int32
+	infected []int32 // current infected set A_t (unique vertices)
+	next     []int32
+	// Stamp arrays: v ∈ A_t iff curStamp[v] == epoch; candidate bookkeeping
+	// is per-step via candStamp/stepEpoch. infCount[v] accumulates d_A(v)
+	// for the fast sampling path.
+	curStamp  []uint32
+	candStamp []uint32
+	infCount  []int32
+	cands     []int32
+	epoch     uint32
+	stepEpoch uint32
+
+	round       int
+	transmitted int64
+	sizes       []int
+	started     bool
+}
+
+// BipsResult reports one BIPS run.
+type BipsResult struct {
+	// InfectionTime is the first round t with A_t = V, or -1 if the run
+	// hit MaxRounds first.
+	InfectionTime int
+	// Infected reports whether the whole graph became infected.
+	Infected bool
+	// Rounds is the number of rounds executed.
+	Rounds int
+	// Transmissions counts all neighbour samples drawn (exact path) or the
+	// equivalent expected count (fast path).
+	Transmissions int64
+	// Sizes[t] = |A_t| for t = 0..Rounds; always recorded (one int per
+	// round) because every analysis of the process consumes it.
+	Sizes []int
+}
+
+// NewBIPS validates the graph and options and returns a reusable process.
+func NewBIPS(g *graph.Graph, opts ...Option) (*BIPS, error) {
+	cfg, err := buildConfig(g, opts)
+	if err != nil {
+		return nil, err
+	}
+	n := g.N()
+	return &BIPS{
+		g:         g,
+		cfg:       cfg,
+		curStamp:  make([]uint32, n),
+		candStamp: make([]uint32, n),
+		infCount:  make([]int32, n),
+	}, nil
+}
+
+// Reset prepares the process with source v and A_0 = {v} ∪ extra.
+// The source remains infected in every subsequent round.
+func (b *BIPS) Reset(source int32, extra ...int32) error {
+	if source < 0 || int(source) >= b.g.N() {
+		return fmt.Errorf("core: source vertex %d out of range [0,%d)", source, b.g.N())
+	}
+	b.epoch++
+	if b.epoch == 0 {
+		clear32(b.curStamp)
+		b.epoch = 1
+	}
+	b.source = source
+	b.infected = b.infected[:0]
+	b.round = 0
+	b.transmitted = 0
+	b.sizes = b.sizes[:0]
+	b.curStamp[source] = b.epoch
+	b.infected = append(b.infected, source)
+	for _, v := range extra {
+		if v < 0 || int(v) >= b.g.N() {
+			return fmt.Errorf("core: vertex %d out of range [0,%d)", v, b.g.N())
+		}
+		if b.curStamp[v] == b.epoch {
+			continue
+		}
+		b.curStamp[v] = b.epoch
+		b.infected = append(b.infected, v)
+	}
+	b.sizes = append(b.sizes, len(b.infected))
+	b.started = true
+	return nil
+}
+
+// Step advances the epidemic one round.
+func (b *BIPS) Step(r *rng.Rand) {
+	g := b.g
+	b.stepEpoch++
+	if b.stepEpoch == 0 {
+		clear32(b.candStamp)
+		b.stepEpoch = 1
+	}
+	// Collect candidates: the inclusive neighbourhood Γ(A_t). While
+	// scanning, accumulate d_A(u) for the fast path.
+	b.cands = b.cands[:0]
+	fast := !b.cfg.exactSample
+	for _, v := range b.infected {
+		for _, u := range g.Neighbors(v) {
+			if b.candStamp[u] != b.stepEpoch {
+				b.candStamp[u] = b.stepEpoch
+				b.cands = append(b.cands, u)
+				if fast {
+					b.infCount[u] = 0
+				}
+			}
+			if fast {
+				b.infCount[u]++
+			}
+		}
+	}
+
+	b.next = b.next[:0]
+	// The source is always infected.
+	b.next = append(b.next, b.source)
+
+	k := b.cfg.branching.K
+	rho := b.cfg.branching.Rho
+	for _, u := range b.cands {
+		if u == b.source {
+			continue
+		}
+		var hit bool
+		if fast {
+			p := float64(b.infCount[u]) / float64(g.Degree(u))
+			prob := 1 - missProb(p, k)*(1-rho*p)
+			b.transmitted += int64(k) // expected-equivalent accounting
+			if rho > 0 && r.Bernoulli(rho) {
+				b.transmitted++
+			}
+			hit = r.Bernoulli(prob)
+		} else {
+			deg := g.Degree(u)
+			samples := k
+			if rho > 0 && r.Bernoulli(rho) {
+				samples++
+			}
+			// Draw every sample (no short-circuit) so transmission counts
+			// reflect the protocol as defined.
+			for i := 0; i < samples; i++ {
+				b.transmitted++
+				w := g.Neighbor(u, r.Intn(deg))
+				if b.curStamp[w] == b.epoch {
+					hit = true
+				}
+			}
+		}
+		if hit {
+			b.next = append(b.next, u)
+		}
+	}
+
+	// Swap infected sets: stamp the new set with a fresh epoch.
+	b.epoch++
+	if b.epoch == 0 {
+		clear32(b.curStamp)
+		b.epoch = 1
+	}
+	for _, u := range b.next {
+		b.curStamp[u] = b.epoch
+	}
+	b.infected, b.next = b.next, b.infected
+	b.round++
+	b.sizes = append(b.sizes, len(b.infected))
+}
+
+// missProb returns (1-p)^k, with the small integer exponents of practical
+// branching factors multiplied out — math.Pow costs more than the entire
+// rest of a fast-path candidate evaluation.
+func missProb(p float64, k int) float64 {
+	q := 1 - p
+	switch k {
+	case 1:
+		return q
+	case 2:
+		return q * q
+	case 3:
+		return q * q * q
+	case 4:
+		qq := q * q
+		return qq * qq
+	default:
+		return math.Pow(q, float64(k))
+	}
+}
+
+// Round returns the current round index (0 just after Reset).
+func (b *BIPS) Round() int { return b.round }
+
+// InfectedCount returns |A_t|.
+func (b *BIPS) InfectedCount() int { return len(b.infected) }
+
+// Infected reports whether v ∈ A_t.
+func (b *BIPS) Infected(v int32) bool { return b.curStamp[v] == b.epoch }
+
+// InfectedSet appends the current infected set to dst and returns it.
+func (b *BIPS) InfectedSet(dst []int32) []int32 { return append(dst, b.infected...) }
+
+// Sizes returns the |A_t| trajectory recorded so far (shared slice; do not
+// modify).
+func (b *BIPS) Sizes() []int { return b.sizes }
+
+// FullyInfected reports whether A_t = V.
+func (b *BIPS) FullyInfected() bool { return len(b.infected) == b.g.N() }
+
+// Run executes a full infection run from the given source: it resets the
+// process and steps until A_t = V or the round cap is reached.
+func (b *BIPS) Run(source int32, r *rng.Rand) (BipsResult, error) {
+	if err := b.Reset(source); err != nil {
+		return BipsResult{}, err
+	}
+	for !b.FullyInfected() && b.round < b.cfg.maxRounds {
+		b.Step(r)
+	}
+	res := BipsResult{
+		Infected:      b.FullyInfected(),
+		InfectionTime: -1,
+		Rounds:        b.round,
+		Transmissions: b.transmitted,
+		Sizes:         append([]int(nil), b.sizes...),
+	}
+	if res.Infected {
+		res.InfectionTime = b.round
+	}
+	return res, nil
+}
+
+// RunUntilContains runs until target ∈ A_t (or the round cap) and returns
+// the first such round, or -1 on cap. Used by the duality estimator for
+// the right-hand side of Theorem 4.
+func (b *BIPS) RunUntilContains(source, target int32, r *rng.Rand) (int, error) {
+	if err := b.Reset(source); err != nil {
+		return 0, err
+	}
+	if target < 0 || int(target) >= b.g.N() {
+		return 0, fmt.Errorf("core: target vertex %d out of range [0,%d)", target, b.g.N())
+	}
+	for !b.Infected(target) {
+		if b.round >= b.cfg.maxRounds {
+			return -1, nil
+		}
+		b.Step(r)
+	}
+	return b.round, nil
+}

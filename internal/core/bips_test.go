@@ -1,0 +1,340 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"cobrawalk/internal/graph"
+	"cobrawalk/internal/rng"
+)
+
+func TestNewBIPSValidation(t *testing.T) {
+	if _, err := NewBIPS(nil); err == nil {
+		t.Fatal("nil graph should fail")
+	}
+	g := mustGraph(t)(graph.Complete(4))
+	if _, err := NewBIPS(g, WithK(0)); err == nil {
+		t.Fatal("K = 0 should fail")
+	}
+	b, err := NewBIPS(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Reset(-1); err == nil {
+		t.Fatal("negative source should fail")
+	}
+	if err := b.Reset(4); err == nil {
+		t.Fatal("out-of-range source should fail")
+	}
+	if err := b.Reset(0, 9); err == nil {
+		t.Fatal("out-of-range extra should fail")
+	}
+}
+
+func TestBipsSourceAlwaysInfected(t *testing.T) {
+	g := mustGraph(t)(graph.Cycle(20))
+	b, err := NewBIPS(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(1)
+	if err := b.Reset(7); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		b.Step(r)
+		if !b.Infected(7) {
+			t.Fatalf("source left the infected set at step %d", i)
+		}
+		if b.InfectedCount() < 1 {
+			t.Fatal("infected set empty")
+		}
+	}
+}
+
+func TestBipsInfectsCompleteGraph(t *testing.T) {
+	g := mustGraph(t)(graph.Complete(64))
+	b, err := NewBIPS(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := b.Run(0, rng.New(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Infected {
+		t.Fatal("BIPS failed to infect K64")
+	}
+	if res.InfectionTime < 6 || res.InfectionTime > 80 {
+		t.Fatalf("infection time %d implausible for K64", res.InfectionTime)
+	}
+	if len(res.Sizes) != res.Rounds+1 {
+		t.Fatalf("sizes length %d, want rounds+1 = %d", len(res.Sizes), res.Rounds+1)
+	}
+	if res.Sizes[0] != 1 {
+		t.Fatalf("|A_0| = %d, want 1", res.Sizes[0])
+	}
+	if res.Sizes[len(res.Sizes)-1] != 64 {
+		t.Fatalf("final size %d, want 64", res.Sizes[len(res.Sizes)-1])
+	}
+}
+
+func TestBipsCanShrink(t *testing.T) {
+	// BIPS is SIS-like: non-source vertices refresh membership each round,
+	// so |A_t| is not monotone. On a cycle with k = 1 shrinkage is common;
+	// verify we observe at least one decrease across runs (if the process
+	// were monotone this would never fire).
+	g := mustGraph(t)(graph.Cycle(32))
+	b, err := NewBIPS(g, WithK(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(3)
+	sawShrink := false
+	for trial := 0; trial < 20 && !sawShrink; trial++ {
+		if err := b.Reset(0); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 50; i++ {
+			before := b.InfectedCount()
+			b.Step(r)
+			if b.InfectedCount() < before {
+				sawShrink = true
+				break
+			}
+		}
+	}
+	if !sawShrink {
+		t.Fatal("never observed the infected set shrinking; SIS dynamics look wrong")
+	}
+}
+
+func TestBipsExtraSeeds(t *testing.T) {
+	g := mustGraph(t)(graph.Complete(10))
+	b, err := NewBIPS(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Reset(0, 3, 5, 3); err != nil {
+		t.Fatal(err)
+	}
+	if b.InfectedCount() != 3 { // 0, 3, 5 with duplicate 3 collapsed
+		t.Fatalf("initial infected = %d, want 3", b.InfectedCount())
+	}
+	set := b.InfectedSet(nil)
+	want := map[int32]bool{0: true, 3: true, 5: true}
+	for _, v := range set {
+		if !want[v] {
+			t.Fatalf("unexpected infected vertex %d", v)
+		}
+	}
+}
+
+func TestBipsRunUntilContains(t *testing.T) {
+	g := mustGraph(t)(graph.Complete(12))
+	b, err := NewBIPS(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(4)
+	hit, err := b.RunUntilContains(3, 3, r)
+	if err != nil || hit != 0 {
+		t.Fatalf("source self-containment = (%d, %v), want (0, nil)", hit, err)
+	}
+	hit, err = b.RunUntilContains(0, 7, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hit < 1 || hit > 200 {
+		t.Fatalf("containment time %d implausible", hit)
+	}
+	if _, err := b.RunUntilContains(0, 50, r); err == nil {
+		t.Fatal("bad target should fail")
+	}
+}
+
+func TestBipsMaxRoundsCap(t *testing.T) {
+	g := mustGraph(t)(graph.Cycle(64))
+	b, err := NewBIPS(g, WithMaxRounds(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := b.Run(0, rng.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Infected || res.InfectionTime != -1 || res.Rounds != 2 {
+		t.Fatalf("capped run: %+v", res)
+	}
+}
+
+func TestBipsNeighbourhoodConstraint(t *testing.T) {
+	// A vertex with no infected neighbour cannot become infected: on a
+	// long cycle, the infected set must stay within distance t of the
+	// source after t rounds.
+	g := mustGraph(t)(graph.Cycle(101))
+	b, err := NewBIPS(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(6)
+	if err := b.Reset(50); err != nil {
+		t.Fatal(err)
+	}
+	for step := 1; step <= 20; step++ {
+		b.Step(r)
+		for _, v := range b.InfectedSet(nil) {
+			dist := int(math.Abs(float64(v - 50)))
+			if dist > 50 {
+				dist = 101 - dist
+			}
+			if dist > step {
+				t.Fatalf("vertex %d infected at round %d but is at distance %d", v, step, dist)
+			}
+		}
+	}
+}
+
+func TestBipsFastVsExactDistribution(t *testing.T) {
+	// The exact-sampling and closed-form fast paths must produce the same
+	// infection-time distribution. Compare means on K32 with a tolerance
+	// of 5 combined standard errors.
+	g := mustGraph(t)(graph.Complete(32))
+	meanInfection := func(opts ...Option) (mean, se float64) {
+		b, err := NewBIPS(g, opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := rng.New(77)
+		const trials = 400
+		var sum, sumSq float64
+		for i := 0; i < trials; i++ {
+			res, err := b.Run(0, r)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !res.Infected {
+				t.Fatal("uninfected run on K32")
+			}
+			x := float64(res.InfectionTime)
+			sum += x
+			sumSq += x * x
+		}
+		mean = sum / trials
+		variance := sumSq/trials - mean*mean
+		return mean, math.Sqrt(variance / trials)
+	}
+	exactMean, exactSE := meanInfection()
+	fastMean, fastSE := meanInfection(WithFastSampling())
+	diff := math.Abs(exactMean - fastMean)
+	tol := 5 * math.Hypot(exactSE, fastSE)
+	if diff > tol {
+		t.Fatalf("exact mean %.3f vs fast mean %.3f differ by %.3f > %.3f", exactMean, fastMean, diff, tol)
+	}
+}
+
+func TestBipsFractionalBranching(t *testing.T) {
+	g := mustGraph(t)(graph.Complete(32))
+	for _, mode := range []string{"exact", "fast"} {
+		opts := []Option{WithBranching(Branching{K: 1, Rho: 0.5})}
+		if mode == "fast" {
+			opts = append(opts, WithFastSampling())
+		}
+		b, err := NewBIPS(g, opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := b.Run(0, rng.New(8))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Infected {
+			t.Fatalf("%s: 1+ρ BIPS failed to infect K32", mode)
+		}
+	}
+}
+
+func TestBipsDeterminismAndReuse(t *testing.T) {
+	g := mustGraph(t)(graph.Petersen())
+	run := func(b *BIPS, seed uint64) []int {
+		res, err := b.Run(0, rng.New(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Sizes
+	}
+	b1, err := NewBIPS(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := run(b1, 99)
+	bb := run(b1, 99) // reuse same process
+	if len(a) != len(bb) {
+		t.Fatalf("reused process diverged: %v vs %v", a, bb)
+	}
+	for i := range a {
+		if a[i] != bb[i] {
+			t.Fatalf("reused process diverged at %d: %v vs %v", i, a, bb)
+		}
+	}
+}
+
+func TestBipsSizesSharedSlice(t *testing.T) {
+	g := mustGraph(t)(graph.Complete(8))
+	b, err := NewBIPS(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Reset(0); err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(10)
+	b.Step(r)
+	b.Step(r)
+	sizes := b.Sizes()
+	if len(sizes) != 3 {
+		t.Fatalf("sizes = %v, want length 3", sizes)
+	}
+	if sizes[0] != 1 {
+		t.Fatalf("|A_0| = %d", sizes[0])
+	}
+}
+
+func TestDetectPhases(t *testing.T) {
+	sizes := []int{1, 2, 5, 11, 40, 85, 93, 100}
+	p := DetectPhases(sizes, 100, 10)
+	if p.ReachSmall != 3 { // first size > 10 is 11 at t=3
+		t.Fatalf("ReachSmall = %d, want 3", p.ReachSmall)
+	}
+	if p.ReachNineTenths != 6 { // ceil(0.9*100)=90; first >= 90 is 93 at t=6
+		t.Fatalf("ReachNineTenths = %d, want 6", p.ReachNineTenths)
+	}
+	if p.Full != 7 {
+		t.Fatalf("Full = %d, want 7", p.Full)
+	}
+	p1, p2, p3 := p.PhaseLengths()
+	if p1 != 3 || p2 != 3 || p3 != 1 {
+		t.Fatalf("phase lengths = (%d,%d,%d), want (3,3,1)", p1, p2, p3)
+	}
+	// Unreached thresholds report -1.
+	q := DetectPhases([]int{1, 2, 3}, 100, 10)
+	if q.ReachSmall != -1 || q.ReachNineTenths != -1 || q.Full != -1 {
+		t.Fatalf("unreached phases: %+v", q)
+	}
+	q1, q2, q3 := q.PhaseLengths()
+	if q1 != -1 || q2 != -1 || q3 != -1 {
+		t.Fatalf("unreached phase lengths: (%d,%d,%d)", q1, q2, q3)
+	}
+}
+
+func TestBranchingString(t *testing.T) {
+	if s := (Branching{K: 2}).String(); s != "k=2" {
+		t.Fatalf("String = %q", s)
+	}
+	if s := (Branching{K: 1, Rho: 0.25}).String(); s != "k=1+ρ0.25" {
+		t.Fatalf("String = %q", s)
+	}
+	if e := (Branching{K: 1, Rho: 0.5}).Expected(); e != 1.5 {
+		t.Fatalf("Expected = %v", e)
+	}
+}

@@ -1,0 +1,288 @@
+package core
+
+import (
+	"fmt"
+
+	"cobrawalk/internal/graph"
+	"cobrawalk/internal/rng"
+)
+
+// Cobra is a reusable COBRA (coalescing-branching random walk) process on
+// a fixed graph. At every round each vertex of the active set C_t pushes
+// to K random neighbours (plus one with probability Rho), chosen uniformly
+// with replacement; C_{t+1} is the set of push targets (duplicates
+// coalesce). The walk covers the graph when every vertex has been active
+// at least once.
+//
+// A Cobra is not safe for concurrent use; run one per goroutine.
+type Cobra struct {
+	g   *graph.Graph
+	cfg config
+
+	cur, next []int32
+	// Epoch-stamped membership sets: a vertex is visited iff
+	// visitedStamp[v] == epoch (epoch bumps per Reset), and in the next
+	// frontier iff nextStamp[v] == stepEpoch (stepEpoch bumps per Step).
+	// Bumping an epoch resets the corresponding set in O(1).
+	visitedStamp []uint32
+	nextStamp    []uint32
+	epoch        uint32
+	stepEpoch    uint32
+
+	round        int
+	visitedCount int
+	transmitted  int64
+	firstVisit   []int32 // round of first visit, -1 if unvisited (when trackHits)
+	activations  []int64 // rounds active per vertex (when trackLoad)
+	deliveries   []int64 // messages received per vertex incl. duplicates (when trackLoad)
+	trace        []RoundStat
+	started      bool
+}
+
+// CobraResult reports one COBRA run.
+type CobraResult struct {
+	// CoverTime is the first round T at which every vertex had been active
+	// at least once (counting round 0), or -1 if the run hit MaxRounds
+	// first.
+	CoverTime int
+	// Covered reports whether the whole graph was visited.
+	Covered bool
+	// Rounds is the number of rounds executed.
+	Rounds int
+	// Transmissions counts every pushed message.
+	Transmissions int64
+	// FirstVisit[v] is the round v first became active (-1 = never), only
+	// populated under WithHitTimes.
+	FirstVisit []int32
+	// Activations[v] counts the rounds v was active (so v sent ≈
+	// k·Activations[v] messages); only populated under WithLoadCounts.
+	Activations []int64
+	// Deliveries[v] counts messages delivered to v, including coalesced
+	// duplicates; only populated under WithLoadCounts.
+	Deliveries []int64
+	// Trace holds per-round statistics under WithTrace.
+	Trace []RoundStat
+}
+
+// NewCobra validates the graph and options and returns a reusable process.
+func NewCobra(g *graph.Graph, opts ...Option) (*Cobra, error) {
+	cfg, err := buildConfig(g, opts)
+	if err != nil {
+		return nil, err
+	}
+	c := &Cobra{
+		g:            g,
+		cfg:          cfg,
+		visitedStamp: make([]uint32, g.N()),
+		nextStamp:    make([]uint32, g.N()),
+	}
+	if cfg.trackHits {
+		c.firstVisit = make([]int32, g.N())
+	}
+	if cfg.trackLoad {
+		c.activations = make([]int64, g.N())
+		c.deliveries = make([]int64, g.N())
+	}
+	return c, nil
+}
+
+// Reset prepares the process with the starting set C_0 = starts. Starts
+// count as visited at round 0.
+func (c *Cobra) Reset(starts ...int32) error {
+	if len(starts) == 0 {
+		return fmt.Errorf("core: COBRA needs a non-empty start set")
+	}
+	c.epoch++
+	if c.epoch == 0 { // stamp wrap-around: flush stale stamps
+		clear32(c.visitedStamp)
+		c.epoch = 1
+	}
+	c.cur = c.cur[:0]
+	c.round = 0
+	c.visitedCount = 0
+	c.transmitted = 0
+	c.trace = c.trace[:0]
+	if c.cfg.trackHits {
+		for i := range c.firstVisit {
+			c.firstVisit[i] = -1
+		}
+	}
+	if c.cfg.trackLoad {
+		for i := range c.activations {
+			c.activations[i] = 0
+			c.deliveries[i] = 0
+		}
+	}
+	for _, s := range starts {
+		if s < 0 || int(s) >= c.g.N() {
+			return fmt.Errorf("core: start vertex %d out of range [0,%d)", s, c.g.N())
+		}
+		if c.visitedStamp[s] == c.epoch {
+			continue // duplicate start
+		}
+		c.visitedStamp[s] = c.epoch
+		c.visitedCount++
+		c.cur = append(c.cur, s)
+		if c.cfg.trackHits {
+			c.firstVisit[s] = 0
+		}
+	}
+	c.started = true
+	return nil
+}
+
+// Step advances the process by one round: every active vertex pushes, and
+// the push targets form the next active set.
+func (c *Cobra) Step(r *rng.Rand) {
+	g := c.g
+	k := c.cfg.branching.K
+	rho := c.cfg.branching.Rho
+	c.next = c.next[:0]
+	c.stepEpoch++
+	if c.stepEpoch == 0 {
+		clear32(c.nextStamp)
+		c.stepEpoch = 1
+	}
+	var sent int64
+	trackLoad := c.cfg.trackLoad
+	for _, v := range c.cur {
+		deg := g.Degree(v)
+		pushes := k
+		if rho > 0 && r.Bernoulli(rho) {
+			pushes++
+		}
+		if trackLoad {
+			c.activations[v]++
+		}
+		for i := 0; i < pushes; i++ {
+			u := g.Neighbor(v, r.Intn(deg))
+			sent++
+			if trackLoad {
+				c.deliveries[u]++
+			}
+			if c.nextStamp[u] == c.stepEpoch {
+				continue // coalesce: u already chosen this round
+			}
+			c.nextStamp[u] = c.stepEpoch
+			c.next = append(c.next, u)
+			if c.visitedStamp[u] != c.epoch {
+				c.visitedStamp[u] = c.epoch
+				c.visitedCount++
+				if c.cfg.trackHits {
+					c.firstVisit[u] = int32(c.round + 1)
+				}
+			}
+		}
+	}
+	c.cur, c.next = c.next, c.cur
+	c.round++
+	c.transmitted += sent
+	if c.cfg.recordTrace {
+		c.trace = append(c.trace, RoundStat{
+			Round:         c.round,
+			Active:        len(c.cur),
+			Visited:       c.visitedCount,
+			Transmissions: sent,
+		})
+	}
+}
+
+// Round returns the current round index (0 just after Reset).
+func (c *Cobra) Round() int { return c.round }
+
+// ActiveCount returns |C_t|.
+func (c *Cobra) ActiveCount() int { return len(c.cur) }
+
+// Active appends the current active set to dst and returns it.
+func (c *Cobra) Active(dst []int32) []int32 { return append(dst, c.cur...) }
+
+// VisitedCount returns the number of distinct vertices visited so far.
+func (c *Cobra) VisitedCount() int { return c.visitedCount }
+
+// Covered reports whether every vertex has been visited.
+func (c *Cobra) Covered() bool { return c.visitedCount == c.g.N() }
+
+// Visited reports whether v has been active in any round so far.
+func (c *Cobra) Visited(v int32) bool { return c.visitedStamp[v] == c.epoch }
+
+// Run executes a full cover-time run from the single start vertex. It
+// resets the process, steps until the graph is covered or the round cap is
+// reached, and reports the result.
+func (c *Cobra) Run(start int32, r *rng.Rand) (CobraResult, error) {
+	if err := c.Reset(start); err != nil {
+		return CobraResult{}, err
+	}
+	for !c.Covered() && c.round < c.cfg.maxRounds {
+		c.Step(r)
+	}
+	return c.result(), nil
+}
+
+// RunFrom executes a full cover-time run from an arbitrary start set.
+func (c *Cobra) RunFrom(starts []int32, r *rng.Rand) (CobraResult, error) {
+	if err := c.Reset(starts...); err != nil {
+		return CobraResult{}, err
+	}
+	for !c.Covered() && c.round < c.cfg.maxRounds {
+		c.Step(r)
+	}
+	return c.result(), nil
+}
+
+// RunUntilHit runs until target is visited (or the cap is reached) and
+// returns the hitting time Hit_start(target), or -1 on cap.
+func (c *Cobra) RunUntilHit(start, target int32, r *rng.Rand) (int, error) {
+	if err := c.Reset(start); err != nil {
+		return 0, err
+	}
+	if target < 0 || int(target) >= c.g.N() {
+		return 0, fmt.Errorf("core: target vertex %d out of range [0,%d)", target, c.g.N())
+	}
+	for !c.Visited(target) {
+		if c.round >= c.cfg.maxRounds {
+			return -1, nil
+		}
+		c.Step(r)
+	}
+	return c.round, nil
+}
+
+func (c *Cobra) result() CobraResult {
+	res := CobraResult{
+		Covered:       c.Covered(),
+		CoverTime:     -1,
+		Rounds:        c.round,
+		Transmissions: c.transmitted,
+	}
+	if res.Covered {
+		res.CoverTime = c.round
+	}
+	if c.cfg.trackHits {
+		res.FirstVisit = append([]int32(nil), c.firstVisit...)
+		if res.Covered {
+			// Cover time is the max first-visit round, which may precede
+			// the round at which the loop observed completion.
+			maxHit := int32(0)
+			for _, h := range c.firstVisit {
+				if h > maxHit {
+					maxHit = h
+				}
+			}
+			res.CoverTime = int(maxHit)
+		}
+	}
+	if c.cfg.trackLoad {
+		res.Activations = append([]int64(nil), c.activations...)
+		res.Deliveries = append([]int64(nil), c.deliveries...)
+	}
+	if c.cfg.recordTrace {
+		res.Trace = append([]RoundStat(nil), c.trace...)
+	}
+	return res
+}
+
+func clear32(s []uint32) {
+	for i := range s {
+		s[i] = 0
+	}
+}

@@ -1,0 +1,434 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"cobrawalk/internal/graph"
+	"cobrawalk/internal/rng"
+)
+
+func mustGraph(t *testing.T) func(*graph.Graph, error) *graph.Graph {
+	return func(g *graph.Graph, err error) *graph.Graph {
+		t.Helper()
+		if err != nil {
+			t.Fatalf("graph construction: %v", err)
+		}
+		return g
+	}
+}
+
+func TestNewCobraValidation(t *testing.T) {
+	g := mustGraph(t)(graph.Complete(5))
+	if _, err := NewCobra(nil); err == nil {
+		t.Fatal("nil graph should fail")
+	}
+	if _, err := NewCobra(g, WithK(0)); err == nil {
+		t.Fatal("K = 0 should fail")
+	}
+	if _, err := NewCobra(g, WithBranching(Branching{K: 1, Rho: -0.1})); err == nil {
+		t.Fatal("negative Rho should fail")
+	}
+	if _, err := NewCobra(g, WithBranching(Branching{K: 1, Rho: 1})); err == nil {
+		t.Fatal("Rho = 1 should fail")
+	}
+	if _, err := NewCobra(g, WithMaxRounds(0)); err == nil {
+		t.Fatal("MaxRounds = 0 should fail")
+	}
+	iso := mustGraph(t)(graph.FromEdges("iso", 3, [][2]int32{{0, 1}}))
+	if _, err := NewCobra(iso); err == nil {
+		t.Fatal("isolated vertex should fail")
+	}
+}
+
+func TestCobraResetValidation(t *testing.T) {
+	g := mustGraph(t)(graph.Complete(5))
+	c, err := NewCobra(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Reset(); err == nil {
+		t.Fatal("empty start set should fail")
+	}
+	if err := c.Reset(-1); err == nil {
+		t.Fatal("negative start should fail")
+	}
+	if err := c.Reset(5); err == nil {
+		t.Fatal("out-of-range start should fail")
+	}
+	if _, err := c.Run(17, rng.New(1)); err == nil {
+		t.Fatal("Run with bad start should fail")
+	}
+}
+
+func TestCobraCoversCompleteGraph(t *testing.T) {
+	g := mustGraph(t)(graph.Complete(64))
+	c, err := NewCobra(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(1)
+	res, err := c.Run(0, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Covered {
+		t.Fatal("COBRA failed to cover K64")
+	}
+	// Active set at most doubles per round, so cover time >= log2(n).
+	if res.CoverTime < 6 {
+		t.Fatalf("cover time %d below information-theoretic bound log2(64)=6", res.CoverTime)
+	}
+	// K64 should be covered in a few dozen rounds at most.
+	if res.CoverTime > 60 {
+		t.Fatalf("cover time %d suspiciously large for K64", res.CoverTime)
+	}
+	if res.Transmissions <= 0 {
+		t.Fatal("no transmissions recorded")
+	}
+}
+
+func TestCobraActiveSetAtMostDoubles(t *testing.T) {
+	// With k = 2, |C_{t+1}| <= 2|C_t|; the visited count can grow by at
+	// most |C_{t+1}| per round.
+	g := mustGraph(t)(graph.Petersen())
+	c, err := NewCobra(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(2)
+	for trial := 0; trial < 50; trial++ {
+		if err := c.Reset(0); err != nil {
+			t.Fatal(err)
+		}
+		prev := c.ActiveCount()
+		for i := 0; i < 20; i++ {
+			c.Step(r)
+			cur := c.ActiveCount()
+			if cur > 2*prev {
+				t.Fatalf("active set grew from %d to %d (> 2x)", prev, cur)
+			}
+			if cur == 0 {
+				t.Fatal("active set became empty")
+			}
+			prev = cur
+		}
+	}
+}
+
+func TestCobraK1IsSingleWalker(t *testing.T) {
+	// With k = 1 and Rho = 0 COBRA degenerates to a simple random walk:
+	// exactly one active vertex at all times.
+	g := mustGraph(t)(graph.Cycle(12))
+	c, err := NewCobra(g, WithK(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(3)
+	if err := c.Reset(0); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		c.Step(r)
+		if c.ActiveCount() != 1 {
+			t.Fatalf("k=1 active count = %d at step %d, want 1", c.ActiveCount(), i)
+		}
+	}
+	// Each step moves to an adjacent vertex.
+	var prev int32
+	if err := c.Reset(0); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		c.Step(r)
+		cur := c.Active(nil)[0]
+		if !g.HasEdge(prev, cur) {
+			t.Fatalf("walk jumped from %d to %d (not adjacent)", prev, cur)
+		}
+		prev = cur
+	}
+}
+
+func TestCobraCoalescing(t *testing.T) {
+	// On the star's centre... use K2 (two vertices, one edge): from {0},
+	// both pushes go to 1; coalescing must keep |C| = 1.
+	g := mustGraph(t)(graph.Complete(2))
+	c, err := NewCobra(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(4)
+	if err := c.Reset(0); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		c.Step(r)
+		if c.ActiveCount() != 1 {
+			t.Fatalf("K2 active count = %d, want 1 (coalescing broken)", c.ActiveCount())
+		}
+	}
+	if !c.Covered() {
+		t.Fatal("K2 not covered after 10 rounds")
+	}
+}
+
+func TestCobraHitTimes(t *testing.T) {
+	g := mustGraph(t)(graph.Complete(16))
+	c, err := NewCobra(g, WithHitTimes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(5)
+	res, err := c.Run(3, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FirstVisit == nil {
+		t.Fatal("FirstVisit not recorded")
+	}
+	if res.FirstVisit[3] != 0 {
+		t.Fatalf("start vertex first visit = %d, want 0", res.FirstVisit[3])
+	}
+	maxHit := int32(0)
+	for v, h := range res.FirstVisit {
+		if h < 0 {
+			t.Fatalf("vertex %d never visited in a covered run", v)
+		}
+		if h > maxHit {
+			maxHit = h
+		}
+	}
+	if int(maxHit) != res.CoverTime {
+		t.Fatalf("cover time %d != max first visit %d", res.CoverTime, maxHit)
+	}
+}
+
+func TestCobraTrace(t *testing.T) {
+	g := mustGraph(t)(graph.Complete(32))
+	c, err := NewCobra(g, WithTrace())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Run(0, rng.New(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Trace) != res.Rounds {
+		t.Fatalf("trace length %d != rounds %d", len(res.Trace), res.Rounds)
+	}
+	prevVisited := 1
+	var total int64
+	for i, st := range res.Trace {
+		if st.Round != i+1 {
+			t.Fatalf("trace round %d at index %d", st.Round, i)
+		}
+		if st.Visited < prevVisited {
+			t.Fatalf("visited count decreased: %d -> %d", prevVisited, st.Visited)
+		}
+		prevVisited = st.Visited
+		total += st.Transmissions
+	}
+	if total != res.Transmissions {
+		t.Fatalf("trace transmissions %d != result %d", total, res.Transmissions)
+	}
+}
+
+func TestCobraMaxRoundsCap(t *testing.T) {
+	// A cycle with one round cannot be covered.
+	g := mustGraph(t)(graph.Cycle(100))
+	c, err := NewCobra(g, WithMaxRounds(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Run(0, rng.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Covered || res.CoverTime != -1 {
+		t.Fatalf("capped run reported covered: %+v", res)
+	}
+	if res.Rounds != 1 {
+		t.Fatalf("rounds = %d, want 1", res.Rounds)
+	}
+}
+
+func TestCobraRunFrom(t *testing.T) {
+	g := mustGraph(t)(graph.Complete(8))
+	c, err := NewCobra(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Starting from all vertices covers at round 0.
+	all := make([]int32, 8)
+	for i := range all {
+		all[i] = int32(i)
+	}
+	res, err := c.RunFrom(all, rng.New(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Covered || res.CoverTime != 0 || res.Rounds != 0 {
+		t.Fatalf("full start set: %+v", res)
+	}
+	// Duplicates in the start set collapse.
+	if err := c.Reset(2, 2, 2); err != nil {
+		t.Fatal(err)
+	}
+	if c.ActiveCount() != 1 || c.VisitedCount() != 1 {
+		t.Fatalf("duplicate starts not collapsed: active=%d visited=%d", c.ActiveCount(), c.VisitedCount())
+	}
+	if _, err := c.RunFrom(nil, rng.New(1)); err == nil {
+		t.Fatal("empty start set should fail")
+	}
+}
+
+func TestCobraRunUntilHit(t *testing.T) {
+	g := mustGraph(t)(graph.Complete(10))
+	c, err := NewCobra(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(9)
+	// Hitting the start vertex is immediate.
+	hit, err := c.RunUntilHit(4, 4, r)
+	if err != nil || hit != 0 {
+		t.Fatalf("self hit = (%d, %v), want (0, nil)", hit, err)
+	}
+	hit, err = c.RunUntilHit(0, 9, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hit < 1 || hit > 100 {
+		t.Fatalf("hit time %d out of plausible range", hit)
+	}
+	if _, err := c.RunUntilHit(0, 99, r); err == nil {
+		t.Fatal("bad target should fail")
+	}
+	// Cap: target unreachable within 0 effective rounds.
+	cc, err := NewCobra(g, WithMaxRounds(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	anyCapped := false
+	for i := 0; i < 50; i++ {
+		h, err := cc.RunUntilHit(0, 9, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if h == -1 {
+			anyCapped = true
+		}
+	}
+	if !anyCapped {
+		t.Fatal("expected some capped hit searches on K10 with 1 round")
+	}
+}
+
+func TestCobraDeterminismGivenSeed(t *testing.T) {
+	g := mustGraph(t)(graph.Petersen())
+	run := func() CobraResult {
+		c, err := NewCobra(g, WithTrace())
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := c.Run(0, rng.New(123))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if a.CoverTime != b.CoverTime || a.Transmissions != b.Transmissions {
+		t.Fatalf("non-deterministic: %+v vs %+v", a, b)
+	}
+}
+
+func TestCobraProcessReuseIndependence(t *testing.T) {
+	// Reusing one process across many runs must not leak state: cover
+	// times from a reused process should match a fresh process given the
+	// same RNG stream.
+	g := mustGraph(t)(graph.Complete(16))
+	reused, err := NewCobra(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1 := rng.New(55)
+	var reuse []int
+	for i := 0; i < 20; i++ {
+		res, err := reused.Run(0, r1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		reuse = append(reuse, res.CoverTime)
+	}
+	r2 := rng.New(55)
+	for i := 0; i < 20; i++ {
+		fresh, err := NewCobra(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := fresh.Run(0, r2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.CoverTime != reuse[i] {
+			t.Fatalf("trial %d: reused %d vs fresh %d", i, reuse[i], res.CoverTime)
+		}
+	}
+}
+
+func TestCobraFractionalBranchingCovers(t *testing.T) {
+	g := mustGraph(t)(graph.Complete(64))
+	c, err := NewCobra(g, WithBranching(Branching{K: 1, Rho: 0.5}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Run(0, rng.New(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Covered {
+		t.Fatal("1+ρ branching failed to cover K64")
+	}
+	// Expected branching factor 1.5: still must at least double... no —
+	// growth is slower; just check it finished reasonably.
+	if res.CoverTime < 6 {
+		t.Fatalf("cover time %d impossibly small", res.CoverTime)
+	}
+}
+
+func TestCobraCoverTimeLogarithmicOnComplete(t *testing.T) {
+	// Dutta et al.: COBRA covers K_n in O(log n). Check the mean cover
+	// time at two sizes scales roughly logarithmically rather than
+	// linearly: mean(K256)/mean(K32) should be far below 256/32 = 8.
+	r := rng.New(11)
+	meanCover := func(n int) float64 {
+		g := mustGraph(t)(graph.Complete(n))
+		c, err := NewCobra(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		const trials = 30
+		sum := 0.0
+		for i := 0; i < trials; i++ {
+			res, err := c.Run(0, r)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !res.Covered {
+				t.Fatal("uncovered run")
+			}
+			sum += float64(res.CoverTime)
+		}
+		return sum / trials
+	}
+	m32, m256 := meanCover(32), meanCover(256)
+	ratio := m256 / m32
+	if ratio > 3 {
+		t.Fatalf("cover-time ratio K256/K32 = %.2f (means %.1f, %.1f); not logarithmic", ratio, m256, m32)
+	}
+	// And the absolute scale should be near log2(n): allow generous slack.
+	if m256 > 8*math.Log2(256) {
+		t.Fatalf("K256 mean cover %.1f far above O(log n) scale", m256)
+	}
+}

@@ -1,0 +1,293 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+
+	"cobrawalk/internal/graph"
+)
+
+// MaxExactVertices bounds the subset-space exact solvers: the per-step cost
+// is O(4^n), so 13 vertices (~67M cells) is the practical ceiling.
+const MaxExactVertices = 13
+
+// ExactDuality holds the exact (non-Monte-Carlo) evaluation of both sides
+// of Theorem 4 on a small graph, over the full subset space:
+//
+//	CobraSurvival[t][C] = P̂(Hit_C(v) > t)          (COBRA started at set C)
+//	BipsAvoid[t][C]     = P(C ∩ A_t = ∅ | A_0 = v)  (BIPS with source v)
+//
+// Theorem 4 states these tables are identical. Computing both
+// independently — one by the COBRA hitting-time recursion, one by evolving
+// the BIPS distribution over subsets — and comparing them verifies the
+// theorem to floating-point accuracy.
+type ExactDuality struct {
+	N             int
+	V             int32
+	T             int
+	CobraSurvival [][]float64
+	BipsAvoid     [][]float64
+}
+
+// MaxAbsError returns max over t and C of the difference between the two
+// tables. Under Theorem 4 this is pure floating-point noise (~1e-12).
+func (e ExactDuality) MaxAbsError() float64 {
+	worst := 0.0
+	for t := range e.CobraSurvival {
+		for c := range e.CobraSurvival[t] {
+			if d := math.Abs(e.CobraSurvival[t][c] - e.BipsAvoid[t][c]); d > worst {
+				worst = d
+			}
+		}
+	}
+	return worst
+}
+
+// MarginalSurvival returns the single-vertex series P̂(Hit_u(v) > t) for
+// t = 0..T, i.e. the left side of equation (2).
+func (e ExactDuality) MarginalSurvival(u int32) []float64 {
+	out := make([]float64, e.T+1)
+	for t := 0; t <= e.T; t++ {
+		out[t] = e.CobraSurvival[t][uint32(1)<<uint(u)]
+	}
+	return out
+}
+
+// MarginalExclusion returns the single-vertex series P(u ∉ A_t | A_0 = v).
+func (e ExactDuality) MarginalExclusion(u int32) []float64 {
+	out := make([]float64, e.T+1)
+	for t := 0; t <= e.T; t++ {
+		out[t] = e.BipsAvoid[t][uint32(1)<<uint(u)]
+	}
+	return out
+}
+
+// ComputeExactDuality evaluates both sides of Theorem 4 exactly for all
+// 2^n start sets and t = 0..tMax, for a BIPS source / COBRA target v.
+func ComputeExactDuality(g *graph.Graph, v int32, tMax int, branch Branching) (*ExactDuality, error) {
+	n := g.N()
+	if n == 0 || n > MaxExactVertices {
+		return nil, fmt.Errorf("core: exact duality supports 1..%d vertices, got %d", MaxExactVertices, n)
+	}
+	if v < 0 || int(v) >= n {
+		return nil, fmt.Errorf("core: vertex %d out of range [0,%d)", v, n)
+	}
+	if err := branch.validate(); err != nil {
+		return nil, err
+	}
+	if g.MinDegree() == 0 {
+		return nil, fmt.Errorf("core: graph has an isolated vertex")
+	}
+	if tMax < 0 {
+		return nil, fmt.Errorf("core: negative horizon %d", tMax)
+	}
+	nbr := neighborMasks(g)
+	e := &ExactDuality{N: n, V: v, T: tMax}
+	e.CobraSurvival = exactCobraSurvival(g, nbr, v, tMax, branch)
+	e.BipsAvoid = exactBipsAvoid(g, nbr, v, tMax, branch)
+	return e, nil
+}
+
+func neighborMasks(g *graph.Graph) []uint32 {
+	nbr := make([]uint32, g.N())
+	for x := int32(0); x < int32(g.N()); x++ {
+		var m uint32
+		for _, u := range g.Neighbors(x) {
+			m |= 1 << uint(u)
+		}
+		nbr[x] = m
+	}
+	return nbr
+}
+
+// pushInsideProb returns P(all of x's pushes land inside S) when x has
+// degree deg and d of its neighbours lie in S: (d/deg)^K · (1-Rho+Rho·d/deg).
+func pushInsideProb(d, deg int, branch Branching) float64 {
+	p := float64(d) / float64(deg)
+	prob := 1.0
+	for i := 0; i < branch.K; i++ {
+		prob *= p
+	}
+	if branch.Rho > 0 {
+		prob *= (1 - branch.Rho) + branch.Rho*p
+	}
+	return prob
+}
+
+// infectProb returns P(x gets infected | d of its deg neighbours infected):
+// 1 - (1-d/deg)^K · (1 - Rho·d/deg).
+func infectProb(d, deg int, branch Branching) float64 {
+	p := float64(d) / float64(deg)
+	miss := 1.0
+	for i := 0; i < branch.K; i++ {
+		miss *= 1 - p
+	}
+	return 1 - miss*(1-branch.Rho*p)
+}
+
+// exactCobraSurvival computes h_t[C] = P̂(Hit_C(v) > t) for all subsets C
+// via the recursion
+//
+//	h_{t+1}[C] = Σ_B P(Y(C)=B)·h_t[B] = Σ_S F_C(S)·ĥ_t[S],
+//
+// where F_C(S) = Π_{x∈C} P(x's pushes ⊆ S) and ĥ_t is the alternating
+// superset (Möbius) transform of h_t. The S-sum is evaluated by expanding,
+// for each S, the multiplicative-in-C function F_·(S) as a rank-1 tensor
+// over the C-lattice, at O(4^n) per step.
+func exactCobraSurvival(g *graph.Graph, nbr []uint32, v int32, tMax int, branch Branching) [][]float64 {
+	n := g.N()
+	size := 1 << uint(n)
+	vbit := uint32(1) << uint(v)
+
+	h := make([]float64, size)
+	for c := 0; c < size; c++ {
+		if uint32(c)&vbit == 0 {
+			h[c] = 1
+		}
+	}
+	out := make([][]float64, tMax+1)
+	out[0] = append([]float64(nil), h...)
+
+	hat := make([]float64, size)
+	next := make([]float64, size)
+	tensor := make([]float64, size)
+	fS := make([]float64, n)
+
+	for t := 1; t <= tMax; t++ {
+		// Alternating superset transform: ĥ[S] = Σ_{B⊇S} (-1)^{|B\S|} h[B].
+		copy(hat, h)
+		for i := 0; i < n; i++ {
+			bit := 1 << uint(i)
+			for s := 0; s < size; s++ {
+				if s&bit == 0 {
+					hat[s] -= hat[s|bit]
+				}
+			}
+		}
+		for c := range next {
+			next[c] = 0
+		}
+		for s := 0; s < size; s++ {
+			if hat[s] == 0 {
+				continue
+			}
+			// Per-vertex factors f_S(x) = P(x's pushes all land inside S).
+			for x := 0; x < n; x++ {
+				d := bits.OnesCount32(uint32(s) & nbr[x])
+				fS[x] = pushInsideProb(d, g.Degree(int32(x)), branch)
+			}
+			// Rank-1 tensor over C: tensor[C] = Π_{x∈C} f_S(x), built by
+			// doubling over the vertex bits.
+			tensor[0] = 1
+			width := 1
+			for x := 0; x < n; x++ {
+				f := fS[x]
+				for c := 0; c < width; c++ {
+					tensor[width+c] = tensor[c] * f
+				}
+				width <<= 1
+			}
+			w := hat[s]
+			for c := 0; c < size; c++ {
+				next[c] += w * tensor[c]
+			}
+		}
+		// The recursion h_{t+1}[C] = Σ_B P(Y(C)=B)·h_t[B] applies only to
+		// sets with v ∉ C; for v ∈ C the hitting time is 0, so survival is
+		// identically 0 (the paper's "trivial case" of Theorem 4).
+		for c := 0; c < size; c++ {
+			if uint32(c)&vbit != 0 {
+				next[c] = 0
+			}
+		}
+		copy(h, next)
+		out[t] = append([]float64(nil), h...)
+	}
+	return out
+}
+
+// exactBipsAvoid evolves the exact distribution μ_t over infected sets
+// (always containing the source v) and derives, for every C, the avoidance
+// probability P(C ∩ A_t = ∅) = Σ_{A ⊆ V∖C} μ_t(A) via a subset-sum (zeta)
+// transform.
+func exactBipsAvoid(g *graph.Graph, nbr []uint32, v int32, tMax int, branch Branching) [][]float64 {
+	n := g.N()
+	size := 1 << uint(n)
+	vbit := uint32(1) << uint(v)
+	full := uint32(size - 1)
+
+	mu := make([]float64, size)
+	mu[vbit] = 1
+
+	out := make([][]float64, tMax+1)
+	out[0] = avoidFromMu(mu, full)
+
+	next := make([]float64, size)
+	tensor := make([]float64, size)
+	pU := make([]float64, n)
+
+	for t := 1; t <= tMax; t++ {
+		for b := range next {
+			next[b] = 0
+		}
+		for a := 0; a < size; a++ {
+			w := mu[a]
+			if w == 0 {
+				continue
+			}
+			// Per-vertex infection probabilities given A_t = a; the source
+			// is infected with probability 1.
+			for u := 0; u < n; u++ {
+				if int32(u) == v {
+					pU[u] = 1
+					continue
+				}
+				d := bits.OnesCount32(uint32(a) & nbr[u])
+				pU[u] = infectProb(d, g.Degree(int32(u)), branch)
+			}
+			// Product distribution over next sets B: independent membership
+			// per vertex, expanded by doubling.
+			tensor[0] = 1
+			width := 1
+			for u := 0; u < n; u++ {
+				p := pU[u]
+				q := 1 - p
+				for b := width - 1; b >= 0; b-- {
+					tensor[width+b] = tensor[b] * p
+					tensor[b] *= q
+				}
+				width <<= 1
+			}
+			for b := 0; b < size; b++ {
+				if tensor[b] != 0 {
+					next[b] += w * tensor[b]
+				}
+			}
+		}
+		copy(mu, next)
+		out[t] = avoidFromMu(mu, full)
+	}
+	return out
+}
+
+// avoidFromMu returns avoid[C] = Σ_{A ⊆ full∖C} μ(A) for every C, by a
+// subset-sum zeta transform followed by complement indexing.
+func avoidFromMu(mu []float64, full uint32) []float64 {
+	size := len(mu)
+	zeta := append([]float64(nil), mu...)
+	n := bits.Len32(full)
+	for i := 0; i < n; i++ {
+		bit := 1 << uint(i)
+		for s := 0; s < size; s++ {
+			if s&bit != 0 {
+				zeta[s] += zeta[s&^bit]
+			}
+		}
+	}
+	avoid := make([]float64, size)
+	for c := 0; c < size; c++ {
+		avoid[c] = zeta[int(full&^uint32(c))]
+	}
+	return avoid
+}

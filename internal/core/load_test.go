@@ -1,0 +1,104 @@
+package core
+
+import (
+	"testing"
+
+	"cobrawalk/internal/graph"
+	"cobrawalk/internal/rng"
+)
+
+func TestLoadCountsConsistency(t *testing.T) {
+	g := mustGraph(t)(graph.Complete(32))
+	c, err := NewCobra(g, WithLoadCounts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Run(0, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Activations == nil || res.Deliveries == nil {
+		t.Fatal("load counters not recorded")
+	}
+	// Total deliveries equals total transmissions: every push lands
+	// somewhere.
+	var totalDeliv, totalAct int64
+	for v := range res.Activations {
+		totalDeliv += res.Deliveries[v]
+		totalAct += res.Activations[v]
+	}
+	if totalDeliv != res.Transmissions {
+		t.Fatalf("deliveries %d != transmissions %d", totalDeliv, res.Transmissions)
+	}
+	// With k = 2 and rho = 0, transmissions = 2·activations exactly.
+	if 2*totalAct != res.Transmissions {
+		t.Fatalf("2·activations %d != transmissions %d", 2*totalAct, res.Transmissions)
+	}
+	// The start vertex was active in round 0.
+	if res.Activations[0] < 1 {
+		t.Fatal("start vertex has no activations")
+	}
+}
+
+func TestLoadCountsResetBetweenRuns(t *testing.T) {
+	g := mustGraph(t)(graph.Complete(16))
+	c, err := NewCobra(g, WithLoadCounts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(2)
+	first, err := c.Run(0, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := c.Run(0, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var firstTotal, secondTotal int64
+	for v := range first.Deliveries {
+		firstTotal += first.Deliveries[v]
+		secondTotal += second.Deliveries[v]
+	}
+	if secondTotal != second.Transmissions {
+		t.Fatalf("second run deliveries %d != its transmissions %d (stale counters?)", secondTotal, second.Transmissions)
+	}
+	_ = firstTotal
+}
+
+func TestLoadCountsAbsentByDefault(t *testing.T) {
+	g := mustGraph(t)(graph.Complete(8))
+	c, err := NewCobra(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Run(0, rng.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Activations != nil || res.Deliveries != nil {
+		t.Fatal("load counters recorded without WithLoadCounts")
+	}
+}
+
+func TestLoadCountsFractionalBranching(t *testing.T) {
+	// With rho > 0, transmissions lie between k·activations and
+	// (k+1)·activations.
+	g := mustGraph(t)(graph.Complete(32))
+	c, err := NewCobra(g, WithLoadCounts(), WithBranching(Branching{K: 1, Rho: 0.5}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Run(0, rng.New(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var totalAct int64
+	for _, a := range res.Activations {
+		totalAct += a
+	}
+	if res.Transmissions < totalAct || res.Transmissions > 2*totalAct {
+		t.Fatalf("transmissions %d outside [activations, 2·activations] = [%d, %d]",
+			res.Transmissions, totalAct, 2*totalAct)
+	}
+}

@@ -1,0 +1,124 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"cobrawalk/internal/graph"
+	"cobrawalk/internal/rng"
+)
+
+func TestMissProbMatchesPow(t *testing.T) {
+	for k := 1; k <= 7; k++ {
+		for _, p := range []float64{0, 0.1, 0.25, 0.5, 0.9, 1} {
+			got := missProb(p, k)
+			want := math.Pow(1-p, float64(k))
+			if math.Abs(got-want) > 1e-12 {
+				t.Fatalf("missProb(%v, %d) = %v, want %v", p, k, got, want)
+			}
+		}
+	}
+}
+
+func TestInfectProbBounds(t *testing.T) {
+	// infectProb is a probability and is monotone in d.
+	for _, br := range []Branching{{K: 1}, {K: 2}, {K: 3, Rho: 0.5}} {
+		prev := -1.0
+		for d := 0; d <= 8; d++ {
+			p := infectProb(d, 8, br)
+			if p < 0 || p > 1 {
+				t.Fatalf("infectProb(%d, 8, %v) = %v out of [0,1]", d, br, p)
+			}
+			if p < prev {
+				t.Fatalf("infectProb not monotone at d=%d (%v): %v < %v", d, br, p, prev)
+			}
+			prev = p
+		}
+		if infectProb(0, 8, br) != 0 {
+			t.Fatalf("no infected neighbours must mean probability 0")
+		}
+		if p := infectProb(8, 8, br); math.Abs(p-1) > 1e-12 {
+			t.Fatalf("all infected neighbours must mean probability 1, got %v", p)
+		}
+	}
+}
+
+func TestPushInsideProbBounds(t *testing.T) {
+	for _, br := range []Branching{{K: 1}, {K: 2}, {K: 2, Rho: 0.3}} {
+		if p := pushInsideProb(8, 8, br); math.Abs(p-1) > 1e-12 {
+			t.Fatalf("full set containment must be certain, got %v", p)
+		}
+		if p := pushInsideProb(0, 8, br); p != 0 {
+			t.Fatalf("empty set containment must be impossible, got %v", p)
+		}
+		prev := -1.0
+		for d := 0; d <= 8; d++ {
+			p := pushInsideProb(d, 8, br)
+			if p < prev {
+				t.Fatalf("pushInsideProb not monotone at d=%d", d)
+			}
+			prev = p
+		}
+	}
+}
+
+func TestProcessesOnIrregularGraphs(t *testing.T) {
+	// COBRA and BIPS are defined on any graph without isolated vertices;
+	// run both on a star and a ring of cliques.
+	graphs := []*graph.Graph{
+		mustGraph(t)(graph.Star(20)),
+		mustGraph(t)(graph.RingOfCliques(4, 6)),
+		mustGraph(t)(graph.Barbell(6, 2)),
+	}
+	r := rng.New(7)
+	for _, g := range graphs {
+		c, err := NewCobra(g)
+		if err != nil {
+			t.Fatalf("%s: %v", g.Name(), err)
+		}
+		res, err := c.Run(0, r)
+		if err != nil {
+			t.Fatalf("%s: %v", g.Name(), err)
+		}
+		if !res.Covered {
+			t.Fatalf("%s: COBRA did not cover", g.Name())
+		}
+		b, err := NewBIPS(g)
+		if err != nil {
+			t.Fatalf("%s: %v", g.Name(), err)
+		}
+		bres, err := b.Run(0, r)
+		if err != nil {
+			t.Fatalf("%s: %v", g.Name(), err)
+		}
+		if !bres.Infected {
+			t.Fatalf("%s: BIPS did not infect", g.Name())
+		}
+	}
+}
+
+func TestHighBranchingFactors(t *testing.T) {
+	// K = 4 exercises the unrolled missProb case, K = 5 the math.Pow
+	// fallback; both must cover quickly on K32.
+	g := mustGraph(t)(graph.Complete(32))
+	r := rng.New(8)
+	for _, k := range []int{4, 5} {
+		for _, fast := range []bool{false, true} {
+			opts := []Option{WithK(k)}
+			if fast {
+				opts = append(opts, WithFastSampling())
+			}
+			b, err := NewBIPS(g, opts...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := b.Run(0, r)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !res.Infected {
+				t.Fatalf("K=%d fast=%v did not infect", k, fast)
+			}
+		}
+	}
+}

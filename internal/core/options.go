@@ -1,0 +1,148 @@
+// Package core implements the paper's contribution: the COBRA
+// coalescing-branching random walk, the dual BIPS epidemic process
+// (biased infection with persistent source), the duality relation between
+// them (Theorem 4), and the growth-bound machinery of Lemmas 1-4.
+//
+// Both processes run on graphs from internal/graph, draw randomness from
+// internal/rng streams, and are instrumented for the experiments in
+// internal/expt: hitting times, cover times, infection trajectories,
+// per-round traces and transmission counts.
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"cobrawalk/internal/graph"
+)
+
+// Branching describes the branching factor of a process: every active
+// (resp. susceptible) vertex contacts K uniformly random neighbours, with
+// replacement, plus one more with probability Rho. The paper's main
+// theorems use K=2, Rho=0; Theorem 3 and Corollary 1 use K=1, Rho>0 for an
+// expected branching factor of 1+Rho.
+type Branching struct {
+	K   int
+	Rho float64
+}
+
+// DefaultBranching is the paper's canonical k = 2 branching factor.
+var DefaultBranching = Branching{K: 2}
+
+// Expected returns the expected number of contacts per vertex per round,
+// K + Rho.
+func (b Branching) Expected() float64 { return float64(b.K) + b.Rho }
+
+func (b Branching) validate() error {
+	if b.K < 1 {
+		return fmt.Errorf("core: branching K = %d, need >= 1", b.K)
+	}
+	if b.Rho < 0 || b.Rho >= 1 {
+		return fmt.Errorf("core: branching Rho = %v, need 0 <= Rho < 1", b.Rho)
+	}
+	return nil
+}
+
+func (b Branching) String() string {
+	if b.Rho == 0 {
+		return fmt.Sprintf("k=%d", b.K)
+	}
+	return fmt.Sprintf("k=%d+ρ%.2f", b.K, b.Rho)
+}
+
+// config carries the options common to both processes.
+type config struct {
+	branching   Branching
+	maxRounds   int
+	trackHits   bool
+	trackLoad   bool
+	recordTrace bool
+	exactSample bool // BIPS: simulate individual neighbour choices
+}
+
+func defaultConfig() config {
+	return config{
+		branching:   DefaultBranching,
+		maxRounds:   1 << 20,
+		exactSample: true,
+	}
+}
+
+// Option configures a process at construction time.
+type Option func(*config)
+
+// WithBranching sets the branching factor (default k=2).
+func WithBranching(b Branching) Option {
+	return func(c *config) { c.branching = b }
+}
+
+// WithK is shorthand for WithBranching(Branching{K: k}).
+func WithK(k int) Option {
+	return func(c *config) { c.branching = Branching{K: k} }
+}
+
+// WithMaxRounds caps the number of rounds a Run may execute before giving
+// up (default 2^20). Runs that hit the cap report Covered/Infected = false
+// rather than failing.
+func WithMaxRounds(n int) Option {
+	return func(c *config) { c.maxRounds = n }
+}
+
+// WithHitTimes records the first-visit round of every vertex (COBRA) at
+// O(n) memory per process. Required by the duality estimator.
+func WithHitTimes() Option {
+	return func(c *config) { c.trackHits = true }
+}
+
+// WithTrace records a per-round RoundStat trace.
+func WithTrace() Option {
+	return func(c *config) { c.recordTrace = true }
+}
+
+// WithLoadCounts records per-vertex load counters (COBRA): how many rounds
+// each vertex was active (sends = k·activations) and how many deliveries
+// it received, including coalesced duplicates. Costs O(n) memory.
+func WithLoadCounts() Option {
+	return func(c *config) { c.trackLoad = true }
+}
+
+// WithFastSampling switches BIPS to the closed-form Bernoulli fast path:
+// each susceptible vertex u is infected with its exact probability
+// 1-(1-d_A(u)/d(u))^K·(1-Rho·d_A(u)/d(u)) instead of simulating the K
+// individual neighbour draws. The two paths are identical in distribution;
+// the fast path avoids per-choice RNG draws when K is large.
+func WithFastSampling() Option {
+	return func(c *config) { c.exactSample = false }
+}
+
+func buildConfig(g *graph.Graph, opts []Option) (config, error) {
+	cfg := defaultConfig()
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if err := cfg.branching.validate(); err != nil {
+		return cfg, err
+	}
+	if cfg.maxRounds < 1 {
+		return cfg, fmt.Errorf("core: max rounds %d, need >= 1", cfg.maxRounds)
+	}
+	if g == nil || g.N() == 0 {
+		return cfg, errors.New("core: empty graph")
+	}
+	if g.MinDegree() == 0 {
+		return cfg, errors.New("core: graph has an isolated vertex; processes are undefined")
+	}
+	return cfg, nil
+}
+
+// RoundStat records the state of a process after one round, for traces.
+type RoundStat struct {
+	Round int
+	// Active is |C_t| for COBRA or |A_t| for BIPS.
+	Active int
+	// Visited is the cumulative count of distinct visited (COBRA) or the
+	// current infected count (BIPS; equal to Active).
+	Visited int
+	// Transmissions is the number of messages pushed this round.
+	Transmissions int64
+}

@@ -1,0 +1,57 @@
+package core
+
+// PhaseTimes decomposes a BIPS infection trajectory into the three phases
+// of the paper's proof of Theorem 2:
+//
+//	phase 1 (Lemma 2): grow A_t from 1 to the small-set target m,
+//	phase 2 (Lemma 3): grow from m to 9n/10,
+//	phase 3 (Lemma 4): finish from 9n/10 to n.
+//
+// Each field is the first round index at which the corresponding threshold
+// is reached, or -1 if the trajectory never reached it.
+type PhaseTimes struct {
+	// SmallTarget is the threshold m used for phase 1.
+	SmallTarget int
+	// ReachSmall is the first t with |A_t| > SmallTarget.
+	ReachSmall int
+	// ReachNineTenths is the first t with |A_t| >= ceil(0.9·n).
+	ReachNineTenths int
+	// Full is the first t with |A_t| = n.
+	Full int
+}
+
+// PhaseLengths returns the per-phase round counts (each -1 if the phase
+// never completed).
+func (p PhaseTimes) PhaseLengths() (p1, p2, p3 int) {
+	p1, p2, p3 = -1, -1, -1
+	if p.ReachSmall >= 0 {
+		p1 = p.ReachSmall
+	}
+	if p.ReachSmall >= 0 && p.ReachNineTenths >= 0 {
+		p2 = p.ReachNineTenths - p.ReachSmall
+	}
+	if p.ReachNineTenths >= 0 && p.Full >= 0 {
+		p3 = p.Full - p.ReachNineTenths
+	}
+	return p1, p2, p3
+}
+
+// DetectPhases scans an |A_t| trajectory (sizes[t] = |A_t|) for the phase
+// crossing times relative to graph size n and small-set target m.
+func DetectPhases(sizes []int, n, smallTarget int) PhaseTimes {
+	p := PhaseTimes{SmallTarget: smallTarget, ReachSmall: -1, ReachNineTenths: -1, Full: -1}
+	nineTenths := (9*n + 9) / 10
+	for t, s := range sizes {
+		if p.ReachSmall < 0 && s > smallTarget {
+			p.ReachSmall = t
+		}
+		if p.ReachNineTenths < 0 && s >= nineTenths {
+			p.ReachNineTenths = t
+		}
+		if p.Full < 0 && s >= n {
+			p.Full = t
+			break
+		}
+	}
+	return p
+}

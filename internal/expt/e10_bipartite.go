@@ -1,0 +1,89 @@
+package expt
+
+import (
+	"context"
+	"io"
+	"math"
+
+	"cobrawalk/internal/core"
+	"cobrawalk/internal/graph"
+	"cobrawalk/internal/stats"
+)
+
+// e10Experiment probes the scope boundary of Theorems 1-3: they require
+// λ = max|λ_i| < 1, which excludes bipartite graphs (λ_n = -1). On
+// hypercubes and complete bipartite graphs the bound is vacuous
+// (T = log n/(1-λ)³ = ∞), yet the COBRA process itself still covers in
+// O(log n) rounds: the failure is in the bound's parameterisation, not the
+// process. This experiment documents that empirically — it is the paper's
+// natural "future work" edge.
+func e10Experiment() Experiment {
+	return Experiment{
+		ID:    "E10",
+		Title: "Outside the theorem: bipartite graphs (λ_max = 1)",
+		Claim: "Theorems 1-3 require λ < 1 (non-bipartite); the process itself still covers bipartite expanders fast.",
+		Run:   runE10,
+	}
+}
+
+func runE10(ctx context.Context, w io.Writer, p Params) error {
+	p = p.withDefaults()
+	trials := pick(p.Scale, 20, 50, 100)
+
+	var graphs []*graph.Graph
+	dims := pick(p.Scale, []int{6, 8, 10}, []int{8, 10, 12}, []int{10, 12, 14, 16})
+	for _, d := range dims {
+		g, err := graph.Hypercube(d)
+		if err != nil {
+			return err
+		}
+		graphs = append(graphs, g)
+	}
+	halves := pick(p.Scale, []int{32, 128}, []int{64, 256, 1024}, []int{256, 1024, 4096})
+	for _, h := range halves {
+		g, err := graph.CompleteBipartite(h, h)
+		if err != nil {
+			return err
+		}
+		graphs = append(graphs, g)
+	}
+
+	tbl := NewTable("E10: COBRA k=2 on bipartite graphs (outside Theorem 1's hypothesis)",
+		"graph", "n", "λmax", "theorem T", "mean cover", "p95", "mean/log2(n)")
+	var ns, means []float64
+	for _, g := range graphs {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		lambda, err := measureLambda(g)
+		if err != nil {
+			return err
+		}
+		covs, err := coverTimes(ctx, g, core.DefaultBranching, trials, p, 1<<18)
+		if err != nil {
+			return err
+		}
+		s, err := summarizeOrErr(covs, "cover times")
+		if err != nil {
+			return err
+		}
+		theoremT := "∞ (gap 0)"
+		if 1-lambda > 1e-9 {
+			theoremT = f1(math.Log(float64(g.N())) / math.Pow(1-lambda, 3))
+		}
+		fn := float64(g.N())
+		tbl.AddRow(g.Name(), d(g.N()), f4(lambda), theoremT,
+			f2(s.Mean), f1(s.P95), f2(s.Mean/math.Log2(fn)))
+		ns = append(ns, fn)
+		means = append(means, s.Mean)
+	}
+	if len(ns) >= 2 {
+		fit, err := stats.FitLogN(ns, means)
+		if err != nil {
+			return err
+		}
+		tbl.AddNote("all-bipartite fit: cover ≈ %.3f·log₂(n) %+.2f (R²=%.4f)", fit.Slope, fit.Intercept, fit.R2)
+	}
+	tbl.AddNote("the λ<1 hypothesis is about the proof's spectral machinery, not the process: COBRA still covers in O(log n)")
+	return tbl.Render(w)
+}

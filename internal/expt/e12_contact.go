@@ -1,0 +1,147 @@
+package expt
+
+import (
+	"context"
+	"fmt"
+	"io"
+
+	"cobrawalk/internal/contact"
+	"cobrawalk/internal/core"
+	"cobrawalk/internal/graph"
+	"cobrawalk/internal/rng"
+	"cobrawalk/internal/sim"
+	"cobrawalk/internal/stats"
+)
+
+// e12Experiment situates COBRA/BIPS against the continuous-time contact
+// process the paper cites as their classical counterpart (§1, Harris
+// 1974): infection rate µ per edge, recovery rate 1. Two behaviours
+// distinguish the models, and both are measured here:
+//
+//  1. the plain contact process can die out — the coverage-before-
+//     extinction fraction sweeps from ~0 to ~1 as µ crosses the critical
+//     window, whereas COBRA/BIPS always cover;
+//  2. with a persistent source (the continuous analogue of BIPS),
+//     extinction is impossible and the full-infection time becomes the
+//     quantity to compare against BIPS rounds.
+func e12Experiment() Experiment {
+	return Experiment{
+		ID:    "E12",
+		Title: "The continuous contact process vs COBRA/BIPS",
+		Claim: "§1: COBRA is a discrete contact process that cannot die out; BIPS mirrors a persistently infected source (BVDV).",
+		Run:   runE12,
+	}
+}
+
+func runE12(ctx context.Context, w io.Writer, p Params) error {
+	p = p.withDefaults()
+	n := pick(p.Scale, 256, 1024, 4096)
+	trials := pick(p.Scale, 30, 80, 200)
+	gr := rng.NewStream(p.Seed, 0xe12)
+	g, err := graph.RandomRegularConnected(n, 8, gr)
+	if err != nil {
+		return err
+	}
+	mus := []float64{0.05, 0.1, 0.2, 0.4, 0.8, 1.6}
+	// Supercritical runs without a persistent source survive for an
+	// exponentially long time; coverage happens within O(n log n) events
+	// when it happens at all, so a modest event cap loses nothing.
+	maxEvents := pick(p.Scale, 200_000, 1_000_000, 5_000_000)
+
+	tbl := NewTable(fmt.Sprintf("E12a: plain contact process on %s (can die out)", g.Name()),
+		"µ", "trials", "covered before extinction", "mean extinction/end time", "mean peak |I|")
+	for _, mu := range mus {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if _, err := contact.New(g, contact.Config{Mu: mu}); err != nil {
+			return err
+		}
+		type out struct{ covered, endTime, peak float64 }
+		res, err := sim.RunWithState(ctx,
+			sim.Spec{Trials: trials, Seed: p.Seed ^ 0xc0, Workers: p.Workers},
+			func() *contact.Process {
+				cp, err := contact.New(g, contact.Config{Mu: mu, MaxEvents: maxEvents})
+				if err != nil {
+					panic(err) // unreachable: validated above
+				}
+				return cp
+			},
+			func(cp *contact.Process, trial int, r *rng.Rand) (out, error) {
+				res, err := cp.Run(0, r)
+				if err != nil {
+					return out{}, err
+				}
+				covered := 0.0
+				if res.CoveredAll {
+					covered = 1
+				}
+				return out{covered, res.EndTime, float64(res.PeakInfected)}, nil
+			})
+		if err != nil {
+			return err
+		}
+		tbl.AddRow(f2(mu), d(trials),
+			f2(stats.Mean(sim.Floats(res, func(o out) float64 { return o.covered }))),
+			f2(stats.Mean(sim.Floats(res, func(o out) float64 { return o.endTime }))),
+			f1(stats.Mean(sim.Floats(res, func(o out) float64 { return o.peak }))))
+	}
+	tbl.AddNote("the coverage fraction sweeps 0→1 across the critical window; COBRA/BIPS have no such extinction regime")
+	if err := tbl.Render(w); err != nil {
+		return err
+	}
+
+	// Persistent-source comparison against BIPS. The continuous SIS
+	// equilibrium keeps a constant fraction recovered at any instant, so
+	// simultaneous full infection is unreachable at scale; the comparable
+	// finite objective is coverage — every vertex infected at least once —
+	// which by Theorem 4 is also what the BIPS infection time bounds for
+	// COBRA.
+	tbl2 := NewTable("E12b: persistent-source contact process vs BIPS k=2 (the paper's duality-side process)",
+		"model", "parameter", "mean time (coverage / full infection)", "p95")
+	bipsTimes, err := infectionTimes(ctx, g, core.DefaultBranching, trials, p, 1<<16)
+	if err != nil {
+		return err
+	}
+	bs, err := summarizeOrErr(bipsTimes, "BIPS times")
+	if err != nil {
+		return err
+	}
+	tbl2.AddRow("BIPS (discrete rounds, reaches A_t = V)", "k=2", f2(bs.Mean), f1(bs.P95))
+	for _, mu := range []float64{0.4, 0.8, 1.6} {
+		cfg := contact.Config{Mu: mu, PersistentSource: true, StopOnCoverage: true, MaxEvents: 20_000_000}
+		if _, err := contact.New(g, cfg); err != nil {
+			return err
+		}
+		res, err := sim.RunWithState(ctx,
+			sim.Spec{Trials: trials, Seed: p.Seed ^ 0xc1, Workers: p.Workers},
+			func() *contact.Process {
+				cp, err := contact.New(g, cfg)
+				if err != nil {
+					panic(err) // unreachable: validated above
+				}
+				return cp
+			},
+			func(cp *contact.Process, trial int, r *rng.Rand) (float64, error) {
+				out, err := cp.Run(0, r)
+				if err != nil {
+					return 0, err
+				}
+				if !out.CoveredAll {
+					return 0, fmt.Errorf("persistent contact run capped before coverage (µ=%v)", mu)
+				}
+				return out.CoverTime, nil
+			})
+		if err != nil {
+			return err
+		}
+		s, err := summarizeOrErr(res, "contact coverage times")
+		if err != nil {
+			return err
+		}
+		tbl2.AddRow("contact+persistent source (continuous, coverage)", fmt.Sprintf("µ=%.1f", mu), f2(s.Mean), f1(s.P95))
+	}
+	tbl2.AddNote("clocks differ (rounds vs continuous time); both objectives complete at comparable logarithmic scale")
+	tbl2.AddNote("simultaneous full infection is an exponentially rare SIS fluctuation in continuous time — one more way COBRA/BIPS differ from the classical process")
+	return tbl2.Render(w)
+}

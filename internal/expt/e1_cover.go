@@ -1,0 +1,117 @@
+package expt
+
+import (
+	"context"
+	"io"
+	"math"
+
+	"cobrawalk/internal/core"
+	"cobrawalk/internal/rng"
+	"cobrawalk/internal/stats"
+)
+
+// e1Experiment reproduces Theorem 1: the COBRA cover time with k = 2 on
+// regular expanders is O(log n), independent of the degree r for
+// 3 <= r <= n-1. The workload sweeps random r-regular expanders (r = 3, 8,
+// 16) and the complete graph (r = n-1) over doubling n, reports the mean
+// and p95 cover times with the measured λ of each instance, and fits
+// cover = a·log₂(n) + b per family. Degree-independence shows up as
+// near-identical slopes across families; the theorem predicts high R² for
+// the logarithmic law.
+func e1Experiment() Experiment {
+	return Experiment{
+		ID:    "E1",
+		Title: "COBRA k=2 cover time on expanders is O(log n), independent of degree",
+		Claim: "Theorem 1: COV(G) = O(log n / (1-λ)³); for expanders (1-λ = Ω(1)) this is O(log n) for all 3 ≤ r ≤ n-1.",
+		Run:   runE1,
+	}
+}
+
+func runE1(ctx context.Context, w io.Writer, p Params) error {
+	p = p.withDefaults()
+	sizes := pick(p.Scale,
+		[]int{128, 256, 512},
+		[]int{256, 512, 1024, 2048, 4096},
+		[]int{1024, 2048, 4096, 8192, 16384, 32768})
+	trials := pick(p.Scale, 20, 50, 100)
+	completeCap := pick(p.Scale, 512, 2048, 4096)
+
+	families := []family{
+		randomRegularFamily(3),
+		randomRegularFamily(8),
+		randomRegularFamily(16),
+		completeFamily(),
+	}
+
+	tbl := NewTable("E1: COBRA k=2 cover time",
+		"family", "n", "r", "λmax", "trials", "mean", "±95%", "p95", "max", "mean/log2(n)")
+	slopes := make(map[string]stats.Fit)
+	lambdas := make(map[string]float64) // largest measured λ per family
+	for _, fam := range families {
+		var ns, means []float64
+		gr := rng.NewStream(p.Seed, 0xe1)
+		for _, n := range sizes {
+			if fam.name == "complete" && n > completeCap {
+				continue
+			}
+			g, err := fam.build(n, gr)
+			if err != nil {
+				return err
+			}
+			lambda, err := measureLambda(g)
+			if err != nil {
+				return err
+			}
+			if lambda > lambdas[fam.name] {
+				lambdas[fam.name] = lambda
+			}
+			covs, err := coverTimes(ctx, g, core.DefaultBranching, trials, p, 1<<16)
+			if err != nil {
+				return err
+			}
+			s, err := summarizeOrErr(covs, "cover times")
+			if err != nil {
+				return err
+			}
+			ci, err := stats.NormalCI(covs, 0.95)
+			if err != nil {
+				return err
+			}
+			deg, _ := g.Regularity()
+			tbl.AddRow(fam.name, d(g.N()), d(deg), f4(lambda), d(trials),
+				f2(s.Mean), f2(ci.Hi-s.Mean), f1(s.P95), f1(s.Max),
+				f2(s.Mean/math.Log2(float64(g.N()))))
+			ns = append(ns, float64(g.N()))
+			means = append(means, s.Mean)
+		}
+		if len(ns) >= 2 {
+			fit, err := stats.FitLogN(ns, means)
+			if err != nil {
+				return err
+			}
+			slopes[fam.name] = fit
+			tbl.AddNote("%-12s cover ≈ %.3f·log₂(n) %+.3f  (R²=%.4f)", fam.name, fit.Slope, fit.Intercept, fit.R2)
+		}
+	}
+	// Degree-independence verdict. Theorem 1's constant depends on the
+	// spectral gap, not the degree, so compare slopes among the families
+	// whose measured λ is comfortable (λ ≤ 0.8); small-gap families
+	// (3-regular graphs have λ ≈ 0.94) are allowed a larger constant by
+	// the (1-λ)^{-3} factor.
+	minS, maxS := math.Inf(1), math.Inf(-1)
+	count := 0
+	for name, f := range slopes {
+		if lambdas[name] > 0.8 {
+			continue
+		}
+		minS = math.Min(minS, f.Slope)
+		maxS = math.Max(maxS, f.Slope)
+		count++
+	}
+	if count > 1 && minS > 0 {
+		tbl.AddNote("degree independence (families with λ ≤ 0.8, r spanning 8..n-1): slope spread %.3f..%.3f (ratio %.2f)",
+			minS, maxS, maxS/minS)
+		tbl.AddNote("small-gap families (e.g. r=3, λ≈0.94) carry a larger constant through (1-λ), not through r — exactly Theorem 1's form")
+	}
+	return tbl.Render(w)
+}

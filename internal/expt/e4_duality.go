@@ -1,0 +1,92 @@
+package expt
+
+import (
+	"context"
+	"fmt"
+	"io"
+
+	"cobrawalk/internal/core"
+	"cobrawalk/internal/graph"
+	"cobrawalk/internal/rng"
+)
+
+// e4Experiment reproduces Theorem 4, the exact duality
+// P̂(Hit_u(v) > t) = P(u ∉ A_t | A_0 = {v}). On graphs small enough for the
+// subset-space solver the identity is checked exactly (both sides computed
+// independently over all 2^n start sets); on larger graphs both sides are
+// estimated by Monte Carlo and compared in units of standard error.
+func e4Experiment() Experiment {
+	return Experiment{
+		ID:    "E4",
+		Title: "COBRA/BIPS duality (exact on small graphs, Monte Carlo on larger)",
+		Claim: "Theorem 4: P̂(Hit_C(v) > t) = P(C ∩ A_t = ∅ | A_0 = v) for every C, t.",
+		Run:   runE4,
+	}
+}
+
+func runE4(ctx context.Context, w io.Writer, p Params) error {
+	p = p.withDefaults()
+
+	// Exact phase: full subset-space verification.
+	exactCases := []struct {
+		name string
+		mk   func() (*graph.Graph, error)
+	}{
+		{"K4", func() (*graph.Graph, error) { return graph.Complete(4) }},
+		{"C6", func() (*graph.Graph, error) { return graph.Cycle(6) }},
+		{"prism", graph.PrismGraph},
+		{"petersen", graph.Petersen},
+		{"Q3", func() (*graph.Graph, error) { return graph.Hypercube(3) }},
+		{"star-K1,5 (irregular)", func() (*graph.Graph, error) { return graph.Star(6) }},
+	}
+	horizon := pick(p.Scale, 6, 8, 10)
+	branchings := []core.Branching{{K: 2}, {K: 1, Rho: 0.5}}
+
+	tbl := NewTable("E4a: exact duality over all 2^n start sets",
+		"graph", "n", "branching", "horizon", "max |LHS-RHS|", "states checked")
+	for _, tc := range exactCases {
+		g, err := tc.mk()
+		if err != nil {
+			return err
+		}
+		for _, br := range branchings {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			ed, err := core.ComputeExactDuality(g, 0, horizon, br)
+			if err != nil {
+				return err
+			}
+			states := (horizon + 1) * (1 << g.N())
+			tbl.AddRow(tc.name, d(g.N()), br.String(), d(horizon),
+				fmt.Sprintf("%.2e", ed.MaxAbsError()), d(states))
+		}
+	}
+	tbl.AddNote("Theorem 4 holds exactly; residuals are float64 roundoff (≲1e-12)")
+	tbl.AddNote("the star rows show the duality does not require regularity (the proof never uses it)")
+	if err := tbl.Render(w); err != nil {
+		return err
+	}
+
+	// Monte-Carlo phase on graphs beyond the exact solver's reach.
+	trials := pick(p.Scale, 2000, 10000, 40000)
+	mcN := pick(p.Scale, 64, 128, 256)
+	gr := rng.NewStream(p.Seed, 0xe4)
+	g, err := graph.RandomRegularConnected(mcN, 3, gr)
+	if err != nil {
+		return err
+	}
+	tbl2 := NewTable("E4b: Monte-Carlo duality on larger graphs",
+		"graph", "u", "v", "trials", "horizon", "max |Δ|", "max z-score")
+	pairs := [][2]int32{{1, 0}, {int32(mcN / 2), 0}, {int32(mcN - 1), int32(mcN / 3)}}
+	for _, uv := range pairs {
+		est, err := core.EstimateDuality(g, uv[0], uv[1], pick(p.Scale, 8, 10, 12), trials, core.DefaultBranching, p.Seed)
+		if err != nil {
+			return err
+		}
+		tbl2.AddRow(g.Name(), d(int(uv[0])), d(int(uv[1])), d(trials),
+			d(est.T), f4(est.MaxAbsDiff()), f2(est.MaxZScore()))
+	}
+	tbl2.AddNote("under Theorem 4 the max z-score behaves like the max of ~horizon standard normals (≲3)")
+	return tbl2.Render(w)
+}

@@ -1,0 +1,149 @@
+package expt
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+)
+
+func TestTableRender(t *testing.T) {
+	tbl := NewTable("demo", "a", "bb", "ccc")
+	tbl.AddRow("1", "22", "333")
+	tbl.AddRow("x") // short row pads
+	tbl.AddNote("note %d", 7)
+	var buf bytes.Buffer
+	if err := tbl.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"demo", "a", "bb", "ccc", "22", "333", "note 7"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTableRenderCSV(t *testing.T) {
+	tbl := NewTable("demo", "x", "y")
+	tbl.AddRow("1", "2")
+	tbl.AddRow("3", "4")
+	var buf bytes.Buffer
+	if err := tbl.RenderCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := "x,y\n1,2\n3,4\n"
+	if buf.String() != want {
+		t.Fatalf("csv = %q, want %q", buf.String(), want)
+	}
+}
+
+func TestParseScale(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want Scale
+	}{{"smoke", Smoke}, {"quick", Quick}, {"full", Full}} {
+		got, err := ParseScale(tc.in)
+		if err != nil || got != tc.want {
+			t.Fatalf("ParseScale(%q) = (%v, %v)", tc.in, got, err)
+		}
+		if got.String() != tc.in {
+			t.Fatalf("String() = %q, want %q", got.String(), tc.in)
+		}
+	}
+	if _, err := ParseScale("huge"); err == nil {
+		t.Fatal("unknown scale should fail")
+	}
+}
+
+func TestRegistryCompleteAndOrdered(t *testing.T) {
+	exps := Registry()
+	if len(exps) != 15 {
+		t.Fatalf("registry has %d experiments, want 15", len(exps))
+	}
+	want := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14", "E15"}
+	for i, e := range exps {
+		if e.ID != want[i] {
+			t.Fatalf("registry[%d] = %s, want %s", i, e.ID, want[i])
+		}
+		if e.Title == "" || e.Claim == "" || e.Run == nil {
+			t.Fatalf("experiment %s incomplete: %+v", e.ID, e)
+		}
+	}
+}
+
+func TestLookup(t *testing.T) {
+	e, err := Lookup("E4")
+	if err != nil || e.ID != "E4" {
+		t.Fatalf("Lookup(E4) = (%v, %v)", e.ID, err)
+	}
+	if _, err := Lookup("E99"); err == nil {
+		t.Fatal("unknown id should fail")
+	}
+}
+
+// TestExperimentsSmoke runs every experiment end-to-end at smoke scale and
+// checks it renders a table without error. This is the integration test of
+// the whole pipeline (graph → spectral → core/baseline → sim → stats →
+// table).
+func TestExperimentsSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("smoke experiments take a few seconds")
+	}
+	p := Params{Scale: Smoke, Seed: 7}
+	for _, e := range Registry() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			t.Parallel()
+			var buf bytes.Buffer
+			if err := e.Run(context.Background(), &buf, p); err != nil {
+				t.Fatalf("%s failed: %v", e.ID, err)
+			}
+			out := buf.String()
+			if !strings.Contains(out, e.ID) {
+				t.Fatalf("%s output missing its title header:\n%s", e.ID, out)
+			}
+			if !strings.Contains(out, "---") {
+				t.Fatalf("%s produced no table:\n%s", e.ID, out)
+			}
+		})
+	}
+}
+
+func TestRunAllStopsOnCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var buf bytes.Buffer
+	if err := RunAll(ctx, &buf, Params{Scale: Smoke, Seed: 1}); err == nil {
+		t.Fatal("cancelled RunAll should fail")
+	}
+}
+
+func TestParamsDefaults(t *testing.T) {
+	p := Params{}.withDefaults()
+	if p.Scale != Smoke {
+		t.Fatalf("default scale = %v", p.Scale)
+	}
+}
+
+func TestPick(t *testing.T) {
+	if got := pick(Smoke, 1, 2, 3); got != 1 {
+		t.Fatalf("smoke pick = %d", got)
+	}
+	if got := pick(Quick, 1, 2, 3); got != 2 {
+		t.Fatalf("quick pick = %d", got)
+	}
+	if got := pick(Full, 1, 2, 3); got != 3 {
+		t.Fatalf("full pick = %d", got)
+	}
+}
+
+func TestIntSqrt(t *testing.T) {
+	for _, tc := range []struct{ in, want int }{
+		{0, 0}, {1, 1}, {3, 1}, {4, 2}, {15, 3}, {16, 4}, {1024, 32}, {1023, 31},
+	} {
+		if got := intSqrt(tc.in); got != tc.want {
+			t.Fatalf("intSqrt(%d) = %d, want %d", tc.in, got, tc.want)
+		}
+	}
+}

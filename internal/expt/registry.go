@@ -1,0 +1,138 @@
+package expt
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Scale selects the size/trial budget of an experiment run.
+type Scale int
+
+const (
+	// Smoke is the CI scale: seconds per experiment, used by tests.
+	Smoke Scale = iota + 1
+	// Quick is the development scale: tens of seconds in total.
+	Quick
+	// Full is the paper-reproduction scale: minutes in total.
+	Full
+)
+
+// ParseScale converts a flag value into a Scale.
+func ParseScale(s string) (Scale, error) {
+	switch s {
+	case "smoke":
+		return Smoke, nil
+	case "quick":
+		return Quick, nil
+	case "full":
+		return Full, nil
+	default:
+		return 0, fmt.Errorf("expt: unknown scale %q (want smoke, quick or full)", s)
+	}
+}
+
+func (s Scale) String() string {
+	switch s {
+	case Smoke:
+		return "smoke"
+	case Quick:
+		return "quick"
+	case Full:
+		return "full"
+	default:
+		return fmt.Sprintf("scale(%d)", int(s))
+	}
+}
+
+// pick indexes a per-scale value table.
+func pick[T any](s Scale, smoke, quick, full T) T {
+	switch s {
+	case Quick:
+		return quick
+	case Full:
+		return full
+	default:
+		return smoke
+	}
+}
+
+// Params carries the run-wide knobs every experiment receives.
+type Params struct {
+	Scale   Scale
+	Seed    uint64
+	Workers int
+}
+
+func (p Params) withDefaults() Params {
+	if p.Scale == 0 {
+		p.Scale = Smoke
+	}
+	return p
+}
+
+// Experiment is one reproducible unit of the evaluation.
+type Experiment struct {
+	// ID is the short handle ("E1").
+	ID string
+	// Title is the one-line description shown in listings.
+	Title string
+	// Claim cites the paper statement the experiment reproduces.
+	Claim string
+	// Run executes the experiment and renders its tables to w.
+	Run func(ctx context.Context, w io.Writer, p Params) error
+}
+
+// Registry returns all experiments in ID order.
+func Registry() []Experiment {
+	exps := []Experiment{
+		e1Experiment(),
+		e2Experiment(),
+		e3Experiment(),
+		e4Experiment(),
+		e5Experiment(),
+		e6Experiment(),
+		e7Experiment(),
+		e8Experiment(),
+		e9Experiment(),
+		e10Experiment(),
+		e11Experiment(),
+		e12Experiment(),
+		e13Experiment(),
+		e14Experiment(),
+		e15Experiment(),
+	}
+	sort.Slice(exps, func(i, j int) bool {
+		// Numeric ID order: E1, E2, ..., E10, E11.
+		return len(exps[i].ID) < len(exps[j].ID) ||
+			(len(exps[i].ID) == len(exps[j].ID) && exps[i].ID < exps[j].ID)
+	})
+	return exps
+}
+
+// Lookup finds an experiment by ID.
+func Lookup(id string) (Experiment, error) {
+	for _, e := range Registry() {
+		if e.ID == id {
+			return e, nil
+		}
+	}
+	return Experiment{}, fmt.Errorf("expt: unknown experiment %q", id)
+}
+
+// RunAll executes every experiment in order, stopping at the first error.
+func RunAll(ctx context.Context, w io.Writer, p Params) error {
+	for _, e := range Registry() {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "=== %s: %s ===\n%s\n\n", e.ID, e.Title, e.Claim); err != nil {
+			return err
+		}
+		if err := e.Run(ctx, w, p); err != nil {
+			return fmt.Errorf("%s: %w", e.ID, err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,155 @@
+package expt
+
+import (
+	"context"
+	"fmt"
+
+	"cobrawalk/internal/core"
+	"cobrawalk/internal/graph"
+	"cobrawalk/internal/rng"
+	"cobrawalk/internal/sim"
+	"cobrawalk/internal/spectral"
+	"cobrawalk/internal/stats"
+)
+
+// family names a graph generator parameterised only by target size, for
+// size-sweep experiments.
+type family struct {
+	name string
+	// build returns a graph with ~n vertices (generators round to their
+	// natural lattice).
+	build func(n int, r *rng.Rand) (*graph.Graph, error)
+}
+
+func randomRegularFamily(deg int) family {
+	return family{
+		name: fmt.Sprintf("rand-%d-reg", deg),
+		build: func(n int, r *rng.Rand) (*graph.Graph, error) {
+			if n*deg%2 != 0 {
+				n++
+			}
+			return graph.RandomRegularConnected(n, deg, r)
+		},
+	}
+}
+
+func completeFamily() family {
+	return family{
+		name:  "complete",
+		build: func(n int, r *rng.Rand) (*graph.Graph, error) { return graph.Complete(n) },
+	}
+}
+
+func torus2DFamily() family {
+	return family{
+		name: "torus-2d",
+		build: func(n int, r *rng.Rand) (*graph.Graph, error) {
+			side := intSqrt(n)
+			if side < 3 {
+				side = 3
+			}
+			return graph.Torus(side, side)
+		},
+	}
+}
+
+func hypercubeFamily() family {
+	return family{
+		name: "hypercube",
+		build: func(n int, r *rng.Rand) (*graph.Graph, error) {
+			d := 1
+			for (1 << d) < n {
+				d++
+			}
+			return graph.Hypercube(d)
+		},
+	}
+}
+
+func intSqrt(n int) int {
+	s := 0
+	for (s+1)*(s+1) <= n {
+		s++
+	}
+	return s
+}
+
+// coverTimes runs `trials` COBRA cover runs on g from vertex 0 (regular
+// families are vertex-transitive or statistically symmetric, so vertex 0
+// is representative of the worst-case start) and returns the cover times.
+func coverTimes(ctx context.Context, g *graph.Graph, branch core.Branching, trials int, p Params, maxRounds int) ([]float64, error) {
+	// Validate construction once up front so the per-worker factory below
+	// cannot fail.
+	if _, err := core.NewCobra(g, core.WithBranching(branch), core.WithMaxRounds(maxRounds)); err != nil {
+		return nil, err
+	}
+	spec := sim.Spec{Trials: trials, Seed: p.Seed, Workers: p.Workers}
+	res, err := sim.RunWithState(ctx, spec,
+		func() *core.Cobra {
+			c, err := core.NewCobra(g, core.WithBranching(branch), core.WithMaxRounds(maxRounds))
+			if err != nil {
+				panic(err) // unreachable: validated above
+			}
+			return c
+		},
+		func(c *core.Cobra, trial int, r *rng.Rand) (float64, error) {
+			out, err := c.Run(0, r)
+			if err != nil {
+				return 0, err
+			}
+			if !out.Covered {
+				return 0, fmt.Errorf("cover run hit round cap %d on %s", maxRounds, g.Name())
+			}
+			return float64(out.CoverTime), nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// infectionTimes runs `trials` BIPS infection runs on g with source 0.
+func infectionTimes(ctx context.Context, g *graph.Graph, branch core.Branching, trials int, p Params, maxRounds int) ([]float64, error) {
+	if _, err := core.NewBIPS(g, core.WithBranching(branch), core.WithMaxRounds(maxRounds)); err != nil {
+		return nil, err
+	}
+	spec := sim.Spec{Trials: trials, Seed: p.Seed ^ 0xb195, Workers: p.Workers}
+	return sim.RunWithState(ctx, spec,
+		func() *core.BIPS {
+			b, err := core.NewBIPS(g, core.WithBranching(branch), core.WithMaxRounds(maxRounds))
+			if err != nil {
+				panic(err) // unreachable: validated above
+			}
+			return b
+		},
+		func(b *core.BIPS, trial int, r *rng.Rand) (float64, error) {
+			out, err := b.Run(0, r)
+			if err != nil {
+				return 0, err
+			}
+			if !out.Infected {
+				return 0, fmt.Errorf("infection run hit round cap %d on %s", maxRounds, g.Name())
+			}
+			return float64(out.InfectionTime), nil
+		})
+}
+
+// measureLambda returns λ_max for g, using a reduced-accuracy power
+// iteration (the experiments only report λ to four digits).
+func measureLambda(g *graph.Graph) (float64, error) {
+	return spectral.LambdaMax(g, spectral.Options{Tol: 1e-9, MaxIter: 20000})
+}
+
+// summarizeOrErr wraps stats.Summarize with the experiment error context.
+func summarizeOrErr(xs []float64, what string) (stats.Summary, error) {
+	s, err := stats.Summarize(xs)
+	if err != nil {
+		return stats.Summary{}, fmt.Errorf("expt: summarising %s: %w", what, err)
+	}
+	return s, nil
+}
+
+func f1(x float64) string { return fmt.Sprintf("%.1f", x) }
+func f2(x float64) string { return fmt.Sprintf("%.2f", x) }
+func f4(x float64) string { return fmt.Sprintf("%.4f", x) }
+func d(x int) string      { return fmt.Sprintf("%d", x) }

@@ -1,0 +1,78 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzRead asserts the text-format parser never panics and that any graph
+// it accepts satisfies the structural invariants and round-trips.
+func FuzzRead(f *testing.F) {
+	seeds := []string{
+		"graph t\nn 3\n0 1\n1 2\n",
+		"n 0\n",
+		"# comment\nn 5\n0 4\n",
+		"graph x\nn 2\n1 0\n",
+		"n 3\n0 1 2\n",
+		"n -1\n",
+		"n 3\n1 1\n",
+		"garbage\n",
+		"n 9999999999999999999\n",
+		"graph \nn 1\n",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		g, err := Read(strings.NewReader(input))
+		if err != nil {
+			return // rejected input is fine; panics are not
+		}
+		if verr := g.Validate(); verr != nil {
+			t.Fatalf("accepted graph violates invariants: %v\ninput: %q", verr, input)
+		}
+		// Accepted graphs must round-trip (up to name normalisation).
+		var buf bytes.Buffer
+		if g.N() == 0 {
+			return
+		}
+		if werr := Write(&buf, g); werr != nil {
+			// Names with control characters can be rejected at write time;
+			// that is the documented contract, not a round-trip failure.
+			return
+		}
+		h, rerr := Read(&buf)
+		if rerr != nil {
+			t.Fatalf("round-trip re-read failed: %v\ninput: %q", rerr, input)
+		}
+		if h.N() != g.N() || h.M() != g.M() {
+			t.Fatalf("round-trip changed size: (%d,%d) -> (%d,%d)", g.N(), g.M(), h.N(), h.M())
+		}
+	})
+}
+
+// FuzzBuilder asserts arbitrary edge insertions either error or produce a
+// valid graph — never a panic or a corrupt structure.
+func FuzzBuilder(f *testing.F) {
+	f.Add(5, []byte{0, 1, 1, 2, 2, 3})
+	f.Add(2, []byte{0, 0})
+	f.Add(0, []byte{})
+	f.Add(3, []byte{255, 1})
+	f.Fuzz(func(t *testing.T, n int, pairs []byte) {
+		if n < 0 || n > 300 {
+			return
+		}
+		b := NewBuilder(n, len(pairs)/2)
+		for i := 0; i+1 < len(pairs); i += 2 {
+			b.AddEdge(int32(int8(pairs[i])), int32(int8(pairs[i+1])))
+		}
+		g, err := b.Build("fuzz")
+		if err != nil {
+			return
+		}
+		if verr := g.Validate(); verr != nil {
+			t.Fatalf("built graph violates invariants: %v", verr)
+		}
+	})
+}

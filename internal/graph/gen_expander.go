@@ -1,0 +1,139 @@
+package graph
+
+import "fmt"
+
+// Paley returns the Paley graph on q vertices, where q must be a prime
+// with q ≡ 1 (mod 4): vertices are Z_q and u ~ v iff u-v is a non-zero
+// quadratic residue mod q. Paley graphs are (q-1)/2-regular, self-
+// complementary, deterministic expanders: the adjacency eigenvalues are
+// (q-1)/2 and (-1±√q)/2, so the transition-matrix λ_max ≈ 1/√q. They give
+// the experiments a reproducible high-degree expander with no sampling
+// noise.
+func Paley(q int) (*Graph, error) {
+	if q < 5 {
+		return nil, fmt.Errorf("graph: Paley graph needs q >= 5, got %d", q)
+	}
+	if !isPrime(q) || q%4 != 1 {
+		return nil, fmt.Errorf("graph: Paley graph needs a prime q ≡ 1 (mod 4), got %d", q)
+	}
+	// Quadratic residues via squaring; x² hits each non-zero residue twice.
+	isQR := make([]bool, q)
+	for x := 1; x < q; x++ {
+		isQR[x*x%q] = true
+	}
+	b := NewBuilder(q, q*(q-1)/4)
+	for u := 0; u < q; u++ {
+		for v := u + 1; v < q; v++ {
+			if isQR[(v-u)%q] {
+				b.AddEdge(int32(u), int32(v))
+			}
+		}
+	}
+	return b.Build(fmt.Sprintf("paley(q=%d)", q))
+}
+
+func isPrime(n int) bool {
+	if n < 2 {
+		return false
+	}
+	for d := 2; d*d <= n; d++ {
+		if n%d == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Margulis returns the Margulis–Gabber–Galil expander on m² vertices:
+// vertex (x, y) ∈ Z_m² is joined to (x±2y, y), (x±(2y+1), y), (x, y±2x)
+// and (x, y±(2x+1)), all mod m. The construction is a constant-gap
+// expander for every m. Symmetrising and removing loops/duplicates leaves
+// a graph that is only near-8-regular (degree 4–8), which is fine for
+// deterministic expander tests but outside the regular-graph scope of the
+// paper's theorems; use RandomRegular for theorem-scope runs.
+func Margulis(m int) (*Graph, error) {
+	if m < 2 {
+		return nil, fmt.Errorf("graph: Margulis needs m >= 2, got %d", m)
+	}
+	if m > 46340 {
+		return nil, fmt.Errorf("graph: Margulis m=%d overflows int32 vertex ids", m)
+	}
+	n := m * m
+	id := func(x, y int) int32 { return int32(((x%m+m)%m)*m + (y%m+m)%m) }
+	b := NewBuilder(n, 4*n)
+	for x := 0; x < m; x++ {
+		for y := 0; y < m; y++ {
+			v := id(x, y)
+			for _, u := range [...]int32{
+				id(x+2*y, y), id(x-2*y, y),
+				id(x+2*y+1, y), id(x-2*y-1, y),
+				id(x, y+2*x), id(x, y-2*x),
+				id(x, y+2*x+1), id(x, y-2*x-1),
+			} {
+				if u != v {
+					b.AddEdge(v, u)
+				}
+			}
+		}
+	}
+	return b.Build(fmt.Sprintf("margulis(m=%d)", m))
+}
+
+// RingOfCliques returns k cliques of size c arranged in a ring, adjacent
+// cliques joined by a single bridge edge. It is a classic bottlenecked
+// family: the spectral gap shrinks like 1/k, giving the λ sweep its
+// poorly-expanding end. The graph is irregular (bridge endpoints have
+// degree c), connected for k >= 1, c >= 2.
+func RingOfCliques(k, c int) (*Graph, error) {
+	if k < 3 {
+		return nil, fmt.Errorf("graph: ring of cliques needs k >= 3, got %d", k)
+	}
+	if c < 2 {
+		return nil, fmt.Errorf("graph: ring of cliques needs clique size >= 2, got %d", c)
+	}
+	n := k * c
+	b := NewBuilder(n, k*c*(c-1)/2+k)
+	for i := 0; i < k; i++ {
+		base := i * c
+		for u := 0; u < c; u++ {
+			for v := u + 1; v < c; v++ {
+				b.AddEdge(int32(base+u), int32(base+v))
+			}
+		}
+		// Bridge: last vertex of clique i to first vertex of clique i+1.
+		next := ((i + 1) % k) * c
+		b.AddEdge(int32(base+c-1), int32(next))
+	}
+	return b.Build(fmt.Sprintf("ring-of-cliques(k=%d,c=%d)", k, c))
+}
+
+// Barbell returns two cliques of size c joined by a path of pathLen
+// intermediate vertices (pathLen = 0 joins the cliques by a single edge).
+// The barbell is the textbook worst case for random-walk-style processes:
+// its conductance, and hence spectral gap, is Θ(1/(c²·(pathLen+1))).
+func Barbell(c, pathLen int) (*Graph, error) {
+	if c < 2 {
+		return nil, fmt.Errorf("graph: barbell needs clique size >= 2, got %d", c)
+	}
+	if pathLen < 0 {
+		return nil, fmt.Errorf("graph: negative path length %d", pathLen)
+	}
+	n := 2*c + pathLen
+	b := NewBuilder(n, c*(c-1)+pathLen+1)
+	for u := 0; u < c; u++ {
+		for v := u + 1; v < c; v++ {
+			b.AddEdge(int32(u), int32(v))     // left clique: 0..c-1
+			b.AddEdge(int32(c+u), int32(c+v)) // right clique: c..2c-1
+		}
+	}
+	// Path from left clique vertex c-1 through 2c..2c+pathLen-1 to right
+	// clique vertex c.
+	prev := int32(c - 1)
+	for i := 0; i < pathLen; i++ {
+		next := int32(2*c + i)
+		b.AddEdge(prev, next)
+		prev = next
+	}
+	b.AddEdge(prev, int32(c))
+	return b.Build(fmt.Sprintf("barbell(c=%d,path=%d)", c, pathLen))
+}

@@ -1,0 +1,29 @@
+package graph
+
+// Petersen returns the Petersen graph: 10 vertices, 3-regular, girth 5.
+// Its transition-matrix eigenvalues are {1, 1/3 (×5), -2/3 (×4)}, so
+// λ_max = 2/3 exactly — a perfect fixture for validating the spectral
+// toolkit and for the exact duality computation of experiment E4.
+func Petersen() (*Graph, error) {
+	// Outer 5-cycle 0..4, inner pentagram 5..9, spokes i — i+5.
+	pairs := [][2]int32{
+		{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 0}, // outer cycle
+		{5, 7}, {7, 9}, {9, 6}, {6, 8}, {8, 5}, // inner pentagram
+		{0, 5}, {1, 6}, {2, 7}, {3, 8}, {4, 9}, // spokes
+	}
+	return FromEdges("petersen", 10, pairs)
+}
+
+// PrismGraph returns the triangular prism Y_3 = K_3 × K_2 (6 vertices,
+// 3-regular): two triangles joined by a perfect matching.
+func PrismGraph() (*Graph, error) {
+	pairs := [][2]int32{
+		{0, 1}, {1, 2}, {2, 0},
+		{3, 4}, {4, 5}, {5, 3},
+		{0, 3}, {1, 4}, {2, 5},
+	}
+	return FromEdges("prism", 6, pairs)
+}
+
+// KneserPetersenComplement is omitted; use Complete, Cycle, Hypercube,
+// Petersen and PrismGraph as the canonical deterministic fixtures.

@@ -1,0 +1,117 @@
+package graph
+
+import "fmt"
+
+// Hypercube returns the d-dimensional hypercube Q_d on n = 2^d vertices:
+// u ~ v iff they differ in exactly one bit. Q_d is d-regular and bipartite
+// (λ_n = -1), with transition-matrix eigenvalues (d-2i)/d. It appears in
+// experiment E10 as a structured graph outside the theorems' λ < 1 scope.
+func Hypercube(d int) (*Graph, error) {
+	if d < 1 || d > 27 {
+		return nil, fmt.Errorf("graph: hypercube dimension %d out of range [1,27]", d)
+	}
+	n := 1 << d
+	b := NewBuilder(n, n*d/2)
+	for v := 0; v < n; v++ {
+		for bit := 0; bit < d; bit++ {
+			u := v ^ (1 << bit)
+			if v < u {
+				b.AddEdge(int32(v), int32(u))
+			}
+		}
+	}
+	return b.Build(fmt.Sprintf("hypercube(d=%d)", d))
+}
+
+// Torus returns the Cartesian product of cycles with the given side
+// lengths: the d-dimensional discrete torus. Every side must be >= 3, which
+// makes the torus 2d-regular. The 2-D torus is the wrap-around version of
+// the grid on which Dutta et al. proved the Õ(n^{1/d}) COBRA cover time
+// (experiment E8); wrapping preserves that scaling while keeping the graph
+// regular as Theorem 1 requires.
+func Torus(sides ...int) (*Graph, error) {
+	if len(sides) == 0 {
+		return nil, errEmptyGraph
+	}
+	n := 1
+	for _, s := range sides {
+		if s < 3 {
+			return nil, fmt.Errorf("graph: torus side %d < 3 would create parallel edges", s)
+		}
+		if n > (1<<31-1)/s {
+			return nil, fmt.Errorf("graph: torus with sides %v exceeds int32 vertex ids", sides)
+		}
+		n *= s
+	}
+	// Mixed-radix encoding: coordinate i has stride prod(sides[:i]).
+	strides := make([]int, len(sides))
+	strides[0] = 1
+	for i := 1; i < len(sides); i++ {
+		strides[i] = strides[i-1] * sides[i-1]
+	}
+	b := NewBuilder(n, n*len(sides))
+	coord := make([]int, len(sides))
+	for v := 0; v < n; v++ {
+		for i, s := range sides {
+			up := v + strides[i]*(((coord[i]+1)%s)-coord[i])
+			b.AddEdge(int32(v), int32(up))
+		}
+		// Increment mixed-radix counter.
+		for i := 0; i < len(sides); i++ {
+			coord[i]++
+			if coord[i] < sides[i] {
+				break
+			}
+			coord[i] = 0
+		}
+	}
+	return b.Build(fmt.Sprintf("torus(sides=%v)", sides))
+}
+
+// Grid returns the d-dimensional grid (no wrap-around) with the given side
+// lengths. Boundary vertices have lower degree, so grids are irregular;
+// they exist to mirror Dutta et al.'s grid experiments exactly.
+func Grid(sides ...int) (*Graph, error) {
+	if len(sides) == 0 {
+		return nil, errEmptyGraph
+	}
+	n := 1
+	for _, s := range sides {
+		if s < 1 {
+			return nil, fmt.Errorf("graph: grid side %d < 1", s)
+		}
+		if n > (1<<31-1)/s {
+			return nil, fmt.Errorf("graph: grid with sides %v exceeds int32 vertex ids", sides)
+		}
+		n *= s
+	}
+	if n == 1 {
+		return FromEdges(fmt.Sprintf("grid(sides=%v)", sides), 1, nil)
+	}
+	strides := make([]int, len(sides))
+	strides[0] = 1
+	for i := 1; i < len(sides); i++ {
+		strides[i] = strides[i-1] * sides[i-1]
+	}
+	edgeHint := 0
+	for i := range sides {
+		edgeHint += n - n/sides[i]
+	}
+	b := NewBuilder(n, edgeHint)
+	coord := make([]int, len(sides))
+	for v := 0; v < n; v++ {
+		for i, s := range sides {
+			if coord[i]+1 < s {
+				b.AddEdge(int32(v), int32(v+strides[i]))
+			}
+		}
+		for i := 0; i < len(sides); i++ {
+			coord[i]++
+			if coord[i] < sides[i] {
+				break
+			}
+			coord[i] = 0
+		}
+	}
+	return b.Build(fmt.Sprintf("grid(sides=%v)", sides))
+}

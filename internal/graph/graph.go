@@ -1,0 +1,216 @@
+// Package graph provides the graph substrate for the COBRA/BIPS simulation
+// laboratory: a compact immutable adjacency representation, generators for
+// the graph families used throughout the paper's analysis (complete graphs,
+// cycles, hypercubes, tori, random regular graphs, deterministic expanders,
+// tunable-gap families), traversal utilities, and a text serialization
+// format.
+//
+// Graphs are simple (no self-loops, no parallel edges) and undirected.
+// Vertices are identified by int32 indices in [0, N()). The representation
+// is CSR (compressed sparse row): a single offsets slice plus a single
+// neighbours slice, which keeps per-vertex adjacency contiguous in memory —
+// the inner loops of the COBRA and BIPS processes are dominated by random
+// neighbour lookups, so locality matters.
+package graph
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Graph is an immutable simple undirected graph in CSR form.
+//
+// The zero value is the empty graph with no vertices. Construct non-trivial
+// graphs with a Builder or one of the generator functions.
+type Graph struct {
+	name      string
+	offsets   []int64 // len N()+1; neighbours of v are neighbors[offsets[v]:offsets[v+1]]
+	neighbors []int32 // len 2*M(); each undirected edge appears twice
+}
+
+// ErrNotRegular is returned by operations that require a regular graph.
+var ErrNotRegular = errors.New("graph: not regular")
+
+// N returns the number of vertices.
+func (g *Graph) N() int {
+	if g == nil || len(g.offsets) == 0 {
+		return 0
+	}
+	return len(g.offsets) - 1
+}
+
+// M returns the number of undirected edges.
+func (g *Graph) M() int {
+	if g == nil || len(g.offsets) == 0 {
+		return 0
+	}
+	return len(g.neighbors) / 2
+}
+
+// Name returns the human-readable family name given at construction
+// (for example "random-regular(n=1024,r=8)").
+func (g *Graph) Name() string { return g.name }
+
+// Degree returns the degree of vertex v.
+func (g *Graph) Degree(v int32) int {
+	return int(g.offsets[v+1] - g.offsets[v])
+}
+
+// Neighbors returns the adjacency list of v as a shared, sorted, read-only
+// slice. Callers must not modify it.
+func (g *Graph) Neighbors(v int32) []int32 {
+	return g.neighbors[g.offsets[v]:g.offsets[v+1]]
+}
+
+// Neighbor returns the i-th neighbour of v (0-based). It is the hot-path
+// accessor used for uniform neighbour sampling: a uniform neighbour of v is
+// g.Neighbor(v, rng.Intn(g.Degree(v))).
+func (g *Graph) Neighbor(v int32, i int) int32 {
+	return g.neighbors[g.offsets[v]+int64(i)]
+}
+
+// HasEdge reports whether {u, v} is an edge, by binary search over the
+// sorted adjacency of the lower-degree endpoint.
+func (g *Graph) HasEdge(u, v int32) bool {
+	if u == v {
+		return false
+	}
+	if g.Degree(u) > g.Degree(v) {
+		u, v = v, u
+	}
+	adj := g.Neighbors(u)
+	i := sort.Search(len(adj), func(i int) bool { return adj[i] >= v })
+	return i < len(adj) && adj[i] == v
+}
+
+// Regularity returns the common degree r if the graph is regular, or
+// ErrNotRegular. The empty graph is vacuously 0-regular.
+func (g *Graph) Regularity() (int, error) {
+	n := g.N()
+	if n == 0 {
+		return 0, nil
+	}
+	r := g.Degree(0)
+	for v := int32(1); v < int32(n); v++ {
+		if g.Degree(v) != r {
+			return 0, fmt.Errorf("%w: deg(0)=%d but deg(%d)=%d", ErrNotRegular, r, v, g.Degree(v))
+		}
+	}
+	return r, nil
+}
+
+// IsRegular reports whether every vertex has the same degree.
+func (g *Graph) IsRegular() bool {
+	_, err := g.Regularity()
+	return err == nil
+}
+
+// MinDegree returns the minimum vertex degree (0 for the empty graph).
+func (g *Graph) MinDegree() int {
+	n := g.N()
+	if n == 0 {
+		return 0
+	}
+	minDeg := g.Degree(0)
+	for v := int32(1); v < int32(n); v++ {
+		if d := g.Degree(v); d < minDeg {
+			minDeg = d
+		}
+	}
+	return minDeg
+}
+
+// MaxDegree returns the maximum vertex degree (0 for the empty graph).
+func (g *Graph) MaxDegree() int {
+	n := g.N()
+	if n == 0 {
+		return 0
+	}
+	maxDeg := g.Degree(0)
+	for v := int32(1); v < int32(n); v++ {
+		if d := g.Degree(v); d > maxDeg {
+			maxDeg = d
+		}
+	}
+	return maxDeg
+}
+
+// Edges calls fn once per undirected edge with u < v. It stops early if fn
+// returns false.
+func (g *Graph) Edges(fn func(u, v int32) bool) {
+	for u := int32(0); u < int32(g.N()); u++ {
+		for _, v := range g.Neighbors(u) {
+			if u < v {
+				if !fn(u, v) {
+					return
+				}
+			}
+		}
+	}
+}
+
+// Validate checks the structural invariants of the representation: offsets
+// monotone, neighbour ids in range, adjacency sorted, no self-loops, no
+// duplicate edges, and symmetry (u in adj(v) iff v in adj(u)). Generators
+// and the Builder establish these invariants; Validate exists for tests and
+// for graphs loaded from external files.
+func (g *Graph) Validate() error {
+	n := g.N()
+	if n == 0 {
+		if len(g.neighbors) != 0 {
+			return errors.New("graph: empty offsets with non-empty neighbours")
+		}
+		return nil
+	}
+	if g.offsets[0] != 0 {
+		return fmt.Errorf("graph: offsets[0] = %d, want 0", g.offsets[0])
+	}
+	if g.offsets[n] != int64(len(g.neighbors)) {
+		return fmt.Errorf("graph: offsets[n] = %d, want %d", g.offsets[n], len(g.neighbors))
+	}
+	for v := int32(0); v < int32(n); v++ {
+		if g.offsets[v] > g.offsets[v+1] {
+			return fmt.Errorf("graph: offsets not monotone at vertex %d", v)
+		}
+		adj := g.Neighbors(v)
+		for i, u := range adj {
+			if u < 0 || u >= int32(n) {
+				return fmt.Errorf("graph: vertex %d has out-of-range neighbour %d", v, u)
+			}
+			if u == v {
+				return fmt.Errorf("graph: self-loop at vertex %d", v)
+			}
+			if i > 0 && adj[i-1] >= u {
+				return fmt.Errorf("graph: adjacency of %d not strictly sorted at index %d", v, i)
+			}
+		}
+	}
+	// Symmetry: since both directions must be present and adjacency lists
+	// are strictly sorted and duplicate-free, it suffices to check that
+	// every arc has its reverse.
+	for v := int32(0); v < int32(n); v++ {
+		for _, u := range g.Neighbors(v) {
+			if !g.HasEdge(u, v) {
+				return fmt.Errorf("graph: asymmetric edge (%d,%d)", v, u)
+			}
+		}
+	}
+	if len(g.neighbors)%2 != 0 {
+		return errors.New("graph: odd number of arcs")
+	}
+	return nil
+}
+
+// String summarises the graph for debugging.
+func (g *Graph) String() string {
+	r := "irregular"
+	if reg, err := g.Regularity(); err == nil {
+		r = fmt.Sprintf("%d-regular", reg)
+	}
+	name := g.name
+	if name == "" {
+		name = "graph"
+	}
+	return fmt.Sprintf("%s{n=%d, m=%d, %s}", name, g.N(), g.M(), r)
+}

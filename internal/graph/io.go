@@ -1,0 +1,105 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// The text format is a simple self-describing edge list:
+//
+//	graph <name>
+//	n <vertex count>
+//	<u> <v>        (one undirected edge per line, either order)
+//
+// Blank lines and lines starting with '#' are ignored. The format is
+// deliberately trivial so graphs can be produced and consumed by shell
+// tools and other languages.
+
+// Write serialises the graph in the text edge-list format.
+func Write(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	name := g.Name()
+	if name == "" {
+		name = "unnamed"
+	}
+	if strings.ContainsAny(name, "\n\r") {
+		return fmt.Errorf("graph: name %q contains newline", name)
+	}
+	if _, err := fmt.Fprintf(bw, "graph %s\nn %d\n", name, g.N()); err != nil {
+		return err
+	}
+	var writeErr error
+	g.Edges(func(u, v int32) bool {
+		if _, err := fmt.Fprintf(bw, "%d %d\n", u, v); err != nil {
+			writeErr = err
+			return false
+		}
+		return true
+	})
+	if writeErr != nil {
+		return writeErr
+	}
+	return bw.Flush()
+}
+
+// Read parses a graph in the text edge-list format produced by Write.
+func Read(r io.Reader) (*Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), 16*1024*1024)
+	name := ""
+	n := -1
+	var b *Builder
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		switch {
+		case strings.HasPrefix(line, "graph "):
+			name = strings.TrimSpace(strings.TrimPrefix(line, "graph "))
+		case strings.HasPrefix(line, "n "):
+			v, err := strconv.Atoi(strings.TrimSpace(strings.TrimPrefix(line, "n ")))
+			if err != nil {
+				return nil, fmt.Errorf("graph: line %d: bad vertex count: %w", lineNo, err)
+			}
+			if v < 0 {
+				return nil, fmt.Errorf("graph: line %d: negative vertex count %d", lineNo, v)
+			}
+			n = v
+			b = NewBuilder(n, 0)
+		default:
+			if b == nil {
+				return nil, fmt.Errorf("graph: line %d: edge before 'n' header", lineNo)
+			}
+			fields := strings.Fields(line)
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("graph: line %d: want 'u v', got %q", lineNo, line)
+			}
+			u, err := strconv.ParseInt(fields[0], 10, 32)
+			if err != nil {
+				return nil, fmt.Errorf("graph: line %d: bad vertex id: %w", lineNo, err)
+			}
+			v, err := strconv.ParseInt(fields[1], 10, 32)
+			if err != nil {
+				return nil, fmt.Errorf("graph: line %d: bad vertex id: %w", lineNo, err)
+			}
+			b.AddEdge(int32(u), int32(v))
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("graph: read: %w", err)
+	}
+	if b == nil {
+		return nil, fmt.Errorf("graph: missing 'n' header")
+	}
+	g, err := b.Build(name)
+	if err != nil {
+		return nil, err
+	}
+	return g, nil
+}

@@ -1,0 +1,123 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"cobrawalk/internal/rng"
+)
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	cases := []func() (*Graph, error){
+		func() (*Graph, error) { return Complete(6) },
+		func() (*Graph, error) { return Cycle(9) },
+		Petersen,
+		func() (*Graph, error) { return Hypercube(4) },
+		func() (*Graph, error) { return FromEdges("empty5", 5, nil) },
+	}
+	for _, mk := range cases {
+		g := must(t)(mk())
+		var buf bytes.Buffer
+		if err := Write(&buf, g); err != nil {
+			t.Fatalf("%s: write: %v", g.Name(), err)
+		}
+		h, err := Read(&buf)
+		if err != nil {
+			t.Fatalf("%s: read: %v", g.Name(), err)
+		}
+		assertSameGraph(t, g, h)
+		if h.Name() != g.Name() && !(g.Name() == "" && h.Name() == "unnamed") {
+			t.Fatalf("name round-trip: %q -> %q", g.Name(), h.Name())
+		}
+	}
+}
+
+func TestReadRoundTripRandom(t *testing.T) {
+	r := rng.New(21)
+	for i := 0; i < 10; i++ {
+		g, err := ErdosRenyi(40, 0.15, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, g); err != nil {
+			t.Fatal(err)
+		}
+		h, err := Read(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertSameGraph(t, g, h)
+	}
+}
+
+func assertSameGraph(t *testing.T, g, h *Graph) {
+	t.Helper()
+	if g.N() != h.N() || g.M() != h.M() {
+		t.Fatalf("size mismatch: (%d,%d) vs (%d,%d)", g.N(), g.M(), h.N(), h.M())
+	}
+	for v := int32(0); v < int32(g.N()); v++ {
+		a, b := g.Neighbors(v), h.Neighbors(v)
+		if len(a) != len(b) {
+			t.Fatalf("degree mismatch at %d: %d vs %d", v, len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("adjacency mismatch at %d: %v vs %v", v, a, b)
+			}
+		}
+	}
+}
+
+func TestReadFormats(t *testing.T) {
+	t.Run("comments-and-blank-lines", func(t *testing.T) {
+		in := "# a triangle\ngraph tri\n\nn 3\n0 1\n# middle comment\n1 2\n2 0\n"
+		g, err := Read(strings.NewReader(in))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g.N() != 3 || g.M() != 3 || g.Name() != "tri" {
+			t.Fatalf("parsed %v", g)
+		}
+	})
+	t.Run("either-edge-order", func(t *testing.T) {
+		g, err := Read(strings.NewReader("n 3\n1 0\n2 1\n"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g.M() != 2 {
+			t.Fatalf("M = %d", g.M())
+		}
+	})
+	errCases := []struct {
+		name, in string
+	}{
+		{"no-header", "0 1\n"},
+		{"bad-n", "n x\n"},
+		{"negative-n", "n -3\n"},
+		{"bad-edge-arity", "n 3\n0 1 2\n"},
+		{"bad-vertex", "n 3\n0 a\n"},
+		{"out-of-range", "n 3\n0 7\n"},
+		{"self-loop", "n 3\n1 1\n"},
+		{"missing-n", "graph g\n"},
+	}
+	for _, tc := range errCases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := Read(strings.NewReader(tc.in)); err == nil {
+				t.Fatalf("Read(%q) should fail", tc.in)
+			}
+		})
+	}
+}
+
+func TestWriteRejectsNewlineName(t *testing.T) {
+	g, err := FromEdges("bad\nname", 2, [][2]int32{{0, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, g); err == nil {
+		t.Fatal("Write should reject names containing newlines")
+	}
+}

@@ -1,0 +1,95 @@
+package graph
+
+import "fmt"
+
+// Complement returns the complement graph: u ~ v in the result iff u != v
+// and u !~ v in g. The complement of an r-regular graph is (n-1-r)-regular;
+// Paley graphs are isomorphic to their complements.
+func Complement(g *Graph) (*Graph, error) {
+	n := g.N()
+	m := n*(n-1)/2 - g.M()
+	b := NewBuilder(n, m)
+	for u := int32(0); u < int32(n); u++ {
+		adj := g.Neighbors(u)
+		i := 0
+		for v := u + 1; v < int32(n); v++ {
+			for i < len(adj) && adj[i] < v {
+				i++
+			}
+			if i < len(adj) && adj[i] == v {
+				continue
+			}
+			b.AddEdge(u, v)
+		}
+	}
+	return b.Build(fmt.Sprintf("complement(%s)", g.Name()))
+}
+
+// InducedSubgraph returns the subgraph induced by the given vertex set
+// (which must be duplicate-free), with vertices relabelled 0..len(set)-1
+// in the order given.
+func InducedSubgraph(g *Graph, set []int32) (*Graph, error) {
+	idx := make(map[int32]int32, len(set))
+	for i, v := range set {
+		if v < 0 || int(v) >= g.N() {
+			return nil, fmt.Errorf("graph: vertex %d out of range [0,%d)", v, g.N())
+		}
+		if _, dup := idx[v]; dup {
+			return nil, fmt.Errorf("graph: duplicate vertex %d in induced set", v)
+		}
+		idx[v] = int32(i)
+	}
+	b := NewBuilder(len(set), 0)
+	for _, v := range set {
+		for _, u := range g.Neighbors(v) {
+			if j, ok := idx[u]; ok && idx[v] < j {
+				b.AddEdge(idx[v], j)
+			}
+		}
+	}
+	return b.Build(fmt.Sprintf("induced(%s,k=%d)", g.Name(), len(set)))
+}
+
+// Relabel returns an isomorphic copy of g with vertex v renamed perm[v].
+// perm must be a permutation of 0..n-1. Process statistics are invariant
+// under relabelling, which makes this the natural isomorphism fixture for
+// property tests.
+func Relabel(g *Graph, perm []int32) (*Graph, error) {
+	n := g.N()
+	if len(perm) != n {
+		return nil, fmt.Errorf("graph: permutation length %d != n %d", len(perm), n)
+	}
+	seen := make([]bool, n)
+	for _, p := range perm {
+		if p < 0 || int(p) >= n || seen[p] {
+			return nil, fmt.Errorf("graph: invalid permutation entry %d", p)
+		}
+		seen[p] = true
+	}
+	b := NewBuilder(n, g.M())
+	g.Edges(func(u, v int32) bool {
+		b.AddEdge(perm[u], perm[v])
+		return true
+	})
+	return b.Build(fmt.Sprintf("relabel(%s)", g.Name()))
+}
+
+// DoubleCover returns the bipartite double cover of g: two copies of the
+// vertex set, with (u, 0) ~ (v, 1) iff u ~ v in g. The cover is always
+// bipartite; it is connected iff g is connected and non-bipartite. Its
+// transition spectrum is the union of g's spectrum and its negation, which
+// is why the construction is the classic device for reasoning about the
+// λ_n = -1 boundary that excludes bipartite graphs from Theorems 1-3.
+func DoubleCover(g *Graph) (*Graph, error) {
+	n := g.N()
+	if n > (1<<31-1)/2 {
+		return nil, fmt.Errorf("graph: double cover of n=%d overflows int32 ids", n)
+	}
+	b := NewBuilder(2*n, 2*g.M())
+	g.Edges(func(u, v int32) bool {
+		b.AddEdge(u, v+int32(n))
+		b.AddEdge(v, u+int32(n))
+		return true
+	})
+	return b.Build(fmt.Sprintf("double-cover(%s)", g.Name()))
+}

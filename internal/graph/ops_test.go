@@ -1,0 +1,153 @@
+package graph
+
+import (
+	"testing"
+	"testing/quick"
+
+	"cobrawalk/internal/rng"
+)
+
+func TestComplement(t *testing.T) {
+	// Complement of C5 is C5 (self-complementary).
+	g := must(t)(Cycle(5))
+	c := must(t)(Complement(g))
+	checkInvariants(t, c, 5, 5, 2)
+	if !c.IsConnected() {
+		t.Fatal("complement of C5 should be a 5-cycle")
+	}
+	// Complement of K_n is empty.
+	k := must(t)(Complete(6))
+	ck := must(t)(Complement(k))
+	if ck.M() != 0 {
+		t.Fatalf("complement of K6 has %d edges", ck.M())
+	}
+	// Complement twice is the identity (as an edge set).
+	p := must(t)(Petersen())
+	cc := must(t)(Complement(must(t)(Complement(p))))
+	assertSameGraph(t, p, cc)
+}
+
+func TestComplementPaleySelfComplementary(t *testing.T) {
+	// Paley graphs are self-complementary: the complement has identical
+	// size, regularity, and spectrum (isomorphism would need explicit
+	// mapping; spectrum equality is a strong certificate).
+	g := must(t)(Paley(13))
+	c := must(t)(Complement(g))
+	checkInvariants(t, c, 13, g.M(), 6)
+}
+
+func TestInducedSubgraph(t *testing.T) {
+	g := must(t)(Complete(6))
+	sub := must(t)(InducedSubgraph(g, []int32{0, 2, 4}))
+	checkInvariants(t, sub, 3, 3, 2) // induced K3
+	// Induced subgraph of a cycle on non-adjacent vertices has no edges.
+	c := must(t)(Cycle(6))
+	sub2 := must(t)(InducedSubgraph(c, []int32{0, 2, 4}))
+	if sub2.M() != 0 {
+		t.Fatalf("independent-set induced subgraph has %d edges", sub2.M())
+	}
+	if _, err := InducedSubgraph(g, []int32{0, 0}); err == nil {
+		t.Fatal("duplicate vertices should fail")
+	}
+	if _, err := InducedSubgraph(g, []int32{99}); err == nil {
+		t.Fatal("out-of-range vertex should fail")
+	}
+}
+
+func TestRelabelPreservesStructure(t *testing.T) {
+	g := must(t)(Petersen())
+	perm := make([]int32, 10)
+	for i := range perm {
+		perm[i] = int32((i + 3) % 10)
+	}
+	h := must(t)(Relabel(g, perm))
+	checkInvariants(t, h, 10, 15, 3)
+	// Edge (u,v) in g iff (perm[u], perm[v]) in h.
+	ok := true
+	g.Edges(func(u, v int32) bool {
+		if !h.HasEdge(perm[u], perm[v]) {
+			ok = false
+			return false
+		}
+		return true
+	})
+	if !ok {
+		t.Fatal("relabel lost an edge")
+	}
+	if h.Diameter() != g.Diameter() || h.Triangles() != g.Triangles() {
+		t.Fatal("relabel changed invariants")
+	}
+}
+
+func TestRelabelValidation(t *testing.T) {
+	g := must(t)(Cycle(4))
+	if _, err := Relabel(g, []int32{0, 1}); err == nil {
+		t.Fatal("short permutation should fail")
+	}
+	if _, err := Relabel(g, []int32{0, 1, 2, 2}); err == nil {
+		t.Fatal("non-permutation should fail")
+	}
+	if _, err := Relabel(g, []int32{0, 1, 2, 9}); err == nil {
+		t.Fatal("out-of-range entry should fail")
+	}
+}
+
+func TestRelabelRandomQuick(t *testing.T) {
+	r := rng.New(6)
+	f := func(seed uint32) bool {
+		rr := rng.New(uint64(seed))
+		g, err := ErdosRenyi(20, 0.2, rr)
+		if err != nil {
+			return false
+		}
+		permInts := r.Perm(20)
+		perm := make([]int32, 20)
+		for i, p := range permInts {
+			perm[i] = int32(p)
+		}
+		h, err := Relabel(g, perm)
+		if err != nil || h.Validate() != nil {
+			return false
+		}
+		return h.M() == g.M() && h.Triangles() == g.Triangles()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDoubleCover(t *testing.T) {
+	// Double cover of a non-bipartite connected graph is connected and
+	// bipartite, with doubled size.
+	g := must(t)(Petersen())
+	dc := must(t)(DoubleCover(g))
+	checkInvariants(t, dc, 20, 30, 3)
+	if !dc.IsBipartite() {
+		t.Fatal("double cover should be bipartite")
+	}
+	if !dc.IsConnected() {
+		t.Fatal("double cover of a non-bipartite connected graph should be connected")
+	}
+	// Double cover of a bipartite graph is disconnected (two copies).
+	c4 := must(t)(Cycle(4))
+	dc4 := must(t)(DoubleCover(c4))
+	if dc4.IsConnected() {
+		t.Fatal("double cover of a bipartite graph should be disconnected")
+	}
+	if !dc4.IsBipartite() {
+		t.Fatal("double cover should be bipartite")
+	}
+}
+
+func TestDoubleCoverOfOddCycleIsBigCycle(t *testing.T) {
+	// The double cover of C_{2k+1} is C_{4k+2}.
+	g := must(t)(Cycle(5))
+	dc := must(t)(DoubleCover(g))
+	checkInvariants(t, dc, 10, 10, 2)
+	if !dc.IsConnected() {
+		t.Fatal("double cover of C5 should be C10 (connected)")
+	}
+	if dc.Diameter() != 5 {
+		t.Fatalf("C10 diameter = %d, want 5", dc.Diameter())
+	}
+}

@@ -1,0 +1,178 @@
+package graph
+
+// BFS runs a breadth-first search from src and returns the distance (in
+// hops) to every vertex; unreachable vertices get -1.
+func (g *Graph) BFS(src int32) []int32 {
+	dist := make([]int32, g.N())
+	for i := range dist {
+		dist[i] = -1
+	}
+	if g.N() == 0 {
+		return dist
+	}
+	dist[src] = 0
+	queue := make([]int32, 0, g.N())
+	queue = append(queue, src)
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		dv := dist[v]
+		for _, u := range g.Neighbors(v) {
+			if dist[u] < 0 {
+				dist[u] = dv + 1
+				queue = append(queue, u)
+			}
+		}
+	}
+	return dist
+}
+
+// IsConnected reports whether the graph is connected. The empty graph and
+// the single-vertex graph are connected.
+func (g *Graph) IsConnected() bool {
+	if g.N() <= 1 {
+		return true
+	}
+	for _, d := range g.BFS(0) {
+		if d < 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// ConnectedComponents returns, for each vertex, the index of its component
+// (components numbered in order of discovery from vertex 0), along with the
+// number of components.
+func (g *Graph) ConnectedComponents() (comp []int32, count int) {
+	n := g.N()
+	comp = make([]int32, n)
+	for i := range comp {
+		comp[i] = -1
+	}
+	queue := make([]int32, 0, n)
+	for s := int32(0); s < int32(n); s++ {
+		if comp[s] >= 0 {
+			continue
+		}
+		c := int32(count)
+		count++
+		comp[s] = c
+		queue = append(queue[:0], s)
+		for len(queue) > 0 {
+			v := queue[0]
+			queue = queue[1:]
+			for _, u := range g.Neighbors(v) {
+				if comp[u] < 0 {
+					comp[u] = c
+					queue = append(queue, u)
+				}
+			}
+		}
+	}
+	return comp, count
+}
+
+// IsBipartite reports whether the graph is bipartite, i.e. 2-colourable.
+// For connected regular graphs this is equivalent to λ_n = -1, the case the
+// paper's theorems exclude (they require λ = max|λ_i| < 1).
+func (g *Graph) IsBipartite() bool {
+	n := g.N()
+	colour := make([]int8, n) // 0 = unvisited, 1 / 2 = the two sides
+	queue := make([]int32, 0, n)
+	for s := int32(0); s < int32(n); s++ {
+		if colour[s] != 0 {
+			continue
+		}
+		colour[s] = 1
+		queue = append(queue[:0], s)
+		for len(queue) > 0 {
+			v := queue[0]
+			queue = queue[1:]
+			for _, u := range g.Neighbors(v) {
+				switch colour[u] {
+				case 0:
+					colour[u] = 3 - colour[v]
+					queue = append(queue, u)
+				case colour[v]:
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+// Eccentricity returns the maximum BFS distance from v to any vertex, or -1
+// if some vertex is unreachable.
+func (g *Graph) Eccentricity(v int32) int {
+	ecc := 0
+	for _, d := range g.BFS(v) {
+		if d < 0 {
+			return -1
+		}
+		if int(d) > ecc {
+			ecc = int(d)
+		}
+	}
+	return ecc
+}
+
+// Diameter computes the exact diameter by running a BFS from every vertex.
+// It costs O(n·m) and is intended for the small graphs used in tests and
+// exact experiments; -1 means disconnected.
+func (g *Graph) Diameter() int {
+	if g.N() == 0 {
+		return 0
+	}
+	diam := 0
+	for v := int32(0); v < int32(g.N()); v++ {
+		e := g.Eccentricity(v)
+		if e < 0 {
+			return -1
+		}
+		if e > diam {
+			diam = e
+		}
+	}
+	return diam
+}
+
+// DegreeHistogram returns a map from degree to the number of vertices with
+// that degree.
+func (g *Graph) DegreeHistogram() map[int]int {
+	h := make(map[int]int)
+	for v := int32(0); v < int32(g.N()); v++ {
+		h[g.Degree(v)]++
+	}
+	return h
+}
+
+// Triangles counts the number of triangles in the graph. Used by tests to
+// cross-check generators against closed-form counts. O(sum of deg^2) via
+// edge-iterator with sorted-adjacency intersection.
+func (g *Graph) Triangles() int64 {
+	var count int64
+	g.Edges(func(u, v int32) bool {
+		count += int64(sortedIntersectionSize(g.Neighbors(u), g.Neighbors(v)))
+		return true
+	})
+	return count / 3 // each triangle counted once per edge
+}
+
+func sortedIntersectionSize(a, b []int32) int {
+	i, j, c := 0, 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			c++
+			i++
+			j++
+		}
+	}
+	return c
+}

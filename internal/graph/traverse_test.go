@@ -1,0 +1,132 @@
+package graph
+
+import (
+	"testing"
+
+	"cobrawalk/internal/rng"
+)
+
+func TestBFSDistances(t *testing.T) {
+	g := must(t)(Cycle(6))
+	d := g.BFS(0)
+	want := []int32{0, 1, 2, 3, 2, 1}
+	for i, w := range want {
+		if d[i] != w {
+			t.Fatalf("BFS(C6)[%d] = %d, want %d", i, d[i], w)
+		}
+	}
+}
+
+func TestBFSUnreachable(t *testing.T) {
+	// Two disjoint triangles.
+	g, err := FromEdges("2tri", 6, [][2]int32{{0, 1}, {1, 2}, {2, 0}, {3, 4}, {4, 5}, {5, 3}})
+	g = must(t)(g, err)
+	d := g.BFS(0)
+	for v := 3; v < 6; v++ {
+		if d[v] != -1 {
+			t.Fatalf("unreachable vertex %d has distance %d", v, d[v])
+		}
+	}
+	if g.IsConnected() {
+		t.Fatal("disjoint triangles reported connected")
+	}
+	comp, count := g.ConnectedComponents()
+	if count != 2 {
+		t.Fatalf("component count = %d, want 2", count)
+	}
+	if comp[0] != comp[1] || comp[0] != comp[2] || comp[3] != comp[4] || comp[0] == comp[3] {
+		t.Fatalf("bad component labels: %v", comp)
+	}
+	if g.Diameter() != -1 {
+		t.Fatalf("disconnected diameter = %d, want -1", g.Diameter())
+	}
+	if g.Eccentricity(0) != -1 {
+		t.Fatal("eccentricity of disconnected graph should be -1")
+	}
+}
+
+func TestConnectedComponentsSingletons(t *testing.T) {
+	g, err := FromEdges("isolated", 4, [][2]int32{{0, 1}})
+	g = must(t)(g, err)
+	_, count := g.ConnectedComponents()
+	if count != 3 {
+		t.Fatalf("components = %d, want 3 (one edge, two isolated)", count)
+	}
+}
+
+func TestIsBipartite(t *testing.T) {
+	cases := []struct {
+		name string
+		make func() (*Graph, error)
+		want bool
+	}{
+		{"C4", func() (*Graph, error) { return Cycle(4) }, true},
+		{"C5", func() (*Graph, error) { return Cycle(5) }, false},
+		{"K33", func() (*Graph, error) { return CompleteBipartite(3, 3) }, true},
+		{"K4", func() (*Graph, error) { return Complete(4) }, false},
+		{"Q4", func() (*Graph, error) { return Hypercube(4) }, true},
+		{"petersen", Petersen, false},
+		{"path", func() (*Graph, error) { return Path(9) }, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			g := must(t)(tc.make())
+			if got := g.IsBipartite(); got != tc.want {
+				t.Fatalf("IsBipartite = %v, want %v", got, tc.want)
+			}
+		})
+	}
+}
+
+func TestBipartiteDisconnected(t *testing.T) {
+	// Disjoint union of C4 (bipartite) and C3 (odd): overall not bipartite.
+	g, err := FromEdges("c4+c3", 7, [][2]int32{
+		{0, 1}, {1, 2}, {2, 3}, {3, 0},
+		{4, 5}, {5, 6}, {6, 4},
+	})
+	g = must(t)(g, err)
+	if g.IsBipartite() {
+		t.Fatal("C4+C3 reported bipartite")
+	}
+}
+
+func TestDiameterKnown(t *testing.T) {
+	cases := []struct {
+		name string
+		make func() (*Graph, error)
+		want int
+	}{
+		{"K7", func() (*Graph, error) { return Complete(7) }, 1},
+		{"C10", func() (*Graph, error) { return Cycle(10) }, 5},
+		{"Q5", func() (*Graph, error) { return Hypercube(5) }, 5},
+		{"petersen", Petersen, 2},
+		{"P4", func() (*Graph, error) { return Path(4) }, 3},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			g := must(t)(tc.make())
+			if got := g.Diameter(); got != tc.want {
+				t.Fatalf("diameter = %d, want %d", got, tc.want)
+			}
+		})
+	}
+}
+
+func TestDegreeHistogram(t *testing.T) {
+	g := must(t)(Star(5))
+	h := g.DegreeHistogram()
+	if h[4] != 1 || h[1] != 4 {
+		t.Fatalf("star degree histogram = %v", h)
+	}
+}
+
+func TestRandomRegularDiameterSmall(t *testing.T) {
+	// Expanders have O(log n) diameter; sanity check a random 4-regular
+	// graph on 256 vertices has diameter well under, say, 20.
+	r := rng.New(5)
+	g, err := RandomRegularConnected(256, 4, r)
+	g = must(t)(g, err)
+	if d := g.Diameter(); d <= 0 || d > 20 {
+		t.Fatalf("random 4-regular n=256 diameter = %d, expected small positive", d)
+	}
+}

@@ -1,0 +1,236 @@
+// Package plot renders simple line charts as standalone SVG documents —
+// enough to regenerate the paper-style figures (cover time vs n, cover
+// time vs 1/(1-λ)) from experiment series without any external plotting
+// dependency.
+package plot
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Series is one named polyline.
+type Series struct {
+	Name string
+	X, Y []float64
+}
+
+// Plot is a single-axes line chart. Configure the fields, add series, then
+// Render.
+type Plot struct {
+	Title  string
+	XLabel string
+	YLabel string
+	// LogX / LogY switch the corresponding axis to log₁₀ scale; all data
+	// on that axis must then be positive.
+	LogX, LogY bool
+	// Width and Height are the SVG canvas size in pixels (defaults
+	// 640×420).
+	Width, Height int
+
+	series []Series
+}
+
+// seriesColors cycles through a small qualitative palette.
+var seriesColors = []string{"#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#ff7f0e", "#8c564b", "#17becf"}
+
+// Add appends a series. X and Y must be equal-length with at least one
+// point.
+func (p *Plot) Add(name string, x, y []float64) error {
+	if len(x) != len(y) {
+		return fmt.Errorf("plot: series %q: %d x-values vs %d y-values", name, len(x), len(y))
+	}
+	if len(x) == 0 {
+		return fmt.Errorf("plot: series %q is empty", name)
+	}
+	p.series = append(p.series, Series{Name: name, X: append([]float64(nil), x...), Y: append([]float64(nil), y...)})
+	return nil
+}
+
+func (p *Plot) dims() (w, h int) {
+	w, h = p.Width, p.Height
+	if w <= 0 {
+		w = 640
+	}
+	if h <= 0 {
+		h = 420
+	}
+	return w, h
+}
+
+// Render writes the chart as a standalone SVG document.
+func (p *Plot) Render(w io.Writer) error {
+	if len(p.series) == 0 {
+		return errors.New("plot: no series to render")
+	}
+	tx, err := axisTransform(p.series, true, p.LogX)
+	if err != nil {
+		return err
+	}
+	ty, err := axisTransform(p.series, false, p.LogY)
+	if err != nil {
+		return err
+	}
+	width, height := p.dims()
+	const marginL, marginR, marginT, marginB = 70, 20, 40, 50
+	plotW := float64(width - marginL - marginR)
+	plotH := float64(height - marginT - marginB)
+	toPx := func(x, y float64) (float64, float64) {
+		return float64(marginL) + tx.unit(x)*plotW,
+			float64(marginT) + (1-ty.unit(y))*plotH
+	}
+
+	var sb strings.Builder
+	fmt.Fprintf(&sb, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" font-family="sans-serif" font-size="12">`+"\n", width, height)
+	sb.WriteString(`<rect width="100%" height="100%" fill="white"/>` + "\n")
+	if p.Title != "" {
+		fmt.Fprintf(&sb, `<text x="%d" y="20" text-anchor="middle" font-size="14">%s</text>`+"\n", width/2, escape(p.Title))
+	}
+	// Axes box.
+	fmt.Fprintf(&sb, `<rect x="%d" y="%d" width="%.0f" height="%.0f" fill="none" stroke="#333"/>`+"\n",
+		marginL, marginT, plotW, plotH)
+	// Ticks and grid.
+	for _, tick := range tx.ticks() {
+		px, _ := toPx(tick, ty.lo)
+		fmt.Fprintf(&sb, `<line x1="%.1f" y1="%d" x2="%.1f" y2="%.1f" stroke="#ddd"/>`+"\n",
+			px, marginT, px, float64(marginT)+plotH)
+		fmt.Fprintf(&sb, `<text x="%.1f" y="%.1f" text-anchor="middle">%s</text>`+"\n",
+			px, float64(marginT)+plotH+16, formatTick(tick))
+	}
+	for _, tick := range ty.ticks() {
+		_, py := toPx(tx.lo, tick)
+		fmt.Fprintf(&sb, `<line x1="%d" y1="%.1f" x2="%.1f" y2="%.1f" stroke="#ddd"/>`+"\n",
+			marginL, py, float64(marginL)+plotW, py)
+		fmt.Fprintf(&sb, `<text x="%d" y="%.1f" text-anchor="end">%s</text>`+"\n",
+			marginL-6, py+4, formatTick(tick))
+	}
+	// Axis labels.
+	if p.XLabel != "" {
+		fmt.Fprintf(&sb, `<text x="%d" y="%d" text-anchor="middle">%s</text>`+"\n",
+			marginL+int(plotW/2), height-12, escape(p.XLabel))
+	}
+	if p.YLabel != "" {
+		fmt.Fprintf(&sb, `<text x="16" y="%d" text-anchor="middle" transform="rotate(-90 16 %d)">%s</text>`+"\n",
+			marginT+int(plotH/2), marginT+int(plotH/2), escape(p.YLabel))
+	}
+	// Series.
+	for i, s := range p.series {
+		color := seriesColors[i%len(seriesColors)]
+		var pts strings.Builder
+		for j := range s.X {
+			px, py := toPx(s.X[j], s.Y[j])
+			if j > 0 {
+				pts.WriteByte(' ')
+			}
+			fmt.Fprintf(&pts, "%.1f,%.1f", px, py)
+		}
+		fmt.Fprintf(&sb, `<polyline points="%s" fill="none" stroke="%s" stroke-width="1.8"/>`+"\n", pts.String(), color)
+		for j := range s.X {
+			px, py := toPx(s.X[j], s.Y[j])
+			fmt.Fprintf(&sb, `<circle cx="%.1f" cy="%.1f" r="2.5" fill="%s"/>`+"\n", px, py, color)
+		}
+		// Legend entry.
+		ly := marginT + 14 + 16*i
+		fmt.Fprintf(&sb, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="%s" stroke-width="2"/>`+"\n",
+			marginL+8, ly-4, marginL+28, ly-4, color)
+		fmt.Fprintf(&sb, `<text x="%d" y="%d">%s</text>`+"\n", marginL+34, ly, escape(s.Name))
+	}
+	sb.WriteString("</svg>\n")
+	_, err = io.WriteString(w, sb.String())
+	return err
+}
+
+// transform maps data coordinates to [0, 1] on one axis.
+type transform struct {
+	lo, hi float64
+	log    bool
+}
+
+func axisTransform(series []Series, isX, log bool) (transform, error) {
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, s := range series {
+		vals := s.Y
+		if isX {
+			vals = s.X
+		}
+		for _, v := range vals {
+			if log && v <= 0 {
+				return transform{}, fmt.Errorf("plot: log axis requires positive values, got %v in %q", v, s.Name)
+			}
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return transform{}, fmt.Errorf("plot: non-finite value %v in %q", v, s.Name)
+			}
+			lo = math.Min(lo, v)
+			hi = math.Max(hi, v)
+		}
+	}
+	if lo == hi { // degenerate range: widen symmetrically
+		if log {
+			lo, hi = lo/2, hi*2
+		} else {
+			lo, hi = lo-1, hi+1
+		}
+	}
+	return transform{lo: lo, hi: hi, log: log}, nil
+}
+
+// unit maps v into [0, 1].
+func (t transform) unit(v float64) float64 {
+	if t.log {
+		return (math.Log10(v) - math.Log10(t.lo)) / (math.Log10(t.hi) - math.Log10(t.lo))
+	}
+	return (v - t.lo) / (t.hi - t.lo)
+}
+
+// ticks returns 4-6 tick positions across the range (powers of ten on log
+// axes when the range allows).
+func (t transform) ticks() []float64 {
+	if t.log {
+		loExp := int(math.Floor(math.Log10(t.lo)))
+		hiExp := int(math.Ceil(math.Log10(t.hi)))
+		var out []float64
+		for e := loExp; e <= hiExp; e++ {
+			v := math.Pow(10, float64(e))
+			if v >= t.lo && v <= t.hi {
+				out = append(out, v)
+			}
+		}
+		if len(out) >= 2 {
+			return out
+		}
+		// Too narrow for decade ticks: fall through to linear spacing.
+	}
+	const n = 5
+	out := make([]float64, 0, n)
+	for i := 0; i < n; i++ {
+		f := float64(i) / (n - 1)
+		if t.log {
+			out = append(out, math.Pow(10, math.Log10(t.lo)+f*(math.Log10(t.hi)-math.Log10(t.lo))))
+		} else {
+			out = append(out, t.lo+f*(t.hi-t.lo))
+		}
+	}
+	return out
+}
+
+func formatTick(v float64) string {
+	av := math.Abs(v)
+	switch {
+	case av >= 10000 || (av < 0.01 && av > 0):
+		return fmt.Sprintf("%.1e", v)
+	case av >= 100:
+		return fmt.Sprintf("%.0f", v)
+	case av >= 1:
+		return fmt.Sprintf("%.4g", v)
+	default:
+		return fmt.Sprintf("%.3g", v)
+	}
+}
+
+func escape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}

@@ -1,0 +1,131 @@
+package plot
+
+import (
+	"bytes"
+	"encoding/xml"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestRenderBasic(t *testing.T) {
+	var p Plot
+	p.Title = "demo <chart>"
+	p.XLabel = "n"
+	p.YLabel = "rounds"
+	if err := p.Add("a", []float64{1, 2, 3}, []float64{10, 20, 15}); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Add("b", []float64{1, 2, 3}, []float64{5, 8, 30}); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := p.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"<svg", "polyline", "demo &lt;chart&gt;", "rounds", "</svg>"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q", want)
+		}
+	}
+	// The SVG must be well-formed XML.
+	dec := xml.NewDecoder(strings.NewReader(out))
+	for {
+		_, err := dec.Token()
+		if err != nil {
+			if err.Error() == "EOF" {
+				break
+			}
+			t.Fatalf("SVG is not well-formed XML: %v", err)
+		}
+	}
+}
+
+func TestRenderLogAxes(t *testing.T) {
+	var p Plot
+	p.LogX, p.LogY = true, true
+	if err := p.Add("s", []float64{10, 100, 1000, 10000}, []float64{1, 2, 4, 8}); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := p.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// Decade ticks should appear.
+	if !strings.Contains(buf.String(), "100") {
+		t.Fatal("log axis ticks missing")
+	}
+}
+
+func TestRenderErrors(t *testing.T) {
+	var p Plot
+	if err := p.Render(&bytes.Buffer{}); err == nil {
+		t.Fatal("empty plot should fail")
+	}
+	if err := p.Add("bad", []float64{1, 2}, []float64{1}); err == nil {
+		t.Fatal("length mismatch should fail")
+	}
+	if err := p.Add("empty", nil, nil); err == nil {
+		t.Fatal("empty series should fail")
+	}
+	var q Plot
+	q.LogY = true
+	if err := q.Add("neg", []float64{1}, []float64{-1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Render(&bytes.Buffer{}); err == nil {
+		t.Fatal("log axis with non-positive data should fail")
+	}
+	var r Plot
+	if err := r.Add("nan", []float64{1}, []float64{math.NaN()}); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Render(&bytes.Buffer{}); err == nil {
+		t.Fatal("NaN data should fail")
+	}
+}
+
+func TestRenderDegenerateRange(t *testing.T) {
+	// A single point (zero range on both axes) must still render.
+	var p Plot
+	if err := p.Add("pt", []float64{5}, []float64{7}); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := p.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "circle") {
+		t.Fatal("point marker missing")
+	}
+}
+
+func TestTransformUnit(t *testing.T) {
+	lin := transform{lo: 0, hi: 10}
+	if lin.unit(0) != 0 || lin.unit(10) != 1 || lin.unit(5) != 0.5 {
+		t.Fatal("linear transform broken")
+	}
+	lg := transform{lo: 1, hi: 100, log: true}
+	if math.Abs(lg.unit(10)-0.5) > 1e-12 {
+		t.Fatalf("log transform: unit(10) = %v", lg.unit(10))
+	}
+}
+
+func TestFormatTick(t *testing.T) {
+	cases := []struct {
+		in   float64
+		want string
+	}{
+		{100000, "1.0e+05"},
+		{123, "123"},
+		{3.5, "3.5"},
+		{0.25, "0.25"},
+		{0.001, "1.0e-03"},
+	}
+	for _, tc := range cases {
+		if got := formatTick(tc.in); got != tc.want {
+			t.Fatalf("formatTick(%v) = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+}

@@ -1,0 +1,180 @@
+package rng
+
+import (
+	"math"
+	"math/bits"
+)
+
+// Uint64n returns a uniformly distributed integer in [0, n) without modulo
+// bias, using Lemire's multiply-shift rejection method. n must be > 0;
+// n == 0 returns 0.
+func (r *Rand) Uint64n(n uint64) uint64 {
+	if n == 0 {
+		return 0
+	}
+	// Fast path for powers of two.
+	if n&(n-1) == 0 {
+		return r.Uint64() & (n - 1)
+	}
+	// Lemire: compute the 128-bit product and reject the biased low range.
+	v := r.Uint64()
+	hi, lo := bits.Mul64(v, n)
+	if lo < n {
+		thresh := -n % n // (2^64 - n) mod n, computed in uint64 arithmetic
+		for lo < thresh {
+			v = r.Uint64()
+			hi, lo = bits.Mul64(v, n)
+		}
+	}
+	return hi
+}
+
+// Intn returns a uniformly distributed int in [0, n). It panics only via
+// integer conversion for negative n; callers must pass n >= 1.
+func (r *Rand) Intn(n int) int {
+	return int(r.Uint64n(uint64(n)))
+}
+
+// Int32n returns a uniformly distributed int32 in [0, n).
+func (r *Rand) Int32n(n int32) int32 {
+	return int32(r.Uint64n(uint64(n)))
+}
+
+// Float64 returns a uniformly distributed float64 in [0, 1), using the top
+// 53 bits of a Uint64 draw.
+func (r *Rand) Float64() float64 {
+	return float64(r.Uint64()>>11) * (1.0 / (1 << 53))
+}
+
+// Bernoulli returns true with probability p. Values of p outside [0, 1]
+// are clamped by construction: p <= 0 never fires, p >= 1 always fires.
+func (r *Rand) Bernoulli(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return r.Float64() < p
+}
+
+// NormFloat64 returns a standard normal variate using the Marsaglia polar
+// method. The second variate of each pair is cached.
+func (r *Rand) NormFloat64() float64 {
+	if r.hasSpare {
+		r.hasSpare = false
+		return r.spare
+	}
+	for {
+		u := 2*r.Float64() - 1
+		v := 2*r.Float64() - 1
+		s := u*u + v*v
+		if s >= 1 || s == 0 {
+			continue
+		}
+		f := math.Sqrt(-2 * math.Log(s) / s)
+		r.spare = v * f
+		r.hasSpare = true
+		return u * f
+	}
+}
+
+// Binomial returns a Binomial(n, p) variate. For small n it sums Bernoulli
+// trials; for large n it uses the inversion method on the CDF when n*p is
+// moderate and a normal approximation with continuity correction (clamped
+// to [0, n]) when n*p is large. The approximation regime is only used
+// where its relative error is far below Monte-Carlo noise.
+func (r *Rand) Binomial(n int, p float64) int {
+	switch {
+	case n <= 0 || p <= 0:
+		return 0
+	case p >= 1:
+		return n
+	case p > 0.5:
+		return n - r.Binomial(n, 1-p)
+	}
+	np := float64(n) * p
+	switch {
+	case n <= 64:
+		k := 0
+		for i := 0; i < n; i++ {
+			if r.Float64() < p {
+				k++
+			}
+		}
+		return k
+	case np <= 30:
+		// Inversion by sequential search from k = 0.
+		q := math.Pow(1-p, float64(n))
+		u := r.Float64()
+		k := 0
+		c := q
+		for u > c && k < n {
+			k++
+			q *= (float64(n-k+1) / float64(k)) * (p / (1 - p))
+			c += q
+		}
+		return k
+	default:
+		sd := math.Sqrt(np * (1 - p))
+		k := int(math.Round(np + sd*r.NormFloat64()))
+		if k < 0 {
+			k = 0
+		}
+		if k > n {
+			k = n
+		}
+		return k
+	}
+}
+
+// ExpFloat64 returns an exponentially distributed variate with rate 1
+// (mean 1), by inversion. Scale by 1/rate for other rates.
+func (r *Rand) ExpFloat64() float64 {
+	u := r.Float64()
+	for u == 0 {
+		u = r.Float64()
+	}
+	return -math.Log(u)
+}
+
+// Geometric returns the number of failures before the first success in
+// independent Bernoulli(p) trials (support {0, 1, 2, ...}). p must be in
+// (0, 1]; p >= 1 returns 0.
+func (r *Rand) Geometric(p float64) int {
+	if p >= 1 {
+		return 0
+	}
+	// Inversion: floor(log(U) / log(1-p)).
+	u := r.Float64()
+	for u == 0 {
+		u = r.Float64()
+	}
+	return int(math.Log(u) / math.Log1p(-p))
+}
+
+// Perm returns a uniformly random permutation of [0, n) as a fresh slice.
+func (r *Rand) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	r.ShuffleInts(p)
+	return p
+}
+
+// ShuffleInts performs an in-place Fisher-Yates shuffle.
+func (r *Rand) ShuffleInts(p []int) {
+	for i := len(p) - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+}
+
+// ShuffleInt32s performs an in-place Fisher-Yates shuffle of int32 values.
+func (r *Rand) ShuffleInt32s(p []int32) {
+	for i := len(p) - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+}

@@ -1,0 +1,385 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// Reference vector for SplitMix64 with seed 0, matching the canonical C
+// implementation by Sebastiano Vigna (splitmix64.c).
+func TestSplitMix64ReferenceVector(t *testing.T) {
+	want := []uint64{
+		0xE220A8397B1DCDAF,
+		0x6E789E6AA1B965F4,
+		0x06C45D188009454F,
+		0xF88BB8A8724C81EC,
+		0x1B39896A51A8749B,
+	}
+	s := NewSplitMix64(0)
+	for i, w := range want {
+		if got := s.Uint64(); got != w {
+			t.Fatalf("SplitMix64(0) output %d = %#x, want %#x", i, got, w)
+		}
+	}
+}
+
+func TestSplitMix64Determinism(t *testing.T) {
+	a, b := NewSplitMix64(42), NewSplitMix64(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same seed diverged at step %d", i)
+		}
+	}
+}
+
+func TestMix64Bijective(t *testing.T) {
+	// Spot-check injectivity on a sample; Mix64 is a documented bijection,
+	// so no collisions may appear.
+	seen := make(map[uint64]uint64, 4096)
+	for i := uint64(0); i < 4096; i++ {
+		h := Mix64(i)
+		if prev, ok := seen[h]; ok {
+			t.Fatalf("Mix64 collision: Mix64(%d) == Mix64(%d) == %#x", i, prev, h)
+		}
+		seen[h] = i
+	}
+}
+
+func TestNewDeterminism(t *testing.T) {
+	a, b := New(7), New(7)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same seed diverged at step %d", i)
+		}
+	}
+	c := New(8)
+	same := 0
+	a = New(7)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() == c.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("different seeds produced %d/1000 identical outputs", same)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	a := New(99)
+	a.Uint64()
+	b := a.Clone()
+	if a.State() != b.State() {
+		t.Fatal("clone state differs")
+	}
+	av, bv := a.Uint64(), b.Uint64()
+	if av != bv {
+		t.Fatal("clone diverged on first draw")
+	}
+	a.Uint64() // advance a only
+	if a.State() == b.State() {
+		t.Fatal("advancing original advanced the clone")
+	}
+}
+
+func TestJumpChangesStateAndDisjointPrefix(t *testing.T) {
+	a := New(1)
+	before := a.State()
+	a.Jump()
+	if a.State() == before {
+		t.Fatal("Jump did not change state")
+	}
+
+	// Streams separated by a jump must not share any values within a
+	// modest prefix (overlap probability is ~0 for a 2^128 jump).
+	x := New(1)
+	y := New(1)
+	y.Jump()
+	seen := make(map[uint64]struct{}, 4096)
+	for i := 0; i < 4096; i++ {
+		seen[x.Uint64()] = struct{}{}
+	}
+	for i := 0; i < 4096; i++ {
+		if _, ok := seen[y.Uint64()]; ok {
+			t.Fatalf("jumped stream repeated a value from the base stream at step %d", i)
+		}
+	}
+}
+
+func TestNewStreamIndependence(t *testing.T) {
+	a := NewStream(5, 0)
+	b := NewStream(5, 1)
+	if a.State() == b.State() {
+		t.Fatal("distinct streams share initial state")
+	}
+	// Same (seed, stream) must reproduce.
+	c := NewStream(5, 1)
+	for i := 0; i < 100; i++ {
+		if b.Uint64() != c.Uint64() {
+			t.Fatalf("NewStream not deterministic at step %d", i)
+		}
+	}
+}
+
+func TestUint64nBounds(t *testing.T) {
+	r := New(3)
+	for _, n := range []uint64{1, 2, 3, 7, 10, 1 << 20, 1<<63 + 12345} {
+		for i := 0; i < 2000; i++ {
+			if v := r.Uint64n(n); v >= n {
+				t.Fatalf("Uint64n(%d) = %d out of range", n, v)
+			}
+		}
+	}
+	if v := r.Uint64n(0); v != 0 {
+		t.Fatalf("Uint64n(0) = %d, want 0", v)
+	}
+}
+
+func TestUint64nUniformity(t *testing.T) {
+	// Chi-square test over 10 buckets. With 100k draws the statistic is
+	// chi2 with 9 dof; reject above 33 (p ~ 1e-4) to keep flake risk low.
+	r := New(1234)
+	const buckets = 10
+	const draws = 100_000
+	var counts [buckets]int
+	for i := 0; i < draws; i++ {
+		counts[r.Uint64n(buckets)]++
+	}
+	expected := float64(draws) / buckets
+	chi2 := 0.0
+	for _, c := range counts {
+		d := float64(c) - expected
+		chi2 += d * d / expected
+	}
+	if chi2 > 33 {
+		t.Fatalf("chi-square = %.2f over 9 dof; distribution looks non-uniform: %v", chi2, counts)
+	}
+}
+
+func TestIntnAndInt32n(t *testing.T) {
+	r := New(4)
+	for i := 0; i < 1000; i++ {
+		if v := r.Intn(17); v < 0 || v >= 17 {
+			t.Fatalf("Intn out of range: %d", v)
+		}
+		if v := r.Int32n(5); v < 0 || v >= 5 {
+			t.Fatalf("Int32n out of range: %d", v)
+		}
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(5)
+	sum := 0.0
+	const draws = 100_000
+	for i := 0; i < draws; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of [0,1): %v", f)
+		}
+		sum += f
+	}
+	mean := sum / draws
+	if math.Abs(mean-0.5) > 0.01 {
+		t.Fatalf("Float64 mean = %.4f, want ~0.5", mean)
+	}
+}
+
+func TestBernoulli(t *testing.T) {
+	r := New(6)
+	if r.Bernoulli(0) {
+		t.Fatal("Bernoulli(0) fired")
+	}
+	if !r.Bernoulli(1) {
+		t.Fatal("Bernoulli(1) did not fire")
+	}
+	if r.Bernoulli(-0.5) {
+		t.Fatal("Bernoulli(negative) fired")
+	}
+	if !r.Bernoulli(1.5) {
+		t.Fatal("Bernoulli(>1) did not fire")
+	}
+	hits := 0
+	const draws = 100_000
+	for i := 0; i < draws; i++ {
+		if r.Bernoulli(0.3) {
+			hits++
+		}
+	}
+	p := float64(hits) / draws
+	if math.Abs(p-0.3) > 0.01 {
+		t.Fatalf("Bernoulli(0.3) empirical rate %.4f", p)
+	}
+}
+
+func TestNormFloat64Moments(t *testing.T) {
+	r := New(7)
+	const draws = 200_000
+	sum, sumSq := 0.0, 0.0
+	for i := 0; i < draws; i++ {
+		x := r.NormFloat64()
+		sum += x
+		sumSq += x * x
+	}
+	mean := sum / draws
+	variance := sumSq/draws - mean*mean
+	if math.Abs(mean) > 0.02 {
+		t.Fatalf("normal mean = %.4f, want ~0", mean)
+	}
+	if math.Abs(variance-1) > 0.03 {
+		t.Fatalf("normal variance = %.4f, want ~1", variance)
+	}
+}
+
+func TestBinomialMoments(t *testing.T) {
+	r := New(8)
+	cases := []struct {
+		n int
+		p float64
+	}{
+		{10, 0.5},   // Bernoulli-sum path
+		{500, 0.01}, // inversion path (np = 5)
+		{5000, 0.4}, // normal-approximation path (np = 2000)
+		{100, 0.9},  // complement path
+		{50, 0.0},   // degenerate
+		{50, 1.0},   // degenerate
+	}
+	for _, tc := range cases {
+		const draws = 20_000
+		sum, sumSq := 0.0, 0.0
+		for i := 0; i < draws; i++ {
+			k := r.Binomial(tc.n, tc.p)
+			if k < 0 || k > tc.n {
+				t.Fatalf("Binomial(%d,%v) = %d out of range", tc.n, tc.p, k)
+			}
+			sum += float64(k)
+			sumSq += float64(k) * float64(k)
+		}
+		mean := sum / draws
+		wantMean := float64(tc.n) * tc.p
+		sd := math.Sqrt(wantMean * (1 - tc.p))
+		tol := 4 * sd / math.Sqrt(draws)
+		if tol < 1e-9 {
+			tol = 1e-9
+		}
+		if math.Abs(mean-wantMean) > tol+0.05 {
+			t.Errorf("Binomial(%d,%v): mean %.3f, want %.3f±%.3f", tc.n, tc.p, mean, wantMean, tol)
+		}
+		variance := sumSq/draws - mean*mean
+		wantVar := wantMean * (1 - tc.p)
+		if wantVar > 1 && math.Abs(variance-wantVar)/wantVar > 0.1 {
+			t.Errorf("Binomial(%d,%v): var %.3f, want %.3f", tc.n, tc.p, variance, wantVar)
+		}
+	}
+}
+
+func TestGeometricMean(t *testing.T) {
+	r := New(9)
+	const p = 0.2
+	const draws = 100_000
+	sum := 0.0
+	for i := 0; i < draws; i++ {
+		g := r.Geometric(p)
+		if g < 0 {
+			t.Fatalf("Geometric returned negative value %d", g)
+		}
+		sum += float64(g)
+	}
+	mean := sum / draws
+	want := (1 - p) / p // mean number of failures before first success
+	if math.Abs(mean-want)/want > 0.05 {
+		t.Fatalf("Geometric(%v) mean = %.3f, want %.3f", p, mean, want)
+	}
+	if g := r.Geometric(1); g != 0 {
+		t.Fatalf("Geometric(1) = %d, want 0", g)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := New(10)
+	f := func(nRaw uint8) bool {
+		n := int(nRaw%64) + 1
+		p := r.Perm(n)
+		if len(p) != n {
+			return false
+		}
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestShuffleInt32sPreservesMultiset(t *testing.T) {
+	r := New(11)
+	in := []int32{5, 5, 1, 2, 9, 9, 9, 0}
+	got := append([]int32(nil), in...)
+	r.ShuffleInt32s(got)
+	count := map[int32]int{}
+	for _, v := range in {
+		count[v]++
+	}
+	for _, v := range got {
+		count[v]--
+	}
+	for k, c := range count {
+		if c != 0 {
+			t.Fatalf("multiset changed for value %d (delta %d)", k, c)
+		}
+	}
+}
+
+func TestShuffleUniformitySmall(t *testing.T) {
+	// All 6 permutations of 3 elements should appear roughly equally.
+	r := New(12)
+	counts := map[[3]int]int{}
+	const draws = 60_000
+	for i := 0; i < draws; i++ {
+		p := r.Perm(3)
+		counts[[3]int{p[0], p[1], p[2]}]++
+	}
+	if len(counts) != 6 {
+		t.Fatalf("saw %d distinct permutations, want 6", len(counts))
+	}
+	for perm, c := range counts {
+		frac := float64(c) / draws
+		if math.Abs(frac-1.0/6.0) > 0.01 {
+			t.Fatalf("permutation %v frequency %.4f, want ~0.1667", perm, frac)
+		}
+	}
+}
+
+func BenchmarkUint64(b *testing.B) {
+	r := New(1)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink += r.Uint64()
+	}
+	_ = sink
+}
+
+func BenchmarkUint64n(b *testing.B) {
+	r := New(1)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink += r.Uint64n(12345)
+	}
+	_ = sink
+}
+
+func BenchmarkFloat64(b *testing.B) {
+	r := New(1)
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink += r.Float64()
+	}
+	_ = sink
+}

@@ -1,0 +1,118 @@
+// Package sim is the Monte-Carlo harness: it runs independent trials of a
+// simulation function across a worker pool with deterministic per-trial RNG
+// streams, so results are bit-identical regardless of parallelism, and
+// aggregates outcomes for the statistics layer.
+package sim
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"cobrawalk/internal/rng"
+)
+
+// Spec configures a batch of trials.
+type Spec struct {
+	// Trials is the number of independent runs (must be >= 1).
+	Trials int
+	// Seed is the master seed; trial i uses the independent stream
+	// rng.NewStream(Seed, i), so results do not depend on scheduling.
+	Seed uint64
+	// Workers bounds the worker pool (default GOMAXPROCS; 1 = serial).
+	Workers int
+}
+
+func (s Spec) workers() int {
+	w := s.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > s.Trials {
+		w = s.Trials
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// Run executes fn once per trial and returns the results in trial order.
+// fn receives the trial index and a private RNG stream; it must not share
+// mutable state across trials (each worker may reuse scratch state between
+// its own trials via the factory pattern in RunWithState). The first error
+// cancels outstanding work.
+func Run[T any](ctx context.Context, spec Spec, fn func(trial int, r *rng.Rand) (T, error)) ([]T, error) {
+	return RunWithState(ctx, spec, func() struct{} { return struct{}{} },
+		func(_ struct{}, trial int, r *rng.Rand) (T, error) { return fn(trial, r) })
+}
+
+// RunWithState is Run with per-worker scratch state: newState is called
+// once per worker, and the returned state is passed to every trial that
+// worker executes. This lets expensive per-run allocations (process
+// objects, buffers) be reused safely without sharing across goroutines.
+func RunWithState[S any, T any](ctx context.Context, spec Spec, newState func() S, fn func(state S, trial int, r *rng.Rand) (T, error)) ([]T, error) {
+	if spec.Trials < 1 {
+		return nil, fmt.Errorf("sim: trials = %d, need >= 1", spec.Trials)
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	results := make([]T, spec.Trials)
+	workers := spec.workers()
+
+	var (
+		next     atomic.Int64
+		wg       sync.WaitGroup
+		errOnce  sync.Once
+		firstErr error
+	)
+	cctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			state := newState()
+			for {
+				if cctx.Err() != nil {
+					return
+				}
+				i := int(next.Add(1) - 1)
+				if i >= spec.Trials {
+					return
+				}
+				r := rng.NewStream(spec.Seed, uint64(i))
+				out, err := fn(state, i, r)
+				if err != nil {
+					errOnce.Do(func() {
+						firstErr = fmt.Errorf("sim: trial %d: %w", i, err)
+						cancel()
+					})
+					return
+				}
+				results[i] = out
+			}
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("sim: cancelled: %w", err)
+	}
+	return results, nil
+}
+
+// Floats extracts a float64 metric from every result.
+func Floats[T any](results []T, metric func(T) float64) []float64 {
+	out := make([]float64, len(results))
+	for i, r := range results {
+		out[i] = metric(r)
+	}
+	return out
+}

@@ -1,0 +1,148 @@
+package sim
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+
+	"cobrawalk/internal/rng"
+)
+
+func TestRunDeterministicAcrossWorkerCounts(t *testing.T) {
+	run := func(workers int) []float64 {
+		res, err := Run(context.Background(), Spec{Trials: 64, Seed: 42, Workers: workers},
+			func(trial int, r *rng.Rand) (float64, error) {
+				// Consume a trial-dependent amount of randomness to make
+				// any stream-sharing bug visible.
+				sum := 0.0
+				for i := 0; i <= trial%7; i++ {
+					sum += r.Float64()
+				}
+				return sum, nil
+			})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	serial := run(1)
+	for _, w := range []int{2, 4, 16} {
+		par := run(w)
+		for i := range serial {
+			if par[i] != serial[i] {
+				t.Fatalf("workers=%d: trial %d = %v, serial = %v", w, i, par[i], serial[i])
+			}
+		}
+	}
+}
+
+func TestRunResultsInTrialOrder(t *testing.T) {
+	res, err := Run(context.Background(), Spec{Trials: 100, Seed: 1},
+		func(trial int, r *rng.Rand) (int, error) { return trial * trial, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range res {
+		if v != i*i {
+			t.Fatalf("result[%d] = %d", i, v)
+		}
+	}
+}
+
+func TestRunErrorPropagation(t *testing.T) {
+	sentinel := errors.New("boom")
+	_, err := Run(context.Background(), Spec{Trials: 50, Seed: 2, Workers: 4},
+		func(trial int, r *rng.Rand) (int, error) {
+			if trial == 13 {
+				return 0, sentinel
+			}
+			return trial, nil
+		})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v, want wrapped sentinel", err)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	if _, err := Run(context.Background(), Spec{Trials: 0},
+		func(int, *rng.Rand) (int, error) { return 0, nil }); err == nil {
+		t.Fatal("zero trials should fail")
+	}
+}
+
+func TestRunContextCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // cancelled before start
+	_, err := Run(ctx, Spec{Trials: 10, Seed: 3},
+		func(trial int, r *rng.Rand) (int, error) { return trial, nil })
+	if err == nil {
+		t.Fatal("pre-cancelled context should fail")
+	}
+}
+
+func TestRunWithStatePerWorkerReuse(t *testing.T) {
+	// Each worker gets its own scratch buffer; concurrent trials must
+	// never observe another worker's state. Use a counter-in-struct that
+	// each trial increments; totals must equal trial count.
+	type scratch struct{ uses int }
+	res, err := RunWithState(context.Background(), Spec{Trials: 200, Seed: 4, Workers: 8},
+		func() *scratch { return &scratch{} },
+		func(s *scratch, trial int, r *rng.Rand) (int, error) {
+			s.uses++
+			return s.uses, nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	maxUse := 0
+	for _, v := range res {
+		if v < 1 {
+			t.Fatalf("invalid use count %d", v)
+		}
+		total++
+		if v > maxUse {
+			maxUse = v
+		}
+	}
+	if total != 200 {
+		t.Fatalf("total trials %d", total)
+	}
+	if maxUse < 200/8 {
+		t.Fatalf("max per-worker use %d suspiciously small (state not reused?)", maxUse)
+	}
+}
+
+func TestFloats(t *testing.T) {
+	type res struct{ x int }
+	in := []res{{1}, {2}, {3}}
+	out := Floats(in, func(r res) float64 { return float64(r.x) * 2 })
+	want := []float64{2, 4, 6}
+	for i := range want {
+		if out[i] != want[i] {
+			t.Fatalf("Floats = %v", out)
+		}
+	}
+}
+
+func TestSpecWorkersClamp(t *testing.T) {
+	s := Spec{Trials: 3, Workers: 100}
+	if got := s.workers(); got != 3 {
+		t.Fatalf("workers clamped to %d, want 3", got)
+	}
+	s = Spec{Trials: 5, Workers: -1}
+	if got := s.workers(); got < 1 {
+		t.Fatalf("workers = %d", got)
+	}
+}
+
+func ExampleRun() {
+	res, err := Run(context.Background(), Spec{Trials: 3, Seed: 7},
+		func(trial int, r *rng.Rand) (int, error) { return trial + 1, nil })
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(res)
+	// Output: [1 2 3]
+}

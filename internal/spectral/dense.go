@@ -1,0 +1,108 @@
+package spectral
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"cobrawalk/internal/graph"
+)
+
+// denseLimit caps the dense eigensolver: Jacobi sweeps cost O(n³) per
+// sweep, so the exact path is reserved for the small graphs used in tests
+// and exact experiments.
+const denseLimit = 1500
+
+// DenseSpectrum returns all eigenvalues of the normalised adjacency
+// N = D^{-1/2} A D^{-1/2} (equal to the spectrum of the random-walk
+// transition matrix P), sorted in non-increasing order, computed by cyclic
+// Jacobi rotations. Exact up to floating-point roundoff; limited to
+// n <= 1500 vertices.
+func DenseSpectrum(g *graph.Graph) ([]float64, error) {
+	n := g.N()
+	if n == 0 {
+		return nil, errors.New("spectral: empty graph")
+	}
+	if n > denseLimit {
+		return nil, fmt.Errorf("spectral: dense solver limited to n <= %d, got %d", denseLimit, n)
+	}
+	op, err := NewOperator(g)
+	if err != nil {
+		return nil, err
+	}
+	// Build the dense symmetric matrix N.
+	a := make([][]float64, n)
+	for i := range a {
+		a[i] = make([]float64, n)
+	}
+	for v := 0; v < n; v++ {
+		for _, u := range g.Neighbors(int32(v)) {
+			a[v][u] = op.invSqrtDeg[v] * op.invSqrtDeg[u]
+		}
+	}
+	eig, err := jacobiEigenvalues(a)
+	if err != nil {
+		return nil, err
+	}
+	sort.Sort(sort.Reverse(sort.Float64Slice(eig)))
+	return eig, nil
+}
+
+// jacobiEigenvalues destroys a and returns its eigenvalues (unsorted).
+// a must be symmetric.
+func jacobiEigenvalues(a [][]float64) ([]float64, error) {
+	n := len(a)
+	const maxSweeps = 100
+	for sweep := 0; sweep < maxSweeps; sweep++ {
+		// Off-diagonal Frobenius norm.
+		var off float64
+		for p := 0; p < n; p++ {
+			for q := p + 1; q < n; q++ {
+				off += 2 * a[p][q] * a[p][q]
+			}
+		}
+		if off < 1e-22*float64(n*n) {
+			d := make([]float64, n)
+			for i := range d {
+				d[i] = a[i][i]
+			}
+			return d, nil
+		}
+		for p := 0; p < n; p++ {
+			for q := p + 1; q < n; q++ {
+				apq := a[p][q]
+				if math.Abs(apq) < 1e-300 {
+					continue
+				}
+				// Compute the rotation annihilating a[p][q].
+				theta := (a[q][q] - a[p][p]) / (2 * apq)
+				var t float64
+				if math.Abs(theta) > 1e150 {
+					t = 1 / (2 * theta)
+				} else {
+					t = math.Copysign(1, theta) / (math.Abs(theta) + math.Sqrt(theta*theta+1))
+				}
+				c := 1 / math.Sqrt(t*t+1)
+				s := t * c
+				tau := s / (1 + c)
+				app, aqq := a[p][p], a[q][q]
+				a[p][p] = app - t*apq
+				a[q][q] = aqq + t*apq
+				a[p][q] = 0
+				a[q][p] = 0
+				for i := 0; i < n; i++ {
+					if i == p || i == q {
+						continue
+					}
+					aip, aiq := a[i][p], a[i][q]
+					a[i][p] = aip - s*(aiq+tau*aip)
+					a[p][i] = a[i][p]
+					a[i][q] = aiq + s*(aip-tau*aiq)
+					a[q][i] = a[i][q]
+				}
+			}
+		}
+	}
+	return nil, errors.New("spectral: Jacobi did not converge")
+}

@@ -1,0 +1,71 @@
+package stats
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestGini(t *testing.T) {
+	cases := []struct {
+		name string
+		in   []float64
+		want float64
+		tol  float64
+	}{
+		{"equal", []float64{5, 5, 5, 5}, 0, 1e-12},
+		{"all-zero", []float64{0, 0, 0}, 0, 1e-12},
+		{"one-holder-of-4", []float64{0, 0, 0, 8}, 0.75, 1e-12}, // (n-1)/n
+		{"two-values", []float64{1, 3}, 0.25, 1e-12},
+		{"arithmetic", []float64{1, 2, 3, 4, 5}, 4.0 / 15, 1e-12},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got, err := Gini(tc.in)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !approx(got, tc.want, tc.tol) {
+				t.Fatalf("Gini = %v, want %v", got, tc.want)
+			}
+		})
+	}
+}
+
+func TestGiniOrderInvariant(t *testing.T) {
+	a, err := Gini([]float64{3, 1, 4, 1, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Gini([]float64{5, 4, 3, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(a, b, 1e-12) {
+		t.Fatalf("order changed Gini: %v vs %v", a, b)
+	}
+}
+
+func TestGiniErrors(t *testing.T) {
+	if _, err := Gini(nil); !errors.Is(err, ErrEmpty) {
+		t.Fatal("empty should fail with ErrEmpty")
+	}
+	if _, err := Gini([]float64{1, -1}); err == nil {
+		t.Fatal("negative data should fail")
+	}
+}
+
+func TestGiniRange(t *testing.T) {
+	// Gini of any non-negative sample lies in [0, 1).
+	samples := [][]float64{
+		{1}, {0.5, 0.5}, {10, 0, 0, 0, 0, 0, 0, 0}, {1, 2, 4, 8, 16, 32},
+	}
+	for _, s := range samples {
+		g, err := Gini(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g < 0 || g >= 1 {
+			t.Fatalf("Gini(%v) = %v outside [0,1)", s, g)
+		}
+	}
+}

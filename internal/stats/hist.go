@@ -1,0 +1,69 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Histogram is a fixed-width-bin histogram over [Lo, Hi); samples outside
+// the range are clamped into the edge bins so no observation is lost.
+type Histogram struct {
+	Lo, Hi float64
+	Counts []int64
+	total  int64
+}
+
+// NewHistogram returns a histogram with bins equal-width bins over
+// [lo, hi). bins must be positive and hi > lo.
+func NewHistogram(lo, hi float64, bins int) (*Histogram, error) {
+	if bins <= 0 {
+		return nil, fmt.Errorf("stats: histogram needs positive bin count, got %d", bins)
+	}
+	if !(hi > lo) {
+		return nil, fmt.Errorf("stats: histogram needs hi > lo, got [%v, %v)", lo, hi)
+	}
+	return &Histogram{Lo: lo, Hi: hi, Counts: make([]int64, bins)}, nil
+}
+
+// Add records one observation.
+func (h *Histogram) Add(x float64) {
+	idx := int(float64(len(h.Counts)) * (x - h.Lo) / (h.Hi - h.Lo))
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(h.Counts) {
+		idx = len(h.Counts) - 1
+	}
+	h.Counts[idx]++
+	h.total++
+}
+
+// Total returns the number of recorded observations.
+func (h *Histogram) Total() int64 { return h.total }
+
+// BinCenter returns the midpoint of bin i.
+func (h *Histogram) BinCenter(i int) float64 {
+	w := (h.Hi - h.Lo) / float64(len(h.Counts))
+	return h.Lo + w*(float64(i)+0.5)
+}
+
+// Render draws a fixed-width ASCII bar chart, one line per bin, suitable
+// for experiment logs.
+func (h *Histogram) Render(width int) string {
+	if width <= 0 {
+		width = 40
+	}
+	var maxCount int64 = 1
+	for _, c := range h.Counts {
+		if c > maxCount {
+			maxCount = c
+		}
+	}
+	var sb strings.Builder
+	for i, c := range h.Counts {
+		barLen := int(math.Round(float64(c) / float64(maxCount) * float64(width)))
+		fmt.Fprintf(&sb, "%10.3g | %-*s %d\n", h.BinCenter(i), width, strings.Repeat("#", barLen), c)
+	}
+	return sb.String()
+}

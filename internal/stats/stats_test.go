@@ -1,0 +1,444 @@
+package stats
+
+import (
+	"errors"
+	"math"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"cobrawalk/internal/rng"
+)
+
+func approx(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestSummarizeKnown(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	s, err := Summarize(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.N != 8 || !approx(s.Mean, 5, 1e-12) {
+		t.Fatalf("mean: %+v", s)
+	}
+	// Sample variance with n-1 denominator: Σ(x-5)² = 32, 32/7.
+	if !approx(s.Variance, 32.0/7, 1e-12) {
+		t.Fatalf("variance = %v, want %v", s.Variance, 32.0/7)
+	}
+	if s.Min != 2 || s.Max != 9 {
+		t.Fatalf("range: %+v", s)
+	}
+	if !approx(s.Median, 4.5, 1e-12) {
+		t.Fatalf("median = %v, want 4.5", s.Median)
+	}
+	if !approx(s.SE(), s.Std/math.Sqrt(8), 1e-12) {
+		t.Fatalf("SE = %v", s.SE())
+	}
+	if !strings.Contains(s.String(), "n=8") {
+		t.Fatalf("String: %s", s.String())
+	}
+}
+
+func TestSummarizeSingleAndEmpty(t *testing.T) {
+	s, err := Summarize([]float64{3.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Mean != 3.5 || s.Variance != 0 || s.Median != 3.5 || s.Min != 3.5 || s.Max != 3.5 {
+		t.Fatalf("singleton summary: %+v", s)
+	}
+	if _, err := Summarize(nil); !errors.Is(err, ErrEmpty) {
+		t.Fatalf("empty: %v", err)
+	}
+}
+
+func TestSummarizeDoesNotMutateInput(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	if _, err := Summarize(xs); err != nil {
+		t.Fatal(err)
+	}
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Fatalf("input mutated: %v", xs)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	cases := []struct{ q, want float64 }{
+		{0, 1}, {0.25, 2}, {0.5, 3}, {0.75, 4}, {1, 5}, {0.1, 1.4},
+	}
+	for _, tc := range cases {
+		got, err := Quantile(xs, tc.q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !approx(got, tc.want, 1e-12) {
+			t.Fatalf("Quantile(%v) = %v, want %v", tc.q, got, tc.want)
+		}
+	}
+	if _, err := Quantile(xs, 1.5); err == nil {
+		t.Fatal("q > 1 should fail")
+	}
+	if _, err := Quantile(nil, 0.5); !errors.Is(err, ErrEmpty) {
+		t.Fatal("empty should fail with ErrEmpty")
+	}
+}
+
+func TestQuantilePropertyMonotone(t *testing.T) {
+	r := rng.New(1)
+	f := func(seed uint32) bool {
+		rr := rng.New(uint64(seed))
+		n := rr.Intn(50) + 1
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = rr.Float64() * 100
+		}
+		prev := math.Inf(-1)
+		for q := 0.0; q <= 1.0; q += 0.1 {
+			v, err := Quantile(xs, q)
+			if err != nil || v < prev {
+				return false
+			}
+			prev = v
+		}
+		// Quantiles bounded by min/max.
+		sorted := append([]float64(nil), xs...)
+		sort.Float64s(sorted)
+		lo, _ := Quantile(xs, 0)
+		hi, _ := Quantile(xs, 1)
+		return lo == sorted[0] && hi == sorted[n-1]
+	}
+	_ = r
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWelfordMatchesBatch(t *testing.T) {
+	r := rng.New(2)
+	xs := make([]float64, 1000)
+	var w Welford
+	for i := range xs {
+		xs[i] = r.NormFloat64()*3 + 7
+		w.Add(xs[i])
+	}
+	s, err := Summarize(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(w.Mean(), s.Mean, 1e-10) || !approx(w.Variance(), s.Variance, 1e-8) {
+		t.Fatalf("welford (%v, %v) vs batch (%v, %v)", w.Mean(), w.Variance(), s.Mean, s.Variance)
+	}
+	if w.N() != 1000 {
+		t.Fatalf("N = %d", w.N())
+	}
+}
+
+func TestWelfordMerge(t *testing.T) {
+	r := rng.New(3)
+	var whole, left, right Welford
+	for i := 0; i < 500; i++ {
+		x := r.Float64() * 10
+		whole.Add(x)
+		if i < 180 {
+			left.Add(x)
+		} else {
+			right.Add(x)
+		}
+	}
+	left.Merge(right)
+	if left.N() != whole.N() {
+		t.Fatalf("merged N = %d, want %d", left.N(), whole.N())
+	}
+	if !approx(left.Mean(), whole.Mean(), 1e-10) || !approx(left.Variance(), whole.Variance(), 1e-8) {
+		t.Fatalf("merge mismatch: (%v,%v) vs (%v,%v)", left.Mean(), left.Variance(), whole.Mean(), whole.Variance())
+	}
+	// Merging into empty and merging empty are both identity-ish.
+	var empty Welford
+	empty.Merge(whole)
+	if !approx(empty.Mean(), whole.Mean(), 1e-12) {
+		t.Fatal("merge into empty failed")
+	}
+	before := whole.Mean()
+	whole.Merge(Welford{})
+	if whole.Mean() != before {
+		t.Fatal("merging empty changed state")
+	}
+}
+
+func TestWelfordEmpty(t *testing.T) {
+	var w Welford
+	if !math.IsNaN(w.Mean()) || !math.IsNaN(w.SE()) {
+		t.Fatal("empty accumulator should report NaN mean/SE")
+	}
+	if w.Variance() != 0 {
+		t.Fatal("empty variance should be 0")
+	}
+}
+
+func TestInvNormCDF(t *testing.T) {
+	// Known standard normal quantiles.
+	cases := []struct{ p, want float64 }{
+		{0.5, 0},
+		{0.975, 1.959964},
+		{0.995, 2.575829},
+		{0.841344746, 1.0},
+		{0.025, -1.959964},
+		{0.0001, -3.719016},
+	}
+	for _, tc := range cases {
+		if got := invNormCDF(tc.p); !approx(got, tc.want, 1e-4) {
+			t.Fatalf("invNormCDF(%v) = %v, want %v", tc.p, got, tc.want)
+		}
+	}
+	if !math.IsNaN(invNormCDF(0)) || !math.IsNaN(invNormCDF(1)) {
+		t.Fatal("edge probabilities should be NaN")
+	}
+}
+
+func TestNormalCI(t *testing.T) {
+	r := rng.New(4)
+	xs := make([]float64, 4000)
+	for i := range xs {
+		xs[i] = r.NormFloat64() + 5
+	}
+	iv, err := NormalCI(xs, 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !iv.Contains(5) {
+		t.Fatalf("CI %v should contain the true mean 5", iv)
+	}
+	if iv.Hi-iv.Lo > 0.2 {
+		t.Fatalf("CI too wide: %v", iv)
+	}
+	if iv.Lo >= iv.Point || iv.Point >= iv.Hi {
+		t.Fatalf("CI ordering broken: %v", iv)
+	}
+	if _, err := NormalCI(xs, 1.5); err == nil {
+		t.Fatal("bad level should fail")
+	}
+	if _, err := NormalCI(nil, 0.95); err == nil {
+		t.Fatal("empty should fail")
+	}
+}
+
+func TestNormalCICoverage(t *testing.T) {
+	// Empirical coverage of the 90% CI over repeated sampling should be
+	// near 0.9. 400 experiments of 50 samples each.
+	r := rng.New(5)
+	covered := 0
+	const experiments = 400
+	for e := 0; e < experiments; e++ {
+		xs := make([]float64, 50)
+		for i := range xs {
+			xs[i] = r.NormFloat64() * 2
+		}
+		iv, err := NormalCI(xs, 0.90)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if iv.Contains(0) {
+			covered++
+		}
+	}
+	rate := float64(covered) / experiments
+	if rate < 0.84 || rate > 0.96 {
+		t.Fatalf("90%% CI empirical coverage = %.3f", rate)
+	}
+}
+
+func TestBootstrapCI(t *testing.T) {
+	r := rng.New(6)
+	xs := make([]float64, 500)
+	for i := range xs {
+		xs[i] = r.Float64()*2 + 3 // uniform(3,5), median 4
+	}
+	iv, err := BootstrapCI(xs, 0.95, 1000, func(s []float64) float64 {
+		v, _ := Quantile(s, 0.5)
+		return v
+	}, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !iv.Contains(4) {
+		t.Fatalf("bootstrap CI %v should contain true median 4", iv)
+	}
+	if _, err := BootstrapCI(nil, 0.95, 100, Mean, r); !errors.Is(err, ErrEmpty) {
+		t.Fatal("empty should fail")
+	}
+	if _, err := BootstrapCI(xs, 0, 100, Mean, r); err == nil {
+		t.Fatal("bad level should fail")
+	}
+}
+
+func TestLinearFitExact(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	ys := []float64{5, 7, 9, 11} // y = 2x + 3
+	f, err := LinearFit(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(f.Slope, 2, 1e-12) || !approx(f.Intercept, 3, 1e-12) || !approx(f.R2, 1, 1e-12) {
+		t.Fatalf("fit: %+v", f)
+	}
+	if !approx(f.Predict(10), 23, 1e-12) {
+		t.Fatalf("predict: %v", f.Predict(10))
+	}
+}
+
+func TestLinearFitErrors(t *testing.T) {
+	if _, err := LinearFit([]float64{1}, []float64{1}); err == nil {
+		t.Fatal("single point should fail")
+	}
+	if _, err := LinearFit([]float64{1, 2}, []float64{1}); err == nil {
+		t.Fatal("length mismatch should fail")
+	}
+	if _, err := LinearFit([]float64{2, 2, 2}, []float64{1, 2, 3}); err == nil {
+		t.Fatal("constant x should fail")
+	}
+	// Constant y fits exactly with slope 0.
+	f, err := LinearFit([]float64{1, 2, 3}, []float64{7, 7, 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Slope != 0 || f.R2 != 1 {
+		t.Fatalf("constant-y fit: %+v", f)
+	}
+}
+
+func TestFitLogN(t *testing.T) {
+	// y = 3·log2(n) + 1.
+	ns := []float64{256, 512, 1024, 2048, 4096}
+	ys := make([]float64, len(ns))
+	for i, n := range ns {
+		ys[i] = 3*math.Log2(n) + 1
+	}
+	f, err := FitLogN(ns, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(f.Slope, 3, 1e-10) || !approx(f.Intercept, 1, 1e-9) {
+		t.Fatalf("log fit: %+v", f)
+	}
+	if _, err := FitLogN([]float64{0, 2}, []float64{1, 2}); err == nil {
+		t.Fatal("n = 0 should fail")
+	}
+}
+
+func TestFitPower(t *testing.T) {
+	// y = 5·x^0.5.
+	xs := []float64{1, 4, 9, 16, 25}
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = 5 * math.Sqrt(x)
+	}
+	p, err := FitPower(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(p.Exponent, 0.5, 1e-10) || !approx(p.Coeff, 5, 1e-9) || !approx(p.R2, 1, 1e-10) {
+		t.Fatalf("power fit: %+v", p)
+	}
+	if !approx(p.Predict(100), 50, 1e-8) {
+		t.Fatalf("predict: %v", p.Predict(100))
+	}
+	if _, err := FitPower([]float64{-1, 2}, []float64{1, 2}); err == nil {
+		t.Fatal("negative x should fail")
+	}
+}
+
+func TestCompareFits(t *testing.T) {
+	ys := []float64{1, 2, 3}
+	perfect := []float64{1, 2, 3}
+	off := []float64{2, 3, 4}
+	ratio, err := CompareFits(ys, perfect, off)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ratio != 0 {
+		t.Fatalf("perfect model ratio = %v, want 0", ratio)
+	}
+	ratio, err = CompareFits(ys, off, perfect)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(ratio, 1) {
+		t.Fatalf("ratio against perfect baseline = %v, want +Inf", ratio)
+	}
+	ratio, err = CompareFits(ys, perfect, perfect)
+	if err != nil || ratio != 1 {
+		t.Fatalf("both perfect: %v, %v", ratio, err)
+	}
+	if _, err := CompareFits(ys, perfect, []float64{1}); err == nil {
+		t.Fatal("length mismatch should fail")
+	}
+	if _, err := CompareFits(nil, nil, nil); !errors.Is(err, ErrEmpty) {
+		t.Fatal("empty should fail")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h, err := NewHistogram(0, 10, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range []float64{0.5, 1, 3, 5, 7, 9, -2, 15} {
+		h.Add(x)
+	}
+	if h.Total() != 8 {
+		t.Fatalf("total = %d", h.Total())
+	}
+	// -2 clamps into bin 0, 15 into bin 4.
+	if h.Counts[0] != 3 { // 0.5, 1, -2
+		t.Fatalf("bin0 = %d, want 3 (counts %v)", h.Counts[0], h.Counts)
+	}
+	if h.Counts[4] != 2 { // 9, 15
+		t.Fatalf("bin4 = %d, want 2 (counts %v)", h.Counts[4], h.Counts)
+	}
+	if !approx(h.BinCenter(0), 1, 1e-12) || !approx(h.BinCenter(4), 9, 1e-12) {
+		t.Fatalf("bin centers: %v %v", h.BinCenter(0), h.BinCenter(4))
+	}
+	out := h.Render(20)
+	if !strings.Contains(out, "#") {
+		t.Fatalf("render produced no bars:\n%s", out)
+	}
+	if _, err := NewHistogram(0, 10, 0); err == nil {
+		t.Fatal("zero bins should fail")
+	}
+	if _, err := NewHistogram(5, 5, 3); err == nil {
+		t.Fatal("hi == lo should fail")
+	}
+}
+
+func TestMeanEdge(t *testing.T) {
+	if !math.IsNaN(Mean(nil)) {
+		t.Fatal("Mean(nil) should be NaN")
+	}
+	if Mean([]float64{2, 4}) != 3 {
+		t.Fatal("Mean broken")
+	}
+}
+
+// Property: Summary invariants hold for arbitrary samples.
+func TestSummaryInvariantsQuick(t *testing.T) {
+	f := func(seed uint32) bool {
+		r := rng.New(uint64(seed))
+		n := r.Intn(100) + 1
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = r.NormFloat64() * 50
+		}
+		s, err := Summarize(xs)
+		if err != nil {
+			return false
+		}
+		return s.Min <= s.Q25 && s.Q25 <= s.Median && s.Median <= s.Q75 &&
+			s.Q75 <= s.Max && s.Mean >= s.Min && s.Mean <= s.Max &&
+			s.Variance >= 0 && s.P95 <= s.Max && s.P95 >= s.Median
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

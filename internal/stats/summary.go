@@ -1,0 +1,198 @@
+// Package stats provides the statistical machinery the experiment harness
+// reports with: batch and streaming summaries, quantiles, confidence
+// intervals (normal and bootstrap), histograms, and least-squares fits for
+// the scaling laws the paper predicts (cover time ∝ log n, cover time ∝
+// (1-λ)^{-c}).
+package stats
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// ErrEmpty is returned when an operation requires at least one sample.
+var ErrEmpty = errors.New("stats: empty sample")
+
+// Summary holds the descriptive statistics of a sample.
+type Summary struct {
+	N        int
+	Mean     float64
+	Variance float64 // unbiased (n-1 denominator); 0 for n = 1
+	Std      float64
+	Min, Max float64
+	Median   float64
+	Q25, Q75 float64
+	P95      float64
+}
+
+// Summarize computes a Summary of xs. It returns ErrEmpty for an empty
+// sample. The input is not modified.
+func Summarize(xs []float64) (Summary, error) {
+	if len(xs) == 0 {
+		return Summary{}, ErrEmpty
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	var acc Welford
+	for _, x := range sorted {
+		acc.Add(x)
+	}
+	return Summary{
+		N:        len(sorted),
+		Mean:     acc.Mean(),
+		Variance: acc.Variance(),
+		Std:      acc.Std(),
+		Min:      sorted[0],
+		Max:      sorted[len(sorted)-1],
+		Median:   quantileSorted(sorted, 0.5),
+		Q25:      quantileSorted(sorted, 0.25),
+		Q75:      quantileSorted(sorted, 0.75),
+		P95:      quantileSorted(sorted, 0.95),
+	}, nil
+}
+
+// SE returns the standard error of the mean.
+func (s Summary) SE() float64 {
+	if s.N == 0 {
+		return math.NaN()
+	}
+	return s.Std / math.Sqrt(float64(s.N))
+}
+
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.4g ±%.2g sd=%.4g min=%.4g med=%.4g p95=%.4g max=%.4g",
+		s.N, s.Mean, s.SE(), s.Std, s.Min, s.Median, s.P95, s.Max)
+}
+
+// Quantile returns the q-th quantile (0 <= q <= 1) of xs using linear
+// interpolation between order statistics. It returns ErrEmpty for empty
+// input and an error for q outside [0, 1].
+func Quantile(xs []float64, q float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	if q < 0 || q > 1 {
+		return 0, fmt.Errorf("stats: quantile %v outside [0,1]", q)
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	return quantileSorted(sorted, q), nil
+}
+
+// quantileSorted interpolates the q-th quantile of an already-sorted slice.
+func quantileSorted(sorted []float64, q float64) float64 {
+	n := len(sorted)
+	if n == 1 {
+		return sorted[0]
+	}
+	pos := q * float64(n-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Mean returns the arithmetic mean, or NaN for empty input.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Gini returns the Gini coefficient of a non-negative sample: 0 for
+// perfectly equal values, approaching 1 as a single element dominates.
+// Used by the load-balance experiments to summarise per-vertex inequality.
+func Gini(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if sorted[0] < 0 {
+		return 0, fmt.Errorf("stats: Gini needs non-negative data, got %v", sorted[0])
+	}
+	n := float64(len(sorted))
+	var cum, total float64
+	for i, x := range sorted {
+		cum += float64(i+1) * x
+		total += x
+	}
+	if total == 0 {
+		return 0, nil // all-zero sample: perfectly equal
+	}
+	return (2*cum)/(n*total) - (n+1)/n, nil
+}
+
+// Welford is a streaming mean/variance accumulator (Welford's online
+// algorithm), numerically stable for long runs. The zero value is an empty
+// accumulator ready for use.
+type Welford struct {
+	n    int
+	mean float64
+	m2   float64
+}
+
+// Add incorporates one observation.
+func (w *Welford) Add(x float64) {
+	w.n++
+	delta := x - w.mean
+	w.mean += delta / float64(w.n)
+	w.m2 += delta * (x - w.mean)
+}
+
+// N returns the number of observations so far.
+func (w *Welford) N() int { return w.n }
+
+// Mean returns the running mean (NaN when empty).
+func (w *Welford) Mean() float64 {
+	if w.n == 0 {
+		return math.NaN()
+	}
+	return w.mean
+}
+
+// Variance returns the unbiased sample variance (0 for n <= 1).
+func (w *Welford) Variance() float64 {
+	if w.n <= 1 {
+		return 0
+	}
+	return w.m2 / float64(w.n-1)
+}
+
+// Std returns the sample standard deviation.
+func (w *Welford) Std() float64 { return math.Sqrt(w.Variance()) }
+
+// SE returns the standard error of the running mean.
+func (w *Welford) SE() float64 {
+	if w.n == 0 {
+		return math.NaN()
+	}
+	return w.Std() / math.Sqrt(float64(w.n))
+}
+
+// Merge combines another accumulator into this one (parallel reduction),
+// using Chan et al.'s pairwise update.
+func (w *Welford) Merge(o Welford) {
+	if o.n == 0 {
+		return
+	}
+	if w.n == 0 {
+		*w = o
+		return
+	}
+	n := w.n + o.n
+	delta := o.mean - w.mean
+	w.mean += delta * float64(o.n) / float64(n)
+	w.m2 += o.m2 + delta*delta*float64(w.n)*float64(o.n)/float64(n)
+	w.n = n
+}

@@ -1,0 +1,214 @@
+// Package walk provides exact random-walk theory for validating the
+// simulation stack: expected hitting times of the simple random walk by
+// direct linear-system solution, the stationary distribution, and the
+// Matthews cover-time bounds. COBRA with k = 1 *is* the simple random
+// walk, so these closed forms anchor the k = 1 end of the branching
+// spectrum, and the baseline walk protocols are tested against them.
+package walk
+
+import (
+	"errors"
+	"fmt"
+
+	"cobrawalk/internal/graph"
+)
+
+// maxDense bounds the dense solvers (Gaussian elimination is O(n³) per
+// target).
+const maxDense = 2000
+
+// StationaryDistribution returns π with π[v] = deg(v)/(2m), the stationary
+// distribution of the simple random walk on any connected graph.
+func StationaryDistribution(g *graph.Graph) ([]float64, error) {
+	if g.N() == 0 {
+		return nil, errors.New("walk: empty graph")
+	}
+	if g.M() == 0 {
+		return nil, errors.New("walk: graph has no edges")
+	}
+	pi := make([]float64, g.N())
+	total := 2 * float64(g.M())
+	for v := 0; v < g.N(); v++ {
+		pi[v] = float64(g.Degree(int32(v))) / total
+	}
+	return pi, nil
+}
+
+// ExpectedHittingTimes returns h where h[u] = E_u[first time the walk
+// visits target], computed exactly by solving the absorbing-chain system
+//
+//	h[target] = 0,   h[u] = 1 + (1/deg u) Σ_{w ~ u} h[w]   (u ≠ target)
+//
+// by Gaussian elimination with partial pivoting. The graph must be
+// connected (otherwise some hitting times are infinite) and have at most
+// 2000 vertices.
+func ExpectedHittingTimes(g *graph.Graph, target int32) ([]float64, error) {
+	n := g.N()
+	if n == 0 {
+		return nil, errors.New("walk: empty graph")
+	}
+	if n > maxDense {
+		return nil, fmt.Errorf("walk: dense solver limited to n <= %d, got %d", maxDense, n)
+	}
+	if target < 0 || int(target) >= n {
+		return nil, fmt.Errorf("walk: target %d out of range [0,%d)", target, n)
+	}
+	if g.MinDegree() == 0 {
+		return nil, errors.New("walk: graph has an isolated vertex")
+	}
+	if !g.IsConnected() {
+		return nil, errors.New("walk: graph is disconnected; hitting times are infinite")
+	}
+	// Index the n-1 unknowns (all vertices except target).
+	idx := make([]int, n) // vertex -> row, -1 for target
+	vertices := make([]int32, 0, n-1)
+	for v := int32(0); v < int32(n); v++ {
+		if v == target {
+			idx[v] = -1
+			continue
+		}
+		idx[v] = len(vertices)
+		vertices = append(vertices, v)
+	}
+	m := len(vertices)
+	// Build A·h = b with A = I - Q (Q the transition matrix restricted to
+	// non-target rows/columns) and b = 1.
+	a := make([][]float64, m)
+	b := make([]float64, m)
+	for i, v := range vertices {
+		row := make([]float64, m)
+		row[i] = 1
+		inv := 1 / float64(g.Degree(v))
+		for _, w := range g.Neighbors(v) {
+			if j := idx[w]; j >= 0 {
+				row[j] -= inv
+			}
+		}
+		a[i] = row
+		b[i] = 1
+	}
+	if err := solveInPlace(a, b); err != nil {
+		return nil, err
+	}
+	h := make([]float64, n)
+	for i, v := range vertices {
+		h[v] = b[i]
+	}
+	return h, nil
+}
+
+// solveInPlace solves a·x = b by Gaussian elimination with partial
+// pivoting, leaving the solution in b.
+func solveInPlace(a [][]float64, b []float64) error {
+	m := len(a)
+	for col := 0; col < m; col++ {
+		// Pivot.
+		piv := col
+		best := abs(a[col][col])
+		for r := col + 1; r < m; r++ {
+			if v := abs(a[r][col]); v > best {
+				best, piv = v, r
+			}
+		}
+		if best < 1e-12 {
+			return errors.New("walk: singular hitting-time system (disconnected?)")
+		}
+		a[col], a[piv] = a[piv], a[col]
+		b[col], b[piv] = b[piv], b[col]
+		// Eliminate below.
+		inv := 1 / a[col][col]
+		for r := col + 1; r < m; r++ {
+			f := a[r][col] * inv
+			if f == 0 {
+				continue
+			}
+			row, prow := a[r], a[col]
+			for c := col; c < m; c++ {
+				row[c] -= f * prow[c]
+			}
+			b[r] -= f * b[col]
+		}
+	}
+	// Back-substitute.
+	for r := m - 1; r >= 0; r-- {
+		sum := b[r]
+		row := a[r]
+		for c := r + 1; c < m; c++ {
+			sum -= row[c] * b[c]
+		}
+		b[r] = sum / row[r]
+	}
+	return nil
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// PairwiseHittingTimes returns the full matrix H with H[u][v] =
+// E_u[time to hit v], by solving one absorbing system per target. Cost is
+// O(n⁴); intended for graphs with a few hundred vertices.
+func PairwiseHittingTimes(g *graph.Graph) ([][]float64, error) {
+	n := g.N()
+	if n > 400 {
+		return nil, fmt.Errorf("walk: pairwise solver limited to n <= 400, got %d", n)
+	}
+	h := make([][]float64, n)
+	for v := int32(0); v < int32(n); v++ {
+		col, err := ExpectedHittingTimes(g, v)
+		if err != nil {
+			return nil, err
+		}
+		for u := 0; u < n; u++ {
+			if h[u] == nil {
+				h[u] = make([]float64, n)
+			}
+			h[u][v] = col[u]
+		}
+	}
+	return h, nil
+}
+
+// MatthewsBounds returns the Matthews lower and upper bounds on the
+// expected cover time of the simple random walk, from the pairwise
+// hitting-time matrix:
+//
+//	t_cov ≤ H_max · h(n-1)      t_cov ≥ H_min⁺ · h(n-1)
+//
+// where h(k) = 1 + 1/2 + … + 1/k is the harmonic number, H_max the largest
+// pairwise hitting time and H_min⁺ the smallest hitting time between
+// distinct vertices. (The sharper Matthews lower bound maximises over
+// subsets; the whole-vertex-set form used here is the standard simple
+// variant.)
+func MatthewsBounds(hit [][]float64) (lo, hi float64, err error) {
+	n := len(hit)
+	if n < 2 {
+		return 0, 0, errors.New("walk: need at least 2 vertices")
+	}
+	minH, maxH := -1.0, 0.0
+	for u := 0; u < n; u++ {
+		if len(hit[u]) != n {
+			return 0, 0, errors.New("walk: ragged hitting matrix")
+		}
+		for v := 0; v < n; v++ {
+			if u == v {
+				continue
+			}
+			h := hit[u][v]
+			if h > maxH {
+				maxH = h
+			}
+			if minH < 0 || h < minH {
+				minH = h
+			}
+		}
+	}
+	harm := 0.0
+	for k := 1; k <= n-1; k++ {
+		harm += 1 / float64(k)
+	}
+	return minH * harm, maxH * harm, nil
+}
