@@ -1,5 +1,7 @@
-// Benchmark harness: one benchmark per reproduction experiment E1-E11
-// (DESIGN.md §3) plus micro-benchmarks of the hot paths. Each experiment
+// Benchmark harness: one benchmark per core reproduction experiment
+// (E1-E11; see DESIGN.md §3 and EXPERIMENTS.md for the full E1-E15
+// catalogue) plus micro-benchmarks of the hot paths, including the
+// streaming aggregation layer (sim.Reduce + stats.Digest). Each experiment
 // benchmark exercises the same workload as its internal/expt counterpart
 // at a fixed representative size and reports the domain metric (rounds,
 // infection time) alongside ns/op, so `go test -bench=. -benchmem`
@@ -7,6 +9,7 @@
 package cobrawalk_test
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -14,7 +17,9 @@ import (
 	"cobrawalk/internal/core"
 	"cobrawalk/internal/graph"
 	"cobrawalk/internal/rng"
+	"cobrawalk/internal/sim"
 	"cobrawalk/internal/spectral"
+	"cobrawalk/internal/stats"
 )
 
 func buildRandomRegular(b *testing.B, n, deg int) *graph.Graph {
@@ -343,6 +348,79 @@ func benchBipsStep(b *testing.B, opts ...core.Option) {
 		p.Step(r)
 	}
 	b.ReportMetric(float64(p.InfectedCount()), "infected")
+}
+
+// BenchmarkDigestFold: per-observation cost of the streaming accumulator
+// (Welford + min/max + sketch bucket increment) — the inner loop of every
+// full-scale ensemble.
+func BenchmarkDigestFold(b *testing.B) {
+	d := stats.NewDigest()
+	r := rng.New(1)
+	xs := make([]float64, 1024)
+	for i := range xs {
+		xs[i] = 1 + 100*r.Float64()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Add(xs[i&1023])
+	}
+}
+
+// BenchmarkReduceEnsemble: the streaming harness end to end — 10⁴ COBRA
+// cover trials on a small expander folded into a digest. Allocations per
+// op must stay flat as trials grow (O(shards) accumulators, no per-trial
+// slice); compare BenchmarkRunEnsemble, whose allocation count scales with
+// the trial count.
+func BenchmarkReduceEnsemble(b *testing.B) {
+	benchEnsemble(b, true)
+}
+
+// BenchmarkRunEnsemble: the collect-then-summarise baseline for the same
+// workload as BenchmarkReduceEnsemble.
+func BenchmarkRunEnsemble(b *testing.B) {
+	benchEnsemble(b, false)
+}
+
+func benchEnsemble(b *testing.B, streaming bool) {
+	b.Helper()
+	g := buildRandomRegular(b, 256, 8)
+	spec := sim.Spec{Trials: 10000, Seed: 1}
+	newCobra := func() *core.Cobra {
+		c, err := core.NewCobra(g, core.WithMaxRounds(1<<20))
+		if err != nil {
+			panic(err)
+		}
+		return c
+	}
+	trial := func(c *core.Cobra, _ int, r *rng.Rand) (float64, error) {
+		res, err := c.Run(0, r)
+		if err != nil {
+			return 0, err
+		}
+		return float64(res.CoverTime), nil
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var mean float64
+		if streaming {
+			d, err := sim.ReduceWithState(context.Background(), spec,
+				sim.DigestReducer(func(x float64) float64 { return x }), newCobra, trial)
+			if err != nil {
+				b.Fatal(err)
+			}
+			mean = d.Stream.Mean()
+		} else {
+			res, err := sim.RunWithState(context.Background(), spec, newCobra, trial)
+			if err != nil {
+				b.Fatal(err)
+			}
+			mean = stats.Mean(res)
+		}
+		if mean <= 0 {
+			b.Fatal("degenerate ensemble")
+		}
+	}
 }
 
 func BenchmarkLambdaMax(b *testing.B) {

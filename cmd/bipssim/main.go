@@ -1,15 +1,21 @@
 // Command bipssim runs Monte-Carlo BIPS infection experiments on a chosen
 // graph family and prints summary statistics plus the three-phase
-// decomposition of the trajectory (Lemmas 2-4 of the paper).
+// decomposition of the trajectory (Lemmas 2-4 of the paper). Trial results
+// stream through sim.Reduce into constant-memory digests, so -trials can
+// be pushed to 10⁵+ without memory growth.
 //
 // Usage:
 //
 //	bipssim -graph rand-reg:4096:8 -trials 100 -seed 1
 //	bipssim -graph torus:64x64 -k 2 -trials 50
+//	bipssim -graph rand-reg:4096:8 -trials 100000 -json
+//
+// -json emits a single machine-readable JSON object instead of text.
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -31,6 +37,26 @@ func main() {
 	}
 }
 
+// agg is the streaming accumulator one shard folds its trials into: a
+// digest for the infection time and plain streams for the three phase
+// lengths (means are all the report needs).
+type agg struct {
+	infec      *stats.Digest
+	p1, p2, p3 stats.Stream
+}
+
+func newAgg() *agg { return &agg{infec: stats.NewDigest()} }
+
+func (a *agg) merge(o *agg) (*agg, error) {
+	if err := a.infec.Merge(o.infec); err != nil {
+		return nil, err
+	}
+	a.p1.Merge(o.p1)
+	a.p2.Merge(o.p2)
+	a.p3.Merge(o.p3)
+	return a, nil
+}
+
 func run(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("bipssim", flag.ContinueOnError)
 	var (
@@ -43,6 +69,7 @@ func run(args []string, w io.Writer) error {
 		workers   = fs.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
 		maxRounds = fs.Int("max-rounds", 1<<20, "per-run round cap")
 		fast      = fs.Bool("fast", false, "use the closed-form Bernoulli sampling path")
+		jsonOut   = fs.Bool("json", false, "emit one machine-readable JSON object")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -52,12 +79,14 @@ func run(args []string, w io.Writer) error {
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(w, "graph: %s\n", g)
 	lambda, err := spectral.LambdaMax(g, spectral.Options{})
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(w, "λmax: %.6f  gap: %.6f\n", lambda, 1-lambda)
+	if !*jsonOut {
+		fmt.Fprintf(w, "graph: %s\n", g)
+		fmt.Fprintf(w, "λmax: %.6f  gap: %.6f\n", lambda, 1-lambda)
+	}
 
 	opts := []core.Option{
 		core.WithBranching(core.Branching{K: *k, Rho: *rho}),
@@ -71,8 +100,20 @@ func run(args []string, w io.Writer) error {
 	}
 	smallTarget := int(math.Ceil(4 * math.Log2(float64(g.N()))))
 	type outcome struct{ infec, p1, p2, p3 float64 }
-	res, err := sim.RunWithState(context.Background(),
+	red := sim.Reducer[outcome, *agg]{
+		New: newAgg,
+		Fold: func(a *agg, _ int, o outcome) *agg {
+			a.infec.Add(o.infec)
+			a.p1.Add(o.p1)
+			a.p2.Add(o.p2)
+			a.p3.Add(o.p3)
+			return a
+		},
+		Merge: func(into, from *agg) (*agg, error) { return into.merge(from) },
+	}
+	total, err := sim.ReduceWithState(context.Background(),
 		sim.Spec{Trials: *trials, Seed: *seed, Workers: *workers},
+		red,
 		func() *core.BIPS {
 			b, err := core.NewBIPS(g, opts...)
 			if err != nil {
@@ -95,22 +136,43 @@ func run(args []string, w io.Writer) error {
 	if err != nil {
 		return err
 	}
-	times := sim.Floats(res, func(o outcome) float64 { return o.infec })
-	s, err := stats.Summarize(times)
+	s, err := total.infec.Summary()
 	if err != nil {
 		return err
 	}
-	ci, err := stats.NormalCI(times, 0.95)
+	ci, err := total.infec.Stream.CI(0.95)
 	if err != nil {
 		return err
 	}
+
+	if *jsonOut {
+		blob, err := json.Marshal(map[string]any{
+			"graph":          g.Name(),
+			"n":              g.N(),
+			"lambda":         lambda,
+			"gap":            1 - lambda,
+			"trials":         *trials,
+			"seed":           *seed,
+			"infection_time": s,
+			"ci95":           map[string]float64{"lo": ci.Lo, "hi": ci.Hi},
+			"phase_mean_rounds": map[string]float64{
+				"small":  total.p1.Mean(),
+				"growth": total.p2.Mean(),
+				"finish": total.p3.Mean(),
+			},
+			"phase_small_target": smallTarget,
+		})
+		if err != nil {
+			return err
+		}
+		_, err = fmt.Fprintf(w, "%s\n", blob)
+		return err
+	}
+
 	fmt.Fprintf(w, "infection time (%d trials): mean %.2f [%.2f, %.2f]  median %.0f  p95 %.0f  max %.0f\n",
-		*trials, s.Mean, ci.Lo, ci.Hi, s.Median, s.P95, s.Max)
+		*trials, s.Mean, ci.Lo, ci.Hi, s.P50, s.P95, s.Max)
 	fmt.Fprintf(w, "infec/log2(n): %.3f\n", s.Mean/math.Log2(float64(g.N())))
 	fmt.Fprintf(w, "phases (m=%d): 1→m %.2f   m→0.9n %.2f   0.9n→n %.2f (mean rounds)\n",
-		smallTarget,
-		stats.Mean(sim.Floats(res, func(o outcome) float64 { return o.p1 })),
-		stats.Mean(sim.Floats(res, func(o outcome) float64 { return o.p2 })),
-		stats.Mean(sim.Floats(res, func(o outcome) float64 { return o.p3 })))
+		smallTarget, total.p1.Mean(), total.p2.Mean(), total.p3.Mean())
 	return nil
 }

@@ -2,9 +2,36 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"strings"
 	"testing"
 )
+
+func TestRunJSON(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{"-graph", "complete:32", "-trials", "10", "-seed", "3", "-json"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rec struct {
+		N      int     `json:"n"`
+		Lambda float64 `json:"lambda"`
+		Infec  struct {
+			N    int     `json:"n"`
+			Mean float64 `json:"mean"`
+		} `json:"infection_time"`
+		Phases map[string]float64 `json:"phase_mean_rounds"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &rec); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, buf.String())
+	}
+	if rec.N != 32 || rec.Infec.N != 10 || !(rec.Infec.Mean > 0) || len(rec.Phases) != 3 {
+		t.Fatalf("JSON record = %+v", rec)
+	}
+	if strings.Contains(buf.String(), "λmax") {
+		t.Fatal("-json must suppress text output")
+	}
+}
 
 func TestRunBasic(t *testing.T) {
 	var buf bytes.Buffer

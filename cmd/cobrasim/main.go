@@ -1,16 +1,21 @@
 // Command cobrasim runs Monte-Carlo COBRA cover-time experiments on a
-// chosen graph family and prints summary statistics.
+// chosen graph family and prints summary statistics. Trial results stream
+// through sim.Reduce into constant-memory digests, so -trials can be
+// pushed to 10⁵+ without memory growth.
 //
 // Usage:
 //
 //	cobrasim -graph rand-reg:4096:8 -k 2 -trials 100 -seed 1
 //	cobrasim -graph complete:1024 -k 1 -rho 0.5 -trials 50 -hist
+//	cobrasim -graph rand-reg:65536:8 -trials 100000 -no-spectral -json
 //
-// The -graph flag uses the specification grammar of internal/cli.
+// The -graph flag uses the specification grammar of internal/cli; -json
+// emits a single machine-readable JSON object instead of text.
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -32,6 +37,24 @@ func main() {
 	}
 }
 
+// agg is the streaming accumulator one shard folds its trials into:
+// digests for the cover time and the transmission count.
+type agg struct {
+	cover, msgs *stats.Digest
+}
+
+func newAgg() *agg { return &agg{cover: stats.NewDigest(), msgs: stats.NewDigest()} }
+
+func (a *agg) merge(o *agg) (*agg, error) {
+	if err := a.cover.Merge(o.cover); err != nil {
+		return nil, err
+	}
+	if err := a.msgs.Merge(o.msgs); err != nil {
+		return nil, err
+	}
+	return a, nil
+}
+
 func run(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("cobrasim", flag.ContinueOnError)
 	var (
@@ -45,6 +68,7 @@ func run(args []string, w io.Writer) error {
 		maxRounds = fs.Int("max-rounds", 1<<20, "per-run round cap")
 		hist      = fs.Bool("hist", false, "print a cover-time histogram")
 		noSpec    = fs.Bool("no-spectral", false, "skip the λ measurement (large graphs)")
+		jsonOut   = fs.Bool("json", false, "emit one machine-readable JSON object")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -54,15 +78,20 @@ func run(args []string, w io.Writer) error {
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(w, "graph: %s\n", g)
+	if !*jsonOut {
+		fmt.Fprintf(w, "graph: %s\n", g)
+	}
 
+	lambda := math.NaN()
 	if !*noSpec {
-		lambda, err := spectral.LambdaMax(g, spectral.Options{})
+		lambda, err = spectral.LambdaMax(g, spectral.Options{})
 		if err != nil {
 			return err
 		}
-		fmt.Fprintf(w, "λmax: %.6f  gap: %.6f  T=log(n)/gap³: %.1f\n",
-			lambda, 1-lambda, math.Log(float64(g.N()))/math.Pow(1-lambda, 3))
+		if !*jsonOut {
+			fmt.Fprintf(w, "λmax: %.6f  gap: %.6f  T=log(n)/gap³: %.1f\n",
+				lambda, 1-lambda, math.Log(float64(g.N()))/math.Pow(1-lambda, 3))
+		}
 	}
 
 	branch := core.Branching{K: *k, Rho: *rho}
@@ -70,8 +99,18 @@ func run(args []string, w io.Writer) error {
 		return err
 	}
 	type outcome struct{ cover, msgs float64 }
-	res, err := sim.RunWithState(context.Background(),
+	red := sim.Reducer[outcome, *agg]{
+		New: newAgg,
+		Fold: func(a *agg, _ int, o outcome) *agg {
+			a.cover.Add(o.cover)
+			a.msgs.Add(o.msgs)
+			return a
+		},
+		Merge: func(into, from *agg) (*agg, error) { return into.merge(from) },
+	}
+	total, err := sim.ReduceWithState(context.Background(),
 		sim.Spec{Trials: *trials, Seed: *seed, Workers: *workers},
+		red,
 		func() *core.Cobra {
 			c, err := core.NewCobra(g, core.WithBranching(branch), core.WithMaxRounds(*maxRounds))
 			if err != nil {
@@ -92,29 +131,60 @@ func run(args []string, w io.Writer) error {
 	if err != nil {
 		return err
 	}
-	covers := sim.Floats(res, func(o outcome) float64 { return o.cover })
-	s, err := stats.Summarize(covers)
+	cs, err := total.cover.Summary()
 	if err != nil {
 		return err
 	}
-	ci, err := stats.NormalCI(covers, 0.95)
+	ms, err := total.msgs.Summary()
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(w, "cover time (%s, %d trials): mean %.2f [%.2f, %.2f]  median %.0f  p95 %.0f  max %.0f\n",
-		branch, *trials, s.Mean, ci.Lo, ci.Hi, s.Median, s.P95, s.Max)
-	fmt.Fprintf(w, "cover/log2(n): %.3f   transmissions/run: %.0f (%.2f per vertex)\n",
-		s.Mean/math.Log2(float64(g.N())),
-		stats.Mean(sim.Floats(res, func(o outcome) float64 { return o.msgs })),
-		stats.Mean(sim.Floats(res, func(o outcome) float64 { return o.msgs }))/float64(g.N()))
+	ci, err := total.cover.Stream.CI(0.95)
+	if err != nil {
+		return err
+	}
 
-	if *hist {
-		h, err := stats.NewHistogram(s.Min, s.Max+1, 20)
+	if *jsonOut {
+		rec := map[string]any{
+			"graph":         g.Name(),
+			"n":             g.N(),
+			"branching":     branch.String(),
+			"trials":        *trials,
+			"seed":          *seed,
+			"cover_time":    cs,
+			"transmissions": ms,
+			"ci95":          map[string]float64{"lo": ci.Lo, "hi": ci.Hi},
+		}
+		if !math.IsNaN(lambda) {
+			rec["lambda"] = lambda
+			rec["gap"] = 1 - lambda
+		}
+		if *hist {
+			h, err := total.cover.Sketch.FixedHistogram(cs.Min, cs.Max+1, 20)
+			if err != nil {
+				return err
+			}
+			rec["cover_time_histogram"] = map[string]any{
+				"lo": h.Lo, "hi": h.Hi, "counts": h.Counts,
+			}
+		}
+		blob, err := json.Marshal(rec)
 		if err != nil {
 			return err
 		}
-		for _, c := range covers {
-			h.Add(c)
+		_, err = fmt.Fprintf(w, "%s\n", blob)
+		return err
+	}
+
+	fmt.Fprintf(w, "cover time (%s, %d trials): mean %.2f [%.2f, %.2f]  median %.0f  p95 %.0f  max %.0f\n",
+		branch, *trials, cs.Mean, ci.Lo, ci.Hi, cs.P50, cs.P95, cs.Max)
+	fmt.Fprintf(w, "cover/log2(n): %.3f   transmissions/run: %.0f (%.2f per vertex)\n",
+		cs.Mean/math.Log2(float64(g.N())), ms.Mean, ms.Mean/float64(g.N()))
+
+	if *hist {
+		h, err := total.cover.Sketch.FixedHistogram(cs.Min, cs.Max+1, 20)
+		if err != nil {
+			return err
 		}
 		fmt.Fprintln(w, "\ncover-time histogram:")
 		fmt.Fprint(w, h.Render(48))

@@ -2,9 +2,56 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"strings"
 	"testing"
 )
+
+func TestRunJSON(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{"-graph", "complete:32", "-trials", "10", "-seed", "3", "-json"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rec struct {
+		Graph  string `json:"graph"`
+		N      int    `json:"n"`
+		Trials int    `json:"trials"`
+		Cover  struct {
+			N    int     `json:"n"`
+			Mean float64 `json:"mean"`
+			P95  float64 `json:"p95"`
+		} `json:"cover_time"`
+		Transmissions struct {
+			Mean float64 `json:"mean"`
+		} `json:"transmissions"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &rec); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, buf.String())
+	}
+	if rec.N != 32 || rec.Cover.N != 10 || !(rec.Cover.Mean > 0) || !(rec.Transmissions.Mean > 0) {
+		t.Fatalf("JSON record = %+v", rec)
+	}
+	if strings.Contains(buf.String(), "graph: ") {
+		t.Fatal("-json must suppress text output")
+	}
+}
+
+func TestRunJSONMatchesTextDeterministically(t *testing.T) {
+	// The same seed must give the same digest whether or not -json is set
+	// and whatever the worker count: the streaming reduction is
+	// scheduling-independent.
+	var a, b bytes.Buffer
+	if err := run([]string{"-graph", "complete:64", "-trials", "50", "-seed", "9", "-workers", "1", "-json"}, &a); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-graph", "complete:64", "-trials", "50", "-seed", "9", "-workers", "8", "-json"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatalf("workers=1 and workers=8 JSON differ:\n%s\n%s", a.String(), b.String())
+	}
+}
 
 func TestRunBasic(t *testing.T) {
 	var buf bytes.Buffer

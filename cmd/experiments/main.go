@@ -1,12 +1,14 @@
-// Command experiments runs the paper-reproduction experiment suite E1-E11
+// Command experiments runs the paper-reproduction experiment suite E1-E15
 // (one experiment per quantitative claim; see DESIGN.md §3) and prints the
-// tables recorded in EXPERIMENTS.md.
+// tables recorded in EXPERIMENTS.md. Ensemble experiments stream trials
+// through sim.Reduce, so -scale full runs in constant memory.
 //
 // Usage:
 //
 //	experiments -list
 //	experiments -run E1,E4 -scale quick
 //	experiments -scale full -seed 7        # run everything
+//	experiments -run E2 -scale full -json  # NDJSON for machines
 package main
 
 import (
@@ -36,6 +38,8 @@ func run(args []string, w io.Writer) error {
 		scale   = fs.String("scale", "quick", "smoke | quick | full")
 		seed    = fs.Uint64("seed", 1, "master RNG seed")
 		workers = fs.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
+		format  = fs.String("format", "text", "table output: text | csv | json")
+		jsonOut = fs.Bool("json", false, "shorthand for -format json")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -52,7 +56,14 @@ func run(args []string, w io.Writer) error {
 	if err != nil {
 		return err
 	}
-	p := expt.Params{Scale: sc, Seed: *seed, Workers: *workers}
+	fm, err := expt.ParseFormat(*format)
+	if err != nil {
+		return err
+	}
+	if *jsonOut {
+		fm = expt.FormatJSON
+	}
+	p := expt.Params{Scale: sc, Seed: *seed, Workers: *workers, Format: fm}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
@@ -66,7 +77,7 @@ func run(args []string, w io.Writer) error {
 		if err != nil {
 			return err
 		}
-		if _, err := fmt.Fprintf(w, "=== %s: %s ===\n%s\n\n", e.ID, e.Title, e.Claim); err != nil {
+		if err := expt.Announce(w, p, e); err != nil {
 			return err
 		}
 		if err := e.Run(ctx, w, p); err != nil {

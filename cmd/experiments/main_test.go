@@ -1,10 +1,63 @@
 package main
 
 import (
+	"bufio"
 	"bytes"
+	"encoding/json"
 	"strings"
 	"testing"
 )
+
+func TestRunJSONFormat(t *testing.T) {
+	for _, args := range [][]string{
+		{"-run", "E4", "-scale", "smoke", "-seed", "5", "-json"},
+		{"-run", "E4", "-scale", "smoke", "-seed", "5", "-format", "json"},
+	} {
+		var buf bytes.Buffer
+		if err := run(args, &buf); err != nil {
+			t.Fatal(err)
+		}
+		// Every line must be a standalone JSON object (NDJSON); the first
+		// announces the experiment, the rest are tables.
+		sc := bufio.NewScanner(&buf)
+		sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+		lines := 0
+		for sc.Scan() {
+			var rec map[string]any
+			if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+				t.Fatalf("line %d invalid JSON: %v\n%s", lines, err, sc.Text())
+			}
+			if lines == 0 {
+				if rec["experiment"] != "E4" {
+					t.Fatalf("first record should announce E4: %v", rec)
+				}
+			} else if _, ok := rec["columns"]; !ok {
+				t.Fatalf("table record missing columns: %v", rec)
+			}
+			lines++
+		}
+		if lines < 2 {
+			t.Fatalf("expected announce + at least one table, got %d lines", lines)
+		}
+	}
+}
+
+func TestRunCSVFormat(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-run", "E4", "-scale", "smoke", "-format", "csv"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), ",") {
+		t.Fatalf("csv output has no commas:\n%s", buf.String())
+	}
+}
+
+func TestRunBadFormat(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-format", "yaml"}, &buf); err == nil {
+		t.Fatal("bad format should fail")
+	}
+}
 
 func TestRunList(t *testing.T) {
 	var buf bytes.Buffer

@@ -158,6 +158,34 @@ type Summary = stats.Summary
 // Summarize computes the Summary of a sample.
 var Summarize = stats.Summarize
 
+// Streaming statistics: constant-memory accumulators for Monte-Carlo
+// ensembles too large to materialise (see internal/sim.Reduce for the
+// harness that folds trials into them in parallel, deterministically).
+type (
+	// Stream accumulates count/mean/variance/min/max online (Welford).
+	Stream = stats.Stream
+	// QuantileSketch estimates quantiles with bounded relative error and
+	// merges exactly.
+	QuantileSketch = stats.QuantileSketch
+	// Digest combines a Stream and a QuantileSketch — the streaming
+	// counterpart of Summarize.
+	Digest = stats.Digest
+	// DigestSummary is a Digest snapshot, JSON-marshalable for tooling.
+	DigestSummary = stats.DigestSummary
+	// Histogram is a fixed-bin mergeable histogram.
+	Histogram = stats.Histogram
+)
+
+var (
+	// NewDigest returns an empty Digest with default sketch accuracy.
+	NewDigest = stats.NewDigest
+	// NewQuantileSketch returns an empty sketch with the given relative
+	// accuracy.
+	NewQuantileSketch = stats.NewQuantileSketch
+	// NewHistogram returns an empty fixed-bin histogram over [lo, hi).
+	NewHistogram = stats.NewHistogram
+)
+
 // DefaultBranching is the paper's canonical k = 2 branching factor.
 var DefaultBranching = core.DefaultBranching
 

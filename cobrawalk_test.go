@@ -239,3 +239,52 @@ func ExampleNewBIPS() {
 	fmt.Println("fully infected:", res.Infected, "source in A_0:", res.Sizes[0] == 1)
 	// Output: fully infected: true source in A_0: true
 }
+
+// TestFacadeStreamingStats exercises the streaming aggregation exports:
+// a Digest fed a sample must agree with Summarize on it, and quantile
+// sketches must merge exactly.
+func TestFacadeStreamingStats(t *testing.T) {
+	r := cobrawalk.NewRand(5)
+	xs := make([]float64, 5000)
+	d := cobrawalk.NewDigest()
+	for i := range xs {
+		xs[i] = 10 + 100*r.Float64()
+		d.Add(xs[i])
+	}
+	batch, err := cobrawalk.Summarize(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := d.Summary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.N != batch.N || s.Min != batch.Min || s.Max != batch.Max {
+		t.Fatalf("digest %+v, batch %+v", s, batch)
+	}
+	if math.Abs(s.Mean-batch.Mean) > 1e-9*batch.Mean {
+		t.Fatalf("digest mean %v, batch %v", s.Mean, batch.Mean)
+	}
+	if math.Abs(s.P95-batch.P95) > 0.03*batch.P95 {
+		t.Fatalf("digest p95 %v, batch %v", s.P95, batch.P95)
+	}
+
+	sk, err := cobrawalk.NewQuantileSketch(0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sk.Add(1)
+	sk.Add(2)
+	if sk.N() != 2 {
+		t.Fatalf("sketch N = %d", sk.N())
+	}
+	h, err := cobrawalk.NewHistogram(0, 10, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Add(3)
+	h.AddN(7, 2)
+	if h.Total() != 3 {
+		t.Fatalf("hist total = %d", h.Total())
+	}
+}

@@ -27,7 +27,14 @@
 //   - the duality machinery: Monte-Carlo estimation and an exact
 //     subset-space verifier for graphs up to 13 vertices;
 //   - Lemma 1 growth bounds, three-phase trajectory analysis (Lemmas 2-4);
-//   - a deterministic parallel Monte-Carlo harness and statistics.
+//   - a deterministic parallel Monte-Carlo harness with two aggregation
+//     modes — materialise every trial (sim.Run) or stream trials into
+//     constant-memory mergeable accumulators (sim.Reduce), so ensembles
+//     of 10⁵+ trials run in O(1) memory with bit-identical results for
+//     any worker count;
+//   - batch and streaming statistics: summaries, confidence intervals,
+//     scaling-law fits, Welford streams, quantile sketches, histograms
+//     (re-exported here as Stream, QuantileSketch, Digest, Histogram).
 //
 // # Quick start
 //
@@ -39,7 +46,9 @@
 //	res, err := proc.Run(0, r)              // res.CoverTime, res.Transmissions
 //
 // The runnable programs under cmd/ (cobrasim, bipssim, graphinfo,
-// experiments) and the examples/ directory exercise this API end to end;
-// the experiment suite E1-E11 reproduces every quantitative claim in the
-// paper (see DESIGN.md and EXPERIMENTS.md).
+// experiments, figures) and the examples/ directory exercise this API end
+// to end; the experiment suite E1-E15 reproduces every quantitative claim
+// in the paper. README.md covers installation and the command-line tools,
+// DESIGN.md the architecture, and EXPERIMENTS.md the per-experiment
+// tables and the paper claim each one reproduces.
 package cobrawalk

@@ -1,0 +1,3 @@
+module cobrawalk
+
+go 1.24

@@ -59,11 +59,11 @@ func runE10(ctx context.Context, w io.Writer, p Params) error {
 		if err != nil {
 			return err
 		}
-		covs, err := coverTimes(ctx, g, core.DefaultBranching, trials, p, 1<<18)
+		dg, err := coverDigest(ctx, g, core.DefaultBranching, trials, p, 1<<18)
 		if err != nil {
 			return err
 		}
-		s, err := summarizeOrErr(covs, "cover times")
+		s, err := digestOrErr(dg, "cover times")
 		if err != nil {
 			return err
 		}
@@ -85,5 +85,5 @@ func runE10(ctx context.Context, w io.Writer, p Params) error {
 		tbl.AddNote("all-bipartite fit: cover ≈ %.3f·log₂(n) %+.2f (R²=%.4f)", fit.Slope, fit.Intercept, fit.R2)
 	}
 	tbl.AddNote("the λ<1 hypothesis is about the proof's spectral machinery, not the process: COBRA still covers in O(log n)")
-	return tbl.Render(w)
+	return tbl.Emit(w, p)
 }

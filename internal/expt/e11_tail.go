@@ -77,5 +77,5 @@ func runE11(ctx context.Context, w io.Writer, p Params) error {
 		}
 	}
 	tbl.AddNote("mean %.2f, median %.0f, p95 %.0f, max %.0f over %d trials", s.Mean, s.Median, s.P95, s.Max, trials)
-	return tbl.Render(w)
+	return tbl.Emit(w, p)
 }

@@ -87,7 +87,7 @@ func runE12(ctx context.Context, w io.Writer, p Params) error {
 			f1(stats.Mean(sim.Floats(res, func(o out) float64 { return o.peak }))))
 	}
 	tbl.AddNote("the coverage fraction sweeps 0→1 across the critical window; COBRA/BIPS have no such extinction regime")
-	if err := tbl.Render(w); err != nil {
+	if err := tbl.Emit(w, p); err != nil {
 		return err
 	}
 
@@ -143,5 +143,5 @@ func runE12(ctx context.Context, w io.Writer, p Params) error {
 	}
 	tbl2.AddNote("clocks differ (rounds vs continuous time); both objectives complete at comparable logarithmic scale")
 	tbl2.AddNote("simultaneous full infection is an exponentially rare SIS fluctuation in continuous time — one more way COBRA/BIPS differ from the classical process")
-	return tbl2.Render(w)
+	return tbl2.Emit(w, p)
 }

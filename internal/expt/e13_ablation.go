@@ -90,5 +90,5 @@ func runE13(ctx context.Context, w io.Writer, p Params) error {
 				math.Abs(exactMean-fastMean), z, verdict)
 		}
 	}
-	return tbl.Render(w)
+	return tbl.Emit(w, p)
 }

@@ -125,7 +125,7 @@ func runE14(ctx context.Context, w io.Writer, p Params) error {
 	tbl.AddNote("COBRA send-load Gini coefficient: %.3f (0 = perfectly even)", cGini)
 	tbl.AddNote("push's source transmits every round until global completion (duty %.2f); COBRA vertices go quiet between activations (max duty %.2f)", pDuty, cDuty)
 	tbl.AddNote("COBRA max receive load (deliveries incl. duplicates): %.2f per vertex", cMaxRecv)
-	return tbl.Render(w)
+	return tbl.Emit(w, p)
 }
 
 // pushWithLoad runs the push protocol recording per-vertex send counts.

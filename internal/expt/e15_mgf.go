@@ -67,5 +67,5 @@ func runE15(ctx context.Context, w io.Writer, p Params) error {
 			g.Name(), mgf.X, m, violations)
 	}
 	tbl.AddNote("the measured moment decays much faster than the bound — Lemma 2's contraction is real and conservative")
-	return tbl.Render(w)
+	return tbl.Emit(w, p)
 }

@@ -65,15 +65,15 @@ func runE1(ctx context.Context, w io.Writer, p Params) error {
 			if lambda > lambdas[fam.name] {
 				lambdas[fam.name] = lambda
 			}
-			covs, err := coverTimes(ctx, g, core.DefaultBranching, trials, p, 1<<16)
+			dg, err := coverDigest(ctx, g, core.DefaultBranching, trials, p, 1<<16)
 			if err != nil {
 				return err
 			}
-			s, err := summarizeOrErr(covs, "cover times")
+			s, err := digestOrErr(dg, "cover times")
 			if err != nil {
 				return err
 			}
-			ci, err := stats.NormalCI(covs, 0.95)
+			ci, err := dg.Stream.CI(0.95)
 			if err != nil {
 				return err
 			}
@@ -113,5 +113,5 @@ func runE1(ctx context.Context, w io.Writer, p Params) error {
 			minS, maxS, maxS/minS)
 		tbl.AddNote("small-gap families (e.g. r=3, λ≈0.94) carry a larger constant through (1-λ), not through r — exactly Theorem 1's form")
 	}
-	return tbl.Render(w)
+	return tbl.Emit(w, p)
 }

@@ -51,11 +51,11 @@ func runE2(ctx context.Context, w io.Writer, p Params) error {
 			if err != nil {
 				return err
 			}
-			times, err := infectionTimes(ctx, g, core.DefaultBranching, trials, p, 1<<16)
+			dg, err := infectionDigest(ctx, g, core.DefaultBranching, trials, p, 1<<16)
 			if err != nil {
 				return err
 			}
-			s, err := summarizeOrErr(times, "infection times")
+			s, err := digestOrErr(dg, "infection times")
 			if err != nil {
 				return err
 			}
@@ -74,5 +74,5 @@ func runE2(ctx context.Context, w io.Writer, p Params) error {
 		}
 	}
 	tbl.AddNote("duality check: Theorem 4 implies E2 means track E1 means on matching families")
-	return tbl.Render(w)
+	return tbl.Emit(w, p)
 }

@@ -55,11 +55,11 @@ func runE3(ctx context.Context, w io.Writer, p Params) error {
 			if err != nil {
 				return err
 			}
-			covs, err := coverTimes(ctx, g, branch, trials, p, 1<<18)
+			dg, err := coverDigest(ctx, g, branch, trials, p, 1<<18)
 			if err != nil {
 				return err
 			}
-			s, err := summarizeOrErr(covs, "cover times")
+			s, err := digestOrErr(dg, "cover times")
 			if err != nil {
 				return err
 			}
@@ -87,5 +87,5 @@ func runE3(ctx context.Context, w io.Writer, p Params) error {
 		}
 		tbl.AddNote("Corollary 1 prediction: slope·ρ ≈ const; measured spread %.3f..%.3f", lo, hi)
 	}
-	return tbl.Render(w)
+	return tbl.Emit(w, p)
 }

@@ -64,7 +64,7 @@ func runE4(ctx context.Context, w io.Writer, p Params) error {
 	}
 	tbl.AddNote("Theorem 4 holds exactly; residuals are float64 roundoff (≲1e-12)")
 	tbl.AddNote("the star rows show the duality does not require regularity (the proof never uses it)")
-	if err := tbl.Render(w); err != nil {
+	if err := tbl.Emit(w, p); err != nil {
 		return err
 	}
 
@@ -88,5 +88,5 @@ func runE4(ctx context.Context, w io.Writer, p Params) error {
 			d(est.T), f4(est.MaxAbsDiff()), f2(est.MaxZScore()))
 	}
 	tbl2.AddNote("under Theorem 4 the max z-score behaves like the max of ~horizon standard normals (≲3)")
-	return tbl2.Render(w)
+	return tbl2.Emit(w, p)
 }

@@ -95,5 +95,5 @@ func runE5(ctx context.Context, w io.Writer, p Params) error {
 		}
 	}
 	tbl.AddNote("margin = exact/bound - 1; Lemma 1 asserts margin ≥ 0 for every set A (worst of %d random sets shown)", repeats)
-	return tbl.Render(w)
+	return tbl.Emit(w, p)
 }

@@ -99,5 +99,5 @@ func runE6(ctx context.Context, w io.Writer, p Params) error {
 		}
 	}
 	tbl.AddNote("Lemmas 2-4 predict all three phases are O(log n) at constant spectral gap")
-	return tbl.Render(w)
+	return tbl.Emit(w, p)
 }

@@ -90,11 +90,11 @@ func runE7(ctx context.Context, w io.Writer, p Params) error {
 		if gap <= 1e-9 {
 			continue // bipartite/disconnected instances are out of scope here
 		}
-		covs, err := coverTimes(ctx, g, core.DefaultBranching, trials, p, 1<<20)
+		dg, err := coverDigest(ctx, g, core.DefaultBranching, trials, p, 1<<20)
 		if err != nil {
 			return err
 		}
-		s, err := summarizeOrErr(covs, "cover times")
+		s, err := digestOrErr(dg, "cover times")
 		if err != nil {
 			return err
 		}
@@ -114,5 +114,5 @@ func runE7(ctx context.Context, w io.Writer, p Params) error {
 		}
 		tbl.AddNote("measured exponent %.3f: %s", pw.Exponent, verdict)
 	}
-	return tbl.Render(w)
+	return tbl.Emit(w, p)
 }

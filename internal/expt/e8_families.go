@@ -58,11 +58,11 @@ func runE8(ctx context.Context, w io.Writer, p Params) error {
 			if err != nil {
 				return nil, nil, err
 			}
-			covs, err := coverTimes(ctx, g, core.DefaultBranching, trials, p, 1<<20)
+			dg, err := coverDigest(ctx, g, core.DefaultBranching, trials, p, 1<<20)
 			if err != nil {
 				return nil, nil, err
 			}
-			s, err := summarizeOrErr(covs, "cover times")
+			s, err := digestOrErr(dg, "cover times")
 			if err != nil {
 				return nil, nil, err
 			}
@@ -128,5 +128,5 @@ func runE8(ctx context.Context, w io.Writer, p Params) error {
 		return err
 	}
 	tbl.AddNote("torus-2d: cover ≈ %.2f·n^%.3f (R²=%.4f) — Dutta et al. (iii) predicts exponent ≈ 1/2 up to log factors", pw.Coeff, pw.Exponent, pw.R2)
-	return tbl.Render(w)
+	return tbl.Emit(w, p)
 }

@@ -116,5 +116,5 @@ func runE9(ctx context.Context, w io.Writer, p Params) error {
 	}
 	tbl.AddNote("COBRA matches the O(log n) round complexity of push/flooding with a hard per-vertex budget of k=2")
 	tbl.AddNote("random walks respect a budget of 1-2 messages/round globally but pay Θ(n log n) rounds")
-	return tbl.Render(w)
+	return tbl.Emit(w, p)
 }

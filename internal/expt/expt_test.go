@@ -3,8 +3,14 @@ package expt
 import (
 	"bytes"
 	"context"
+	"encoding/json"
+	"math"
 	"strings"
 	"testing"
+
+	"cobrawalk/internal/core"
+	"cobrawalk/internal/graph"
+	"cobrawalk/internal/stats"
 )
 
 func TestTableRender(t *testing.T) {
@@ -35,6 +41,158 @@ func TestTableRenderCSV(t *testing.T) {
 	want := "x,y\n1,2\n3,4\n"
 	if buf.String() != want {
 		t.Fatalf("csv = %q, want %q", buf.String(), want)
+	}
+}
+
+func TestTableRenderJSONAndEmit(t *testing.T) {
+	tbl := NewTable("demo", "x", "y")
+	tbl.AddRow("1", "2")
+	tbl.AddNote("fit %d", 9)
+	var buf bytes.Buffer
+	if err := tbl.RenderJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var rec struct {
+		Title   string     `json:"title"`
+		Columns []string   `json:"columns"`
+		Rows    [][]string `json:"rows"`
+		Notes   []string   `json:"notes"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &rec); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, buf.String())
+	}
+	if rec.Title != "demo" || len(rec.Columns) != 2 || len(rec.Rows) != 1 || rec.Notes[0] != "fit 9" {
+		t.Fatalf("JSON record = %+v", rec)
+	}
+
+	// Empty tables must still render valid JSON ([] not null).
+	var empty bytes.Buffer
+	if err := NewTable("t", "a").RenderJSON(&empty); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(empty.String(), "null") {
+		t.Fatalf("empty table JSON has nulls: %s", empty.String())
+	}
+
+	// Emit dispatches on Params.Format.
+	for _, tc := range []struct {
+		format Format
+		want   string
+	}{
+		{FormatText, "demo\n"},
+		{FormatCSV, "x,y\n"},
+		{FormatJSON, `"title":"demo"`},
+	} {
+		var out bytes.Buffer
+		if err := tbl.Emit(&out, Params{Format: tc.format}); err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(out.String(), tc.want) {
+			t.Fatalf("Emit(%v) missing %q:\n%s", tc.format, tc.want, out.String())
+		}
+	}
+}
+
+func TestParseFormat(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want Format
+	}{{"", FormatText}, {"text", FormatText}, {"csv", FormatCSV}, {"json", FormatJSON}} {
+		got, err := ParseFormat(tc.in)
+		if err != nil || got != tc.want {
+			t.Fatalf("ParseFormat(%q) = (%v, %v)", tc.in, got, err)
+		}
+	}
+	if _, err := ParseFormat("yaml"); err == nil {
+		t.Fatal("unknown format should fail")
+	}
+	if FormatJSON.String() != "json" || FormatCSV.String() != "csv" || FormatText.String() != "text" {
+		t.Fatal("Format.String mismatch")
+	}
+}
+
+func TestAnnounce(t *testing.T) {
+	e := Experiment{ID: "E1", Title: "title", Claim: "claim"}
+	var txt bytes.Buffer
+	if err := Announce(&txt, Params{}, e); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(txt.String(), "=== E1") {
+		t.Fatalf("text announce = %q", txt.String())
+	}
+	var js bytes.Buffer
+	if err := Announce(&js, Params{Format: FormatJSON}, e); err != nil {
+		t.Fatal(err)
+	}
+	var rec map[string]string
+	if err := json.Unmarshal(js.Bytes(), &rec); err != nil {
+		t.Fatalf("invalid JSON announce: %v\n%s", err, js.String())
+	}
+	if rec["experiment"] != "E1" || rec["claim"] != "claim" {
+		t.Fatalf("JSON announce = %v", rec)
+	}
+}
+
+// TestStreamingDigestMatchesRawSample pins the tentpole invariant at the
+// workload level: the streaming digest sees exactly the trials the raw
+// path sees (same seeds, same streams), so its exact moments agree with
+// Summarize on the materialised sample, for any worker count.
+func TestStreamingDigestMatchesRawSample(t *testing.T) {
+	g, err := graph.Complete(48)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 4} {
+		p := Params{Scale: Smoke, Seed: 11, Workers: workers}
+		raw, err := coverTimes(context.Background(), g, core.DefaultBranching, 120, p, 1<<16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := summarizeOrErr(raw, "cover times")
+		if err != nil {
+			t.Fatal(err)
+		}
+		dg, err := coverDigest(context.Background(), g, core.DefaultBranching, 120, p, 1<<16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := digestOrErr(dg, "cover times")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.N != want.N || got.Min != want.Min || got.Max != want.Max {
+			t.Fatalf("workers=%d: digest %+v, raw %+v", workers, got, want)
+		}
+		if math.Abs(got.Mean-want.Mean) > 1e-9 || math.Abs(got.Variance-want.Variance) > 1e-6 {
+			t.Fatalf("workers=%d: digest moments %+v, raw %+v", workers, got, want)
+		}
+	}
+}
+
+// TestStreamingDigestDeterministicAcrossWorkers pins the acceptance
+// criterion: bit-identical summaries for Workers=1 and Workers=many.
+func TestStreamingDigestDeterministicAcrossWorkers(t *testing.T) {
+	g, err := graph.Complete(48)
+	if err != nil {
+		t.Fatal(err)
+	}
+	summaries := make([]stats.DigestSummary, 0, 3)
+	for _, workers := range []int{1, 4, 16} {
+		p := Params{Scale: Smoke, Seed: 5, Workers: workers}
+		dg, err := infectionDigest(context.Background(), g, core.DefaultBranching, 150, p, 1<<16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := dg.Summary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		summaries = append(summaries, s)
+	}
+	for i := 1; i < len(summaries); i++ {
+		if summaries[i] != summaries[0] {
+			t.Fatalf("summary %d = %+v, want bit-identical to %+v", i, summaries[i], summaries[0])
+		}
 	}
 }
 

@@ -2,6 +2,7 @@ package expt
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 	"io"
 	"sort"
@@ -58,11 +59,51 @@ func pick[T any](s Scale, smoke, quick, full T) T {
 	}
 }
 
+// Format selects the encoding experiments render their tables in.
+type Format int
+
+const (
+	// FormatText renders aligned ASCII tables with notes (the default).
+	FormatText Format = iota
+	// FormatCSV renders bare CSV rows (title and notes omitted).
+	FormatCSV
+	// FormatJSON renders one JSON object per table (NDJSON), for
+	// machine consumption of full-scale runs.
+	FormatJSON
+)
+
+// ParseFormat converts a flag value into a Format.
+func ParseFormat(s string) (Format, error) {
+	switch s {
+	case "", "text":
+		return FormatText, nil
+	case "csv":
+		return FormatCSV, nil
+	case "json":
+		return FormatJSON, nil
+	default:
+		return 0, fmt.Errorf("expt: unknown format %q (want text, csv or json)", s)
+	}
+}
+
+func (f Format) String() string {
+	switch f {
+	case FormatCSV:
+		return "csv"
+	case FormatJSON:
+		return "json"
+	default:
+		return "text"
+	}
+}
+
 // Params carries the run-wide knobs every experiment receives.
 type Params struct {
 	Scale   Scale
 	Seed    uint64
 	Workers int
+	// Format selects table encoding; the zero value is FormatText.
+	Format Format
 }
 
 func (p Params) withDefaults() Params {
@@ -121,13 +162,32 @@ func Lookup(id string) (Experiment, error) {
 	return Experiment{}, fmt.Errorf("expt: unknown experiment %q", id)
 }
 
+// Announce writes the experiment header: a "=== E1 ===" banner in text
+// and CSV modes, a NDJSON record in JSON mode.
+func Announce(w io.Writer, p Params, e Experiment) error {
+	if p.Format == FormatJSON {
+		blob, err := json.Marshal(map[string]string{
+			"experiment": e.ID,
+			"title":      e.Title,
+			"claim":      e.Claim,
+		})
+		if err != nil {
+			return err
+		}
+		_, err = fmt.Fprintf(w, "%s\n", blob)
+		return err
+	}
+	_, err := fmt.Fprintf(w, "=== %s: %s ===\n%s\n\n", e.ID, e.Title, e.Claim)
+	return err
+}
+
 // RunAll executes every experiment in order, stopping at the first error.
 func RunAll(ctx context.Context, w io.Writer, p Params) error {
 	for _, e := range Registry() {
 		if err := ctx.Err(); err != nil {
 			return err
 		}
-		if _, err := fmt.Fprintf(w, "=== %s: %s ===\n%s\n\n", e.ID, e.Title, e.Claim); err != nil {
+		if err := Announce(w, p, e); err != nil {
 			return err
 		}
 		if err := e.Run(ctx, w, p); err != nil {

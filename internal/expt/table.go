@@ -1,10 +1,17 @@
-// Package expt defines the reproduction experiments E1-E11: one per
+// Package expt defines the reproduction experiments E1-E15: one per
 // quantitative claim of the paper (Theorems 1-4, Lemmas 1-4, the Dutta et
-// al. comparisons quoted in its introduction, and its scope boundaries).
-// Each experiment builds its workload from internal/graph, measures the
-// spectral parameter λ it is conditioned on, runs the processes from
-// internal/core and internal/baseline under internal/sim, fits the claimed
-// scaling law with internal/stats, and renders a table.
+// al. comparisons quoted in its introduction, its scope boundaries, and
+// the extension workloads catalogued in EXPERIMENTS.md). Each experiment
+// builds its workload from internal/graph, measures the spectral parameter
+// λ it is conditioned on, runs the processes from internal/core and
+// internal/baseline under internal/sim, fits the claimed scaling law with
+// internal/stats, and renders a table.
+//
+// Ensemble experiments stream trial results through sim.Reduce into
+// constant-memory stats.Digest accumulators, so full-scale runs (10⁵+
+// trials) never materialise a per-trial slice; only experiments that need
+// the raw sample (E11's tail plot, bootstrap CIs) use sim.Run. Tables
+// render as aligned ASCII, CSV or NDJSON depending on Params.Format.
 //
 // The experiments are exposed through a registry consumed by
 // cmd/experiments and by the repository-level benchmark harness.
@@ -12,6 +19,7 @@ package expt
 
 import (
 	"encoding/csv"
+	"encoding/json"
 	"fmt"
 	"io"
 	"strings"
@@ -92,6 +100,44 @@ func (t *Table) Render(w io.Writer) error {
 	}
 	sb.WriteByte('\n')
 	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+// Emit renders the table in the format selected by p — the single call
+// every experiment funnels its output through, so one flag switches the
+// whole suite between human-readable tables and machine-readable records.
+func (t *Table) Emit(w io.Writer, p Params) error {
+	switch p.Format {
+	case FormatCSV:
+		return t.RenderCSV(w)
+	case FormatJSON:
+		return t.RenderJSON(w)
+	default:
+		return t.Render(w)
+	}
+}
+
+// RenderJSON writes the table as a single JSON object (one NDJSON line):
+// {"title": ..., "columns": [...], "rows": [[...], ...], "notes": [...]}.
+func (t *Table) RenderJSON(w io.Writer) error {
+	rows := t.rows
+	if rows == nil {
+		rows = [][]string{}
+	}
+	notes := t.notes
+	if notes == nil {
+		notes = []string{}
+	}
+	blob, err := json.Marshal(map[string]any{
+		"title":   t.title,
+		"columns": t.cols,
+		"rows":    rows,
+		"notes":   notes,
+	})
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Fprintf(w, "%s\n", blob)
 	return err
 }
 

@@ -74,64 +74,118 @@ func intSqrt(n int) int {
 	return s
 }
 
-// coverTimes runs `trials` COBRA cover runs on g from vertex 0 (regular
-// families are vertex-transitive or statistically symmetric, so vertex 0
-// is representative of the worst-case start) and returns the cover times.
-func coverTimes(ctx context.Context, g *graph.Graph, branch core.Branching, trials int, p Params, maxRounds int) ([]float64, error) {
-	// Validate construction once up front so the per-worker factory below
-	// cannot fail.
+// cobraWorkload packages the per-worker factory and per-trial function
+// for COBRA cover runs from vertex 0 (regular families are
+// vertex-transitive or statistically symmetric, so vertex 0 is
+// representative of the worst-case start). Construction is validated once
+// up front so the factory cannot fail; the same pair feeds both the
+// materialising (sim.RunWithState) and streaming (sim.ReduceWithState)
+// harnesses, guaranteeing the two paths see identical trials.
+func cobraWorkload(g *graph.Graph, branch core.Branching, maxRounds int) (func() *core.Cobra, func(*core.Cobra, int, *rng.Rand) (float64, error), error) {
 	if _, err := core.NewCobra(g, core.WithBranching(branch), core.WithMaxRounds(maxRounds)); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	spec := sim.Spec{Trials: trials, Seed: p.Seed, Workers: p.Workers}
-	res, err := sim.RunWithState(ctx, spec,
-		func() *core.Cobra {
-			c, err := core.NewCobra(g, core.WithBranching(branch), core.WithMaxRounds(maxRounds))
-			if err != nil {
-				panic(err) // unreachable: validated above
-			}
-			return c
-		},
-		func(c *core.Cobra, trial int, r *rng.Rand) (float64, error) {
-			out, err := c.Run(0, r)
-			if err != nil {
-				return 0, err
-			}
-			if !out.Covered {
-				return 0, fmt.Errorf("cover run hit round cap %d on %s", maxRounds, g.Name())
-			}
-			return float64(out.CoverTime), nil
-		})
+	newState := func() *core.Cobra {
+		c, err := core.NewCobra(g, core.WithBranching(branch), core.WithMaxRounds(maxRounds))
+		if err != nil {
+			panic(err) // unreachable: validated above
+		}
+		return c
+	}
+	trial := func(c *core.Cobra, _ int, r *rng.Rand) (float64, error) {
+		out, err := c.Run(0, r)
+		if err != nil {
+			return 0, err
+		}
+		if !out.Covered {
+			return 0, fmt.Errorf("cover run hit round cap %d on %s", maxRounds, g.Name())
+		}
+		return float64(out.CoverTime), nil
+	}
+	return newState, trial, nil
+}
+
+// bipsWorkload is cobraWorkload for BIPS infection runs with source 0.
+func bipsWorkload(g *graph.Graph, branch core.Branching, maxRounds int) (func() *core.BIPS, func(*core.BIPS, int, *rng.Rand) (float64, error), error) {
+	if _, err := core.NewBIPS(g, core.WithBranching(branch), core.WithMaxRounds(maxRounds)); err != nil {
+		return nil, nil, err
+	}
+	newState := func() *core.BIPS {
+		b, err := core.NewBIPS(g, core.WithBranching(branch), core.WithMaxRounds(maxRounds))
+		if err != nil {
+			panic(err) // unreachable: validated above
+		}
+		return b
+	}
+	trial := func(b *core.BIPS, _ int, r *rng.Rand) (float64, error) {
+		out, err := b.Run(0, r)
+		if err != nil {
+			return 0, err
+		}
+		if !out.Infected {
+			return 0, fmt.Errorf("infection run hit round cap %d on %s", maxRounds, g.Name())
+		}
+		return float64(out.InfectionTime), nil
+	}
+	return newState, trial, nil
+}
+
+// coverTimes runs `trials` COBRA cover runs on g and returns the raw
+// cover times, for experiments that need the materialised sample.
+func coverTimes(ctx context.Context, g *graph.Graph, branch core.Branching, trials int, p Params, maxRounds int) ([]float64, error) {
+	newState, trial, err := cobraWorkload(g, branch, maxRounds)
 	if err != nil {
 		return nil, err
 	}
-	return res, nil
+	spec := sim.Spec{Trials: trials, Seed: p.Seed, Workers: p.Workers}
+	return sim.RunWithState(ctx, spec, newState, trial)
 }
 
 // infectionTimes runs `trials` BIPS infection runs on g with source 0.
 func infectionTimes(ctx context.Context, g *graph.Graph, branch core.Branching, trials int, p Params, maxRounds int) ([]float64, error) {
-	if _, err := core.NewBIPS(g, core.WithBranching(branch), core.WithMaxRounds(maxRounds)); err != nil {
+	newState, trial, err := bipsWorkload(g, branch, maxRounds)
+	if err != nil {
 		return nil, err
 	}
 	spec := sim.Spec{Trials: trials, Seed: p.Seed ^ 0xb195, Workers: p.Workers}
-	return sim.RunWithState(ctx, spec,
-		func() *core.BIPS {
-			b, err := core.NewBIPS(g, core.WithBranching(branch), core.WithMaxRounds(maxRounds))
-			if err != nil {
-				panic(err) // unreachable: validated above
-			}
-			return b
-		},
-		func(b *core.BIPS, trial int, r *rng.Rand) (float64, error) {
-			out, err := b.Run(0, r)
-			if err != nil {
-				return 0, err
-			}
-			if !out.Infected {
-				return 0, fmt.Errorf("infection run hit round cap %d on %s", maxRounds, g.Name())
-			}
-			return float64(out.InfectionTime), nil
-		})
+	return sim.RunWithState(ctx, spec, newState, trial)
+}
+
+// coverDigest is the streaming counterpart of coverTimes: it folds the
+// same trials (same seeds, same per-trial streams) into a constant-memory
+// stats.Digest instead of materialising a []float64, so trial counts are
+// bounded by time, not RAM. The digest is bit-identical for every Workers
+// setting.
+func coverDigest(ctx context.Context, g *graph.Graph, branch core.Branching, trials int, p Params, maxRounds int) (*stats.Digest, error) {
+	newState, trial, err := cobraWorkload(g, branch, maxRounds)
+	if err != nil {
+		return nil, err
+	}
+	spec := sim.Spec{Trials: trials, Seed: p.Seed, Workers: p.Workers}
+	return sim.ReduceWithState(ctx, spec,
+		sim.DigestReducer(func(x float64) float64 { return x }),
+		newState, trial)
+}
+
+// infectionDigest is the streaming counterpart of infectionTimes.
+func infectionDigest(ctx context.Context, g *graph.Graph, branch core.Branching, trials int, p Params, maxRounds int) (*stats.Digest, error) {
+	newState, trial, err := bipsWorkload(g, branch, maxRounds)
+	if err != nil {
+		return nil, err
+	}
+	spec := sim.Spec{Trials: trials, Seed: p.Seed ^ 0xb195, Workers: p.Workers}
+	return sim.ReduceWithState(ctx, spec,
+		sim.DigestReducer(func(x float64) float64 { return x }),
+		newState, trial)
+}
+
+// digestOrErr snapshots a digest with the experiment error context.
+func digestOrErr(dg *stats.Digest, what string) (stats.DigestSummary, error) {
+	s, err := dg.Summary()
+	if err != nil {
+		return stats.DigestSummary{}, fmt.Errorf("expt: summarising %s: %w", what, err)
+	}
+	return s, nil
 }
 
 // measureLambda returns λ_max for g, using a reduced-accuracy power

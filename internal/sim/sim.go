@@ -2,6 +2,20 @@
 // simulation function across a worker pool with deterministic per-trial RNG
 // streams, so results are bit-identical regardless of parallelism, and
 // aggregates outcomes for the statistics layer.
+//
+// Two aggregation modes are offered:
+//
+//   - Run / RunWithState materialise every trial result in a []T, for
+//     callers that need the raw sample (tail plots, bootstrap CIs, exact
+//     order statistics). Memory is O(Trials).
+//   - Reduce / ReduceWithState fold each trial result into per-shard
+//     accumulators (see Reducer) merged deterministically at the end.
+//     Memory is O(shards) — constant — so ensembles of 10⁵+ trials are
+//     limited by time, not RAM. DigestReducer covers the common case of
+//     streaming a scalar metric into a stats.Digest.
+//
+// Both modes derive trial i's randomness from rng.NewStream(Seed, i) and
+// produce results that do not depend on the Workers setting.
 package sim
 
 import (

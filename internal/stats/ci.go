@@ -22,6 +22,10 @@ func (iv Interval) String() string {
 // Contains reports whether x lies inside the interval.
 func (iv Interval) Contains(x float64) bool { return x >= iv.Lo && x <= iv.Hi }
 
+func errBadLevel(level float64) error {
+	return fmt.Errorf("stats: confidence level %v outside (0,1)", level)
+}
+
 // zQuantile returns the standard normal quantile for the given two-sided
 // confidence level via Acklam's rational approximation of the inverse
 // normal CDF (absolute error < 1.2e-9, ample for CI construction).
@@ -68,7 +72,7 @@ func invNormCDF(p float64) float64 {
 // mean of xs at the given level (e.g. 0.95).
 func NormalCI(xs []float64, level float64) (Interval, error) {
 	if level <= 0 || level >= 1 {
-		return Interval{}, fmt.Errorf("stats: confidence level %v outside (0,1)", level)
+		return Interval{}, errBadLevel(level)
 	}
 	s, err := Summarize(xs)
 	if err != nil {
@@ -87,7 +91,7 @@ func BootstrapCI(xs []float64, level float64, resamples int, stat func([]float64
 		return Interval{}, ErrEmpty
 	}
 	if level <= 0 || level >= 1 {
-		return Interval{}, fmt.Errorf("stats: confidence level %v outside (0,1)", level)
+		return Interval{}, errBadLevel(level)
 	}
 	if resamples <= 0 {
 		resamples = 2000

@@ -1,0 +1,113 @@
+package stats
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+)
+
+// Digest is the streaming counterpart of Summarize: it folds observations
+// one at a time into a Stream (count/mean/variance/min/max, exact) and a
+// QuantileSketch (p50/p90/p95/p99 to within the sketch's relative
+// accuracy), holding constant memory regardless of how many observations
+// it sees. Digests merge associatively, which is what lets the Monte-Carlo
+// harness aggregate 10⁵+ trials across a worker pool without ever
+// materialising a per-trial slice.
+type Digest struct {
+	Stream Stream
+	Sketch *QuantileSketch
+}
+
+// NewDigest returns an empty digest with the default sketch accuracy.
+func NewDigest() *Digest {
+	return &Digest{Sketch: NewDefaultSketch()}
+}
+
+// Add incorporates one observation.
+func (d *Digest) Add(x float64) {
+	d.Stream.Add(x)
+	d.Sketch.Add(x)
+}
+
+// Merge combines another digest into this one.
+func (d *Digest) Merge(o *Digest) error {
+	if o == nil {
+		return nil
+	}
+	d.Stream.Merge(o.Stream)
+	return d.Sketch.Merge(o.Sketch)
+}
+
+// N returns the number of observations so far.
+func (d *Digest) N() int { return d.Stream.N() }
+
+// Quantile returns the q-th quantile estimate from the sketch.
+func (d *Digest) Quantile(q float64) (float64, error) { return d.Sketch.Quantile(q) }
+
+// DigestSummary is the machine-readable snapshot of a Digest, shaped for
+// the -json output of the simulation commands. Quantiles carry the
+// sketch's relative accuracy; everything else is exact.
+type DigestSummary struct {
+	N        int     `json:"n"`
+	Mean     float64 `json:"mean"`
+	Variance float64 `json:"variance"`
+	Std      float64 `json:"std"`
+	SE       float64 `json:"se"`
+	Min      float64 `json:"min"`
+	Max      float64 `json:"max"`
+	P50      float64 `json:"p50"`
+	P90      float64 `json:"p90"`
+	P95      float64 `json:"p95"`
+	P99      float64 `json:"p99"`
+}
+
+// Summary snapshots the digest. It returns ErrEmpty when no observations
+// have been added.
+func (d *Digest) Summary() (DigestSummary, error) {
+	if d.Stream.N() == 0 {
+		return DigestSummary{}, ErrEmpty
+	}
+	return DigestSummary{
+		N:        d.Stream.N(),
+		Mean:     d.Stream.Mean(),
+		Variance: d.Stream.Variance(),
+		Std:      d.Stream.Std(),
+		SE:       d.Stream.SE(),
+		Min:      d.Stream.Min(),
+		Max:      d.Stream.Max(),
+		P50:      d.Sketch.mustQuantile(0.50),
+		P90:      d.Sketch.mustQuantile(0.90),
+		P95:      d.Sketch.mustQuantile(0.95),
+		P99:      d.Sketch.mustQuantile(0.99),
+	}, nil
+}
+
+func (s DigestSummary) String() string {
+	return fmt.Sprintf("n=%d mean=%.4g ±%.2g sd=%.4g min=%.4g p50=%.4g p95=%.4g p99=%.4g max=%.4g",
+		s.N, s.Mean, s.SE, s.Std, s.Min, s.P50, s.P95, s.P99, s.Max)
+}
+
+// MarshalJSON renders non-finite fields as null so the output stays valid
+// JSON even for degenerate samples (encoding/json rejects NaN and ±Inf).
+func (s DigestSummary) MarshalJSON() ([]byte, error) {
+	return json.Marshal(map[string]any{
+		"n":        s.N,
+		"mean":     finiteOrNil(s.Mean),
+		"variance": finiteOrNil(s.Variance),
+		"std":      finiteOrNil(s.Std),
+		"se":       finiteOrNil(s.SE),
+		"min":      finiteOrNil(s.Min),
+		"max":      finiteOrNil(s.Max),
+		"p50":      finiteOrNil(s.P50),
+		"p90":      finiteOrNil(s.P90),
+		"p95":      finiteOrNil(s.P95),
+		"p99":      finiteOrNil(s.P99),
+	})
+}
+
+func finiteOrNil(x float64) any {
+	if math.IsInf(x, 0) || math.IsNaN(x) {
+		return nil
+	}
+	return x
+}

@@ -27,7 +27,14 @@ func NewHistogram(lo, hi float64, bins int) (*Histogram, error) {
 }
 
 // Add records one observation.
-func (h *Histogram) Add(x float64) {
+func (h *Histogram) Add(x float64) { h.AddN(x, 1) }
+
+// AddN records n identical observations (bulk insertion for merges and
+// sketch redistribution).
+func (h *Histogram) AddN(x float64, n int64) {
+	if n <= 0 {
+		return
+	}
 	idx := int(float64(len(h.Counts)) * (x - h.Lo) / (h.Hi - h.Lo))
 	if idx < 0 {
 		idx = 0
@@ -35,8 +42,25 @@ func (h *Histogram) Add(x float64) {
 	if idx >= len(h.Counts) {
 		idx = len(h.Counts) - 1
 	}
-	h.Counts[idx]++
-	h.total++
+	h.Counts[idx] += n
+	h.total += n
+}
+
+// Merge adds another histogram's counts into this one. The two histograms
+// must have identical range and bin count.
+func (h *Histogram) Merge(o *Histogram) error {
+	if o == nil {
+		return nil
+	}
+	if o.Lo != h.Lo || o.Hi != h.Hi || len(o.Counts) != len(h.Counts) {
+		return fmt.Errorf("stats: merging histograms [%v,%v)x%d and [%v,%v)x%d",
+			h.Lo, h.Hi, len(h.Counts), o.Lo, o.Hi, len(o.Counts))
+	}
+	for i, c := range o.Counts {
+		h.Counts[i] += c
+	}
+	h.total += o.total
+	return nil
 }
 
 // Total returns the number of recorded observations.

@@ -1,0 +1,222 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// QuantileSketch estimates quantiles of a stream in constant memory using
+// logarithmically-spaced buckets (the DDSketch construction of Masson,
+// Rim & Lee, VLDB 2019): a value x > 0 lands in bucket ⌈log_γ(x)⌉ with
+// γ = (1+α)/(1-α), which guarantees every reported quantile is within
+// relative error α of an exact sample quantile. Zero and negative values
+// get their own buckets (negatives mirror the positive layout), so the
+// sketch accepts arbitrary float64 observations.
+//
+// Bucket counts are additive, so merging two sketches is exact — a merged
+// sketch is indistinguishable from one that saw both streams — and the
+// result is independent of merge order. Memory is O(distinct buckets):
+// for α = 0.01 a stream spanning [1, 10⁹] touches ~1000 buckets.
+//
+// The zero value is not usable; construct with NewQuantileSketch.
+type QuantileSketch struct {
+	alpha  float64
+	gamma  float64 // (1+α)/(1-α)
+	lnG    float64 // ln γ
+	pos    map[int]int64
+	neg    map[int]int64
+	zeros  int64
+	posInf int64
+	negInf int64
+	total  int64
+}
+
+// DefaultSketchAlpha is the relative accuracy used by NewDefaultSketch:
+// quantiles are reported to within 1%.
+const DefaultSketchAlpha = 0.01
+
+// NewQuantileSketch returns an empty sketch with relative accuracy alpha
+// (0 < alpha < 1).
+func NewQuantileSketch(alpha float64) (*QuantileSketch, error) {
+	if !(alpha > 0 && alpha < 1) {
+		return nil, fmt.Errorf("stats: sketch accuracy %v outside (0,1)", alpha)
+	}
+	g := (1 + alpha) / (1 - alpha)
+	return &QuantileSketch{
+		alpha: alpha,
+		gamma: g,
+		lnG:   math.Log(g),
+		pos:   make(map[int]int64),
+		neg:   make(map[int]int64),
+	}, nil
+}
+
+// NewDefaultSketch returns an empty sketch with DefaultSketchAlpha
+// accuracy.
+func NewDefaultSketch() *QuantileSketch {
+	s, err := NewQuantileSketch(DefaultSketchAlpha)
+	if err != nil {
+		panic(err) // unreachable: constant accuracy is valid
+	}
+	return s
+}
+
+// bucket maps a positive value to its bucket index ⌈log_γ(x)⌉.
+func (s *QuantileSketch) bucket(x float64) int {
+	return int(math.Ceil(math.Log(x) / s.lnG))
+}
+
+// Add incorporates one observation. NaN is ignored; ±Inf get dedicated
+// end buckets (int(log(±Inf)) would otherwise be implementation-defined).
+func (s *QuantileSketch) Add(x float64) {
+	switch {
+	case math.IsNaN(x):
+		return
+	case math.IsInf(x, 1):
+		s.posInf++
+	case math.IsInf(x, -1):
+		s.negInf++
+	case x > 0:
+		s.pos[s.bucket(x)]++
+	case x < 0:
+		s.neg[s.bucket(-x)]++
+	default:
+		s.zeros++
+	}
+	s.total++
+}
+
+// N returns the number of recorded observations.
+func (s *QuantileSketch) N() int64 { return s.total }
+
+// Alpha returns the relative accuracy the sketch was built with.
+func (s *QuantileSketch) Alpha() float64 { return s.alpha }
+
+// Merge combines another sketch into this one. The two sketches must have
+// been built with the same accuracy.
+func (s *QuantileSketch) Merge(o *QuantileSketch) error {
+	if o == nil || o.total == 0 {
+		return nil
+	}
+	if o.alpha != s.alpha {
+		return fmt.Errorf("stats: merging sketches with accuracies %v and %v", s.alpha, o.alpha)
+	}
+	for b, c := range o.pos {
+		s.pos[b] += c
+	}
+	for b, c := range o.neg {
+		s.neg[b] += c
+	}
+	s.zeros += o.zeros
+	s.posInf += o.posInf
+	s.negInf += o.negInf
+	s.total += o.total
+	return nil
+}
+
+// value returns the representative value of positive bucket b: the
+// γ-geometric midpoint 2γ^b/(γ+1), which is within α of every value the
+// bucket can hold.
+func (s *QuantileSketch) value(b int) float64 {
+	return 2 * math.Pow(s.gamma, float64(b)) / (s.gamma + 1)
+}
+
+// Quantile returns the q-th quantile (0 <= q <= 1) with relative error at
+// most Alpha. It returns ErrEmpty for an empty sketch.
+func (s *QuantileSketch) Quantile(q float64) (float64, error) {
+	if s.total == 0 {
+		return 0, ErrEmpty
+	}
+	if q < 0 || q > 1 {
+		return 0, fmt.Errorf("stats: quantile %v outside [0,1]", q)
+	}
+	// Rank of the q-th order statistic among total observations.
+	rank := int64(math.Ceil(q * float64(s.total)))
+	if rank < 1 {
+		rank = 1
+	}
+	// Walk buckets in ascending value order: -Inf, negatives (descending
+	// index), zeros, positives (ascending index), +Inf.
+	cum := s.negInf
+	if cum >= rank {
+		return math.Inf(-1), nil
+	}
+	for _, b := range sortedKeys(s.neg, true) {
+		cum += s.neg[b]
+		if cum >= rank {
+			return -s.value(b), nil
+		}
+	}
+	cum += s.zeros
+	if cum >= rank {
+		return 0, nil
+	}
+	posKeys := sortedKeys(s.pos, false)
+	for _, b := range posKeys {
+		cum += s.pos[b]
+		if cum >= rank {
+			return s.value(b), nil
+		}
+	}
+	if s.posInf > 0 {
+		return math.Inf(1), nil
+	}
+	// Rounding pathologies only: fall back to the largest finite bucket.
+	if len(posKeys) > 0 {
+		return s.value(posKeys[len(posKeys)-1]), nil
+	}
+	if s.zeros > 0 {
+		return 0, nil
+	}
+	if keys := sortedKeys(s.neg, false); len(keys) > 0 {
+		return -s.value(keys[len(keys)-1]), nil
+	}
+	return math.Inf(-1), nil
+}
+
+// mustQuantile is Quantile for internal callers that have already checked
+// for emptiness.
+func (s *QuantileSketch) mustQuantile(q float64) float64 {
+	v, err := s.Quantile(q)
+	if err != nil {
+		return math.NaN()
+	}
+	return v
+}
+
+// FixedHistogram redistributes the sketch's buckets into a fixed-bin
+// Histogram over [lo, hi) for display; each sketch bucket contributes its
+// full count at its representative value, so the histogram total equals
+// N. Accuracy is the sketch's α, ample for ASCII rendering.
+func (s *QuantileSketch) FixedHistogram(lo, hi float64, bins int) (*Histogram, error) {
+	h, err := NewHistogram(lo, hi, bins)
+	if err != nil {
+		return nil, err
+	}
+	h.AddN(lo, s.negInf) // infinities clamp into the edge bins
+	for _, b := range sortedKeys(s.neg, true) {
+		h.AddN(-s.value(b), s.neg[b])
+	}
+	h.AddN(0, s.zeros)
+	for _, b := range sortedKeys(s.pos, false) {
+		h.AddN(s.value(b), s.pos[b])
+	}
+	h.AddN(hi, s.posInf)
+	return h, nil
+}
+
+// sortedKeys returns the map's keys ascending, or descending when rev.
+func sortedKeys(m map[int]int64, rev bool) []int {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	if rev {
+		for i, j := 0, len(keys)-1; i < j; i, j = i+1, j-1 {
+			keys[i], keys[j] = keys[j], keys[i]
+		}
+	}
+	return keys
+}

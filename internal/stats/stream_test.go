@@ -1,0 +1,392 @@
+package stats
+
+import (
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+
+	"cobrawalk/internal/rng"
+)
+
+func randomSample(n int, seed uint64) []float64 {
+	r := rng.New(seed)
+	xs := make([]float64, n)
+	for i := range xs {
+		// Long-tailed positives, like cover times.
+		xs[i] = math.Exp(3*r.Float64()) * (1 + 50*r.Float64())
+	}
+	return xs
+}
+
+func TestStreamMatchesSummarize(t *testing.T) {
+	xs := randomSample(10000, 1)
+	var s Stream
+	for _, x := range xs {
+		s.Add(x)
+	}
+	want, err := Summarize(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.N() != want.N {
+		t.Fatalf("N = %d, want %d", s.N(), want.N)
+	}
+	const tol = 1e-9
+	approx := func(name string, got, ref float64) {
+		t.Helper()
+		if math.Abs(got-ref) > tol*math.Max(1, math.Abs(ref)) {
+			t.Fatalf("%s = %v, want %v", name, got, ref)
+		}
+	}
+	approx("mean", s.Mean(), want.Mean)
+	approx("variance", s.Variance(), want.Variance)
+	approx("std", s.Std(), want.Std)
+	if s.Min() != want.Min || s.Max() != want.Max {
+		t.Fatalf("min/max = %v/%v, want %v/%v", s.Min(), s.Max(), want.Min, want.Max)
+	}
+}
+
+func TestStreamMergeMatchesSequential(t *testing.T) {
+	xs := randomSample(5000, 2)
+	var whole Stream
+	for _, x := range xs {
+		whole.Add(x)
+	}
+	// Shard into 7 pieces, merge in order: same observations, same order
+	// of merge regardless of how the pieces were filled.
+	const shards = 7
+	parts := make([]Stream, shards)
+	for i, x := range xs {
+		parts[i*shards/len(xs)].Add(x)
+	}
+	var merged Stream
+	for _, p := range parts {
+		merged.Merge(p)
+	}
+	if merged.N() != whole.N() {
+		t.Fatalf("N = %d, want %d", merged.N(), whole.N())
+	}
+	if math.Abs(merged.Mean()-whole.Mean()) > 1e-9*whole.Mean() {
+		t.Fatalf("merged mean %v, sequential %v", merged.Mean(), whole.Mean())
+	}
+	if math.Abs(merged.Variance()-whole.Variance()) > 1e-6*whole.Variance() {
+		t.Fatalf("merged variance %v, sequential %v", merged.Variance(), whole.Variance())
+	}
+	if merged.Min() != whole.Min() || merged.Max() != whole.Max() {
+		t.Fatal("merged min/max mismatch")
+	}
+}
+
+func TestStreamMergeDeterministic(t *testing.T) {
+	// Bit-identical results for the same shard partition, however many
+	// times we run it — the property sim.Reduce relies on.
+	xs := randomSample(1000, 3)
+	build := func() Stream {
+		parts := make([]Stream, 4)
+		for i, x := range xs {
+			parts[i%4].Add(x)
+		}
+		var out Stream
+		for _, p := range parts {
+			out.Merge(p)
+		}
+		return out
+	}
+	a, b := build(), build()
+	if a.Mean() != b.Mean() || a.Variance() != b.Variance() {
+		t.Fatal("same partition should give bit-identical results")
+	}
+}
+
+func TestStreamEmptyAndCI(t *testing.T) {
+	var s Stream
+	if !math.IsNaN(s.Mean()) || !math.IsNaN(s.Min()) || !math.IsNaN(s.Max()) {
+		t.Fatal("empty stream should report NaN")
+	}
+	if _, err := s.CI(0.95); err == nil {
+		t.Fatal("empty CI should fail")
+	}
+	xs := randomSample(400, 4)
+	for _, x := range xs {
+		s.Add(x)
+	}
+	ci, err := s.CI(0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := NormalCI(xs, 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(ci.Lo-want.Lo) > 1e-9 || math.Abs(ci.Hi-want.Hi) > 1e-9 {
+		t.Fatalf("stream CI [%v,%v], batch [%v,%v]", ci.Lo, ci.Hi, want.Lo, want.Hi)
+	}
+	if _, err := s.CI(1.5); err == nil {
+		t.Fatal("bad level should fail")
+	}
+}
+
+func TestSketchRelativeError(t *testing.T) {
+	xs := randomSample(20000, 5)
+	sk := NewDefaultSketch()
+	for _, x := range xs {
+		sk.Add(x)
+	}
+	for _, q := range []float64{0.01, 0.25, 0.5, 0.9, 0.95, 0.99} {
+		got, err := sk.Quantile(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := Quantile(xs, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The guarantee is relative to an exact order statistic; linear
+		// interpolation in Quantile shifts it by at most one neighbour
+		// gap, so allow 2α.
+		if math.Abs(got-want) > 2*DefaultSketchAlpha*want {
+			t.Fatalf("q=%v: sketch %v, exact %v", q, got, want)
+		}
+	}
+}
+
+func TestSketchMergeExact(t *testing.T) {
+	xs := randomSample(8000, 6)
+	whole := NewDefaultSketch()
+	for _, x := range xs {
+		whole.Add(x)
+	}
+	parts := make([]*QuantileSketch, 5)
+	for i := range parts {
+		parts[i] = NewDefaultSketch()
+	}
+	for i, x := range xs {
+		parts[i%5].Add(x)
+	}
+	merged := NewDefaultSketch()
+	for _, p := range parts {
+		if err := merged.Merge(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if merged.N() != whole.N() {
+		t.Fatalf("N = %d, want %d", merged.N(), whole.N())
+	}
+	for _, q := range []float64{0, 0.1, 0.5, 0.9, 0.99, 1} {
+		a, err := merged.Quantile(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := whole.Quantile(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a != b {
+			t.Fatalf("q=%v: merged %v, whole %v (merge must be exact)", q, a, b)
+		}
+	}
+}
+
+func TestSketchSignsAndErrors(t *testing.T) {
+	sk := NewDefaultSketch()
+	if _, err := sk.Quantile(0.5); err == nil {
+		t.Fatal("empty sketch should fail")
+	}
+	for _, x := range []float64{-10, -1, 0, 0, 1, 10, math.NaN()} {
+		sk.Add(x)
+	}
+	if sk.N() != 6 {
+		t.Fatalf("N = %d, want 6 (NaN ignored)", sk.N())
+	}
+	lo, err := sk.Quantile(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lo > -9 {
+		t.Fatalf("q=0 should land near -10, got %v", lo)
+	}
+	med, err := sk.Quantile(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if med != 0 {
+		t.Fatalf("median of {-10,-1,0,0,1,10} should be 0, got %v", med)
+	}
+	if _, err := sk.Quantile(2); err == nil {
+		t.Fatal("q>1 should fail")
+	}
+	if _, err := NewQuantileSketch(0); err == nil {
+		t.Fatal("alpha=0 should fail")
+	}
+	other, err := NewQuantileSketch(0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	other.Add(1)
+	if err := sk.Merge(other); err == nil {
+		t.Fatal("mismatched accuracies should fail to merge")
+	}
+}
+
+func TestSketchInfinities(t *testing.T) {
+	sk := NewDefaultSketch()
+	for _, x := range []float64{math.Inf(-1), 1, 2, 3, math.Inf(1), math.Inf(1)} {
+		sk.Add(x)
+	}
+	if sk.N() != 6 {
+		t.Fatalf("N = %d, want 6", sk.N())
+	}
+	lo, err := sk.Quantile(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(lo, -1) {
+		t.Fatalf("q=0 = %v, want -Inf", lo)
+	}
+	hi, err := sk.Quantile(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(hi, 1) {
+		t.Fatalf("q=1 = %v, want +Inf", hi)
+	}
+	// Finite quantiles must be untouched by the infinite observations.
+	med, err := sk.Quantile(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(med-2) > 2*DefaultSketchAlpha*2 {
+		t.Fatalf("median = %v, want ≈2", med)
+	}
+	// Merge must carry the infinity counters.
+	other := NewDefaultSketch()
+	other.Add(math.Inf(1))
+	if err := sk.Merge(other); err != nil {
+		t.Fatal(err)
+	}
+	if sk.N() != 7 {
+		t.Fatalf("merged N = %d, want 7", sk.N())
+	}
+	// FixedHistogram clamps infinities into the edge bins, losing nothing.
+	h, err := sk.FixedHistogram(0, 4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Total() != 7 {
+		t.Fatalf("hist total = %d, want 7", h.Total())
+	}
+}
+
+func TestHistogramMergeAndAddN(t *testing.T) {
+	a, err := NewHistogram(0, 10, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewHistogram(0, 10, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.AddN(1, 3)
+	b.AddN(9, 2)
+	b.Add(5)
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if a.Total() != 6 {
+		t.Fatalf("total = %d, want 6", a.Total())
+	}
+	var sum int64
+	for _, c := range a.Counts {
+		sum += c
+	}
+	if sum != a.Total() {
+		t.Fatalf("bin counts sum %d != total %d", sum, a.Total())
+	}
+	mismatched, err := NewHistogram(0, 20, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Merge(mismatched); err == nil {
+		t.Fatal("mismatched ranges should fail to merge")
+	}
+}
+
+func TestDigestSummaryAndJSON(t *testing.T) {
+	d := NewDigest()
+	if _, err := d.Summary(); err == nil {
+		t.Fatal("empty digest should fail")
+	}
+	xs := randomSample(3000, 7)
+	for _, x := range xs {
+		d.Add(x)
+	}
+	s, err := d.Summary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := Summarize(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.N != want.N || math.Abs(s.Mean-want.Mean) > 1e-9*want.Mean {
+		t.Fatalf("digest %+v disagrees with Summarize %+v", s, want)
+	}
+	if math.Abs(s.P95-want.P95) > 2*DefaultSketchAlpha*want.P95 {
+		t.Fatalf("p95 = %v, exact %v", s.P95, want.P95)
+	}
+	if s.P50 > s.P90 || s.P90 > s.P95 || s.P95 > s.P99 {
+		t.Fatalf("quantiles out of order: %+v", s)
+	}
+	blob, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back map[string]any
+	if err := json.Unmarshal(blob, &back); err != nil {
+		t.Fatalf("summary JSON invalid: %v\n%s", err, blob)
+	}
+	for _, key := range []string{"n", "mean", "p50", "p90", "p99", "min", "max"} {
+		if _, ok := back[key]; !ok {
+			t.Fatalf("JSON missing %q: %s", key, blob)
+		}
+	}
+	if !strings.Contains(s.String(), "mean=") {
+		t.Fatalf("String() = %q", s.String())
+	}
+}
+
+func TestDigestMerge(t *testing.T) {
+	xs := randomSample(2000, 8)
+	whole := NewDigest()
+	for _, x := range xs {
+		whole.Add(x)
+	}
+	parts := []*Digest{NewDigest(), NewDigest(), NewDigest()}
+	for i, x := range xs {
+		parts[i%3].Add(x)
+	}
+	merged := NewDigest()
+	for _, p := range parts {
+		if err := merged.Merge(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := merged.Merge(nil); err != nil {
+		t.Fatal("nil merge should be a no-op")
+	}
+	a, err := merged.Summary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := whole.Summary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.N != b.N || a.Min != b.Min || a.Max != b.Max || a.P95 != b.P95 {
+		t.Fatalf("merged %+v, whole %+v", a, b)
+	}
+	if math.Abs(a.Mean-b.Mean) > 1e-9*b.Mean {
+		t.Fatalf("merged mean %v, whole %v", a.Mean, b.Mean)
+	}
+}

@@ -1,8 +1,20 @@
 // Package stats provides the statistical machinery the experiment harness
-// reports with: batch and streaming summaries, quantiles, confidence
-// intervals (normal and bootstrap), histograms, and least-squares fits for
-// the scaling laws the paper predicts (cover time ∝ log n, cover time ∝
-// (1-λ)^{-c}).
+// reports with, in two flavours:
+//
+//   - batch: Summarize, Quantile, NormalCI, BootstrapCI, Gini and the
+//     least-squares fits for the scaling laws the paper predicts (cover
+//     time ∝ log n, cover time ∝ (1-λ)^{-c}) — these take a materialised
+//     []float64 sample;
+//   - streaming: Stream (count/mean/variance/min/max via Welford),
+//     QuantileSketch (mergeable log-bucket quantiles with bounded relative
+//     error), Histogram (fixed-bin, mergeable) and Digest (the combination)
+//     — constant-memory accumulators that merge associatively, which is
+//     what sim.Reduce folds trial results into so ensembles of 10⁵+ trials
+//     never materialise a per-trial slice.
+//
+// Batch and streaming agree: a Stream fed a sample reports the same
+// moments as Summarize on it, and sketch quantiles are within the sketch's
+// relative accuracy of the exact order statistics.
 package stats
 
 import (
