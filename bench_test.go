@@ -20,6 +20,7 @@ import (
 	"cobrawalk/internal/sim"
 	"cobrawalk/internal/spectral"
 	"cobrawalk/internal/stats"
+	"cobrawalk/internal/sweep"
 )
 
 func buildRandomRegular(b *testing.B, n, deg int) *graph.Graph {
@@ -421,6 +422,39 @@ func benchEnsemble(b *testing.B, streaming bool) {
 			b.Fatal("degenerate ensemble")
 		}
 	}
+}
+
+// BenchmarkSweep: the declarative sweep engine end to end on a small
+// grid with smoke-scale trials — expansion, point scheduling, graph
+// construction and the streamed ensembles. Tracks sweep-scheduling
+// overhead: compare against the raw ensemble cost in
+// BenchmarkReduceEnsemble when the gap matters.
+func BenchmarkSweep(b *testing.B) {
+	spec := sweep.Spec{
+		Name:      "bench",
+		Families:  []string{"rand-reg", "complete"},
+		Sizes:     []int{64, 128},
+		Degrees:   []int{4},
+		Processes: []string{sweep.ProcCobra, sweep.ProcPush},
+		Trials:    8,
+		Seed:      1,
+	}
+	pts, err := spec.Points()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, err := sweep.Run(context.Background(), spec, sweep.Options{PointWorkers: 2})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rep.Results) != len(pts) {
+			b.Fatalf("got %d results, want %d", len(rep.Results), len(pts))
+		}
+	}
+	b.ReportMetric(float64(len(pts)), "points/op")
 }
 
 func BenchmarkLambdaMax(b *testing.B) {

@@ -1,0 +1,132 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func runQuiet(t *testing.T, args ...string) (string, error) {
+	t.Helper()
+	var out bytes.Buffer
+	err := run(append(args, "-quiet"), &out, io.Discard)
+	return out.String(), err
+}
+
+func TestRunFlagErrors(t *testing.T) {
+	for _, args := range [][]string{
+		{"-bogus"},
+		{"-families", "complete"},                // no sizes
+		{"-families", "complete", "-sizes", "x"}, // bad size
+		{"-families", "complete", "-sizes", "16", "-degrees", "y"},
+		{"-families", "complete", "-sizes", "16", "-branchings", "z"},
+		{"-families", "complete", "-sizes", "16", "-format", "yaml"},
+		{"-families", "nosuch", "-sizes", "16"},
+		{"-spec", "/nonexistent/spec.json"},
+		{"-families", "complete", "-sizes", "16", "-resume"}, // -resume needs -out
+	} {
+		if _, err := runQuiet(t, args...); err == nil {
+			t.Errorf("args %v should fail", args)
+		}
+	}
+}
+
+func TestListFamiliesAndPoints(t *testing.T) {
+	out, err := runQuiet(t, "-list-families")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, fam := range []string{"rand-reg", "complete", "torus-2d", "hypercube"} {
+		if !strings.Contains(out, fam) {
+			t.Fatalf("family listing missing %s:\n%s", fam, out)
+		}
+	}
+	out, err = runQuiet(t, "-families", "complete", "-sizes", "16,32", "-processes", "cobra,push", "-list-points")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []string{"cobra-complete-n16-k2", "push-complete-n32"} {
+		if !strings.Contains(out, id) {
+			t.Fatalf("point listing missing %s:\n%s", id, out)
+		}
+	}
+}
+
+func TestRunTextSummary(t *testing.T) {
+	out, err := runQuiet(t, "-families", "complete", "-sizes", "16", "-trials", "4",
+		"-branchings", "2,1+0.5", "-lambda")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"cobra-complete-n16-k2", "cobra-complete-n16-k1-rho0.5", "mean", "λ="} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("summary missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunJSONSummary(t *testing.T) {
+	out, err := runQuiet(t, "-families", "complete", "-sizes", "16", "-trials", "3", "-format", "json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rec map[string]any
+	if err := json.Unmarshal([]byte(strings.TrimSpace(out)), &rec); err != nil {
+		t.Fatalf("summary is not one JSON object: %v\n%s", err, out)
+	}
+	if _, ok := rec["rows"]; !ok {
+		t.Fatalf("JSON summary missing rows:\n%s", out)
+	}
+}
+
+func TestSpecFileAndResume(t *testing.T) {
+	dir := t.TempDir()
+	specPath := filepath.Join(dir, "spec.json")
+	specJSON := `{
+  "name": "cli-test",
+  "families": ["complete"],
+  "sizes": [16, 24],
+  "processes": ["cobra", "flood"],
+  "trials": 3,
+  "seed": 9
+}`
+	if err := os.WriteFile(specPath, []byte(specJSON), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	outDir := filepath.Join(dir, "artifacts")
+	out, err := runQuiet(t, "-spec", specPath, "-out", outDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "sweep cli-test") {
+		t.Fatalf("summary missing spec name:\n%s", out)
+	}
+	if _, err := os.Stat(filepath.Join(outDir, "results.ndjson")); err != nil {
+		t.Fatalf("no results.ndjson: %v", err)
+	}
+
+	// Re-running without -resume refuses; with -resume it skips all.
+	if _, err := runQuiet(t, "-spec", specPath, "-out", outDir); err == nil {
+		t.Fatal("occupied artifact dir should refuse without -resume")
+	}
+	out, err = runQuiet(t, "-spec", specPath, "-out", outDir, "-resume")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "resumed: 4 of 4") {
+		t.Fatalf("resume note missing:\n%s", out)
+	}
+
+	// Unknown spec fields are rejected, not ignored.
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte(`{"families":["complete"],"sizes":[16],"trials":1,"sede":1}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := runQuiet(t, "-spec", bad); err == nil {
+		t.Fatal("unknown spec field should fail")
+	}
+}

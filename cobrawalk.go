@@ -1,12 +1,15 @@
 package cobrawalk
 
 import (
+	"context"
+
 	"cobrawalk/internal/baseline"
 	"cobrawalk/internal/core"
 	"cobrawalk/internal/graph"
 	"cobrawalk/internal/rng"
 	"cobrawalk/internal/spectral"
 	"cobrawalk/internal/stats"
+	"cobrawalk/internal/sweep"
 	"cobrawalk/internal/walk"
 )
 
@@ -225,3 +228,40 @@ var (
 
 // Gini summarises inequality of a non-negative sample (load balance).
 var Gini = stats.Gini
+
+// Parameter sweeps: a SweepSpec declares a grid over graph family × size
+// × degree × process × branching; RunSweep expands it into deterministic,
+// ID-stamped points and streams each point's ensemble into digests. With
+// SweepOptions.Dir set, completed points persist as JSON records and
+// interrupted sweeps resume byte-identically (see internal/sweep and
+// cmd/sweep).
+type (
+	// SweepSpec declares the axes of a sweep grid.
+	SweepSpec = sweep.Spec
+	// SweepPoint is one fully-specified cell of the expanded grid.
+	SweepPoint = sweep.Point
+	// SweepResult is one completed point: identity + ensemble digests.
+	SweepResult = sweep.Result
+	// SweepReport is the outcome of RunSweep.
+	SweepReport = sweep.Report
+	// SweepOptions carries scheduling and artifact settings; it never
+	// affects the computed results.
+	SweepOptions = sweep.Options
+	// SweepFamily names a graph generator usable in SweepSpec.Families.
+	SweepFamily = sweep.Family
+)
+
+// RunSweep expands spec and executes every point across a worker pool.
+func RunSweep(ctx context.Context, spec SweepSpec, opts SweepOptions) (*SweepReport, error) {
+	return sweep.Run(ctx, spec, opts)
+}
+
+var (
+	// SweepFamilies returns the sweep family registry.
+	SweepFamilies = sweep.Families
+	// SweepProcesses returns the supported sweep process names.
+	SweepProcesses = sweep.Processes
+	// ParseBranchings parses the "K" / "K+RHO" comma-list grammar used
+	// by cmd/sweep's -branchings flag.
+	ParseBranchings = sweep.ParseBranchings
+)

@@ -2,6 +2,7 @@ package cobrawalk_test
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"math"
 	"testing"
@@ -286,5 +287,35 @@ func TestFacadeStreamingStats(t *testing.T) {
 	h.AddN(7, 2)
 	if h.Total() != 3 {
 		t.Fatalf("hist total = %d", h.Total())
+	}
+}
+
+func TestFacadeSweep(t *testing.T) {
+	spec := cobrawalk.SweepSpec{
+		Families:   []string{"complete"},
+		Sizes:      []int{16},
+		Processes:  []string{"cobra", "push"},
+		Branchings: []cobrawalk.Branching{{K: 2}},
+		Trials:     4,
+		Seed:       3,
+	}
+	rep, err := cobrawalk.RunSweep(context.Background(), spec, cobrawalk.SweepOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Results) != 2 {
+		t.Fatalf("got %d results, want 2", len(rep.Results))
+	}
+	for _, res := range rep.Results {
+		if res.Rounds.N != 4 || res.Rounds.Mean <= 0 {
+			t.Fatalf("point %s: %+v", res.ID, res.Rounds)
+		}
+	}
+	if len(cobrawalk.SweepFamilies()) == 0 || len(cobrawalk.SweepProcesses()) == 0 {
+		t.Fatal("empty sweep registries")
+	}
+	brs, err := cobrawalk.ParseBranchings("1+0.25")
+	if err != nil || len(brs) != 1 || brs[0].Rho != 0.25 {
+		t.Fatalf("ParseBranchings: %v, %v", brs, err)
 	}
 }

@@ -34,7 +34,12 @@
 //     any worker count;
 //   - batch and streaming statistics: summaries, confidence intervals,
 //     scaling-law fits, Welford streams, quantile sketches, histograms
-//     (re-exported here as Stream, QuantileSketch, Digest, Histogram).
+//     (re-exported here as Stream, QuantileSketch, Digest, Histogram);
+//   - a declarative, resumable parameter-sweep engine: a SweepSpec names
+//     a grid over family × size × degree × process × branching, RunSweep
+//     executes its deterministic points across a worker pool, and
+//     artifact directories make interrupted sweeps resume byte-identically
+//     (see also cmd/sweep).
 //
 // # Quick start
 //

@@ -1,0 +1,46 @@
+// Sweep example: the paper's branching spectrum as one declarative grid.
+// A single SweepSpec sweeps Branching{K, Rho} over K ∈ {1, 2, 3} and
+// ρ ∈ {0, 0.5} on a random-regular expander and prints the cover-time
+// digest of every point — Theorem 1's k = 2 regime, Theorem 3's
+// fractional 1+ρ regime, and the k = 1 random-walk end of the spectrum
+// side by side, without writing a single loop over the grid.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"cobrawalk"
+)
+
+func main() {
+	spec := cobrawalk.SweepSpec{
+		Name:     "branching-spectrum",
+		Families: []string{"rand-reg"},
+		Sizes:    []int{512},
+		Degrees:  []int{8},
+		Branchings: []cobrawalk.Branching{
+			{K: 1}, {K: 1, Rho: 0.5},
+			{K: 2}, {K: 2, Rho: 0.5},
+			{K: 3}, {K: 3, Rho: 0.5},
+		},
+		Trials: 40,
+		Seed:   1,
+	}
+
+	rep, err := cobrawalk.RunSweep(context.Background(), spec, cobrawalk.SweepOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("COBRA cover time on rand-8-reg n=512, %d trials per point\n\n", spec.Trials)
+	fmt.Printf("%-8s %8s %8s %8s %8s %8s\n", "branch", "E[k]", "mean", "p50", "p95", "max")
+	for _, res := range rep.Results {
+		b := res.Branching
+		fmt.Printf("%-8s %8.1f %8.2f %8.1f %8.1f %8.0f\n",
+			b, b.Expected(), res.Rounds.Mean, res.Rounds.P50, res.Rounds.P95, res.Rounds.Max)
+	}
+	fmt.Println("\nTheorem 3: expected branching 1+ρ already gives O(log n) cover —")
+	fmt.Println("watch the k=1+ρ0.50 row sit far below k=1 (a plain random walk).")
+}

@@ -22,8 +22,8 @@ import (
 // theorems use K=2, Rho=0; Theorem 3 and Corollary 1 use K=1, Rho>0 for an
 // expected branching factor of 1+Rho.
 type Branching struct {
-	K   int
-	Rho float64
+	K   int     `json:"k"`
+	Rho float64 `json:"rho,omitempty"`
 }
 
 // DefaultBranching is the paper's canonical k = 2 branching factor.

@@ -5,19 +5,19 @@ import (
 	"io"
 	"math"
 
-	"cobrawalk/internal/core"
-	"cobrawalk/internal/rng"
 	"cobrawalk/internal/stats"
+	"cobrawalk/internal/sweep"
 )
 
 // e1Experiment reproduces Theorem 1: the COBRA cover time with k = 2 on
 // regular expanders is O(log n), independent of the degree r for
-// 3 <= r <= n-1. The workload sweeps random r-regular expanders (r = 3, 8,
-// 16) and the complete graph (r = n-1) over doubling n, reports the mean
-// and p95 cover times with the measured λ of each instance, and fits
-// cover = a·log₂(n) + b per family. Degree-independence shows up as
-// near-identical slopes across families; the theorem predicts high R² for
-// the logarithmic law.
+// 3 <= r <= n-1. The workload is two declarative sweeps — random
+// r-regular expanders (r = 3, 8, 16) and the complete graph (r = n-1)
+// over doubling n — run by the sweep engine with λ measurement enabled;
+// the experiment reports the mean and p95 cover times with the measured λ
+// of each instance and fits cover = a·log₂(n) + b per family.
+// Degree-independence shows up as near-identical slopes across families;
+// the theorem predicts high R² for the logarithmic law.
 func e1Experiment() Experiment {
 	return Experiment{
 		ID:    "E1",
@@ -36,61 +36,75 @@ func runE1(ctx context.Context, w io.Writer, p Params) error {
 	trials := pick(p.Scale, 20, 50, 100)
 	completeCap := pick(p.Scale, 512, 2048, 4096)
 
-	families := []family{
-		randomRegularFamily(3),
-		randomRegularFamily(8),
-		randomRegularFamily(16),
-		completeFamily(),
+	specs := []sweep.Spec{
+		{
+			Name:     "e1-expanders",
+			Families: []string{"rand-reg"},
+			Sizes:    sizes,
+			Degrees:  []int{3, 8, 16},
+		},
+		{
+			Name:     "e1-complete",
+			Families: []string{"complete"},
+			Sizes:    capSizes(sizes, completeCap),
+		},
 	}
 
 	tbl := NewTable("E1: COBRA k=2 cover time",
 		"family", "n", "r", "λmax", "trials", "mean", "±95%", "p95", "max", "mean/log2(n)")
 	slopes := make(map[string]stats.Fit)
 	lambdas := make(map[string]float64) // largest measured λ per family
-	for _, fam := range families {
-		var ns, means []float64
-		gr := rng.NewStream(p.Seed, 0xe1)
-		for _, n := range sizes {
-			if fam.name == "complete" && n > completeCap {
-				continue
-			}
-			g, err := fam.build(n, gr)
-			if err != nil {
-				return err
-			}
-			lambda, err := measureLambda(g)
-			if err != nil {
-				return err
-			}
-			if lambda > lambdas[fam.name] {
-				lambdas[fam.name] = lambda
-			}
-			dg, err := coverDigest(ctx, g, core.DefaultBranching, trials, p, 1<<16)
-			if err != nil {
-				return err
-			}
-			s, err := digestOrErr(dg, "cover times")
-			if err != nil {
-				return err
-			}
-			ci, err := dg.Stream.CI(0.95)
-			if err != nil {
-				return err
-			}
-			deg, _ := g.Regularity()
-			tbl.AddRow(fam.name, d(g.N()), d(deg), f4(lambda), d(trials),
-				f2(s.Mean), f2(ci.Hi-s.Mean), f1(s.P95), f1(s.Max),
-				f2(s.Mean/math.Log2(float64(g.N()))))
-			ns = append(ns, float64(g.N()))
-			means = append(means, s.Mean)
+	for _, spec := range specs {
+		spec.Trials = trials
+		spec.Seed = p.Seed
+		spec.MaxRounds = 1 << 16
+		spec.MeasureLambda = true
+		rep, err := sweep.Run(ctx, spec, sweep.Options{TrialWorkers: p.Workers})
+		if err != nil {
+			return err
 		}
-		if len(ns) >= 2 {
+		// Expansion order is degree-major, size-minor, so results form
+		// contiguous per-family groups with ascending sizes.
+		var ns, means []float64
+		flush := func(label string) error {
+			if len(ns) < 2 {
+				ns, means = nil, nil
+				return nil
+			}
 			fit, err := stats.FitLogN(ns, means)
 			if err != nil {
 				return err
 			}
-			slopes[fam.name] = fit
-			tbl.AddNote("%-12s cover ≈ %.3f·log₂(n) %+.3f  (R²=%.4f)", fam.name, fit.Slope, fit.Intercept, fit.R2)
+			slopes[label] = fit
+			tbl.AddNote("%-12s cover ≈ %.3f·log₂(n) %+.3f  (R²=%.4f)", label, fit.Slope, fit.Intercept, fit.R2)
+			ns, means = nil, nil
+			return nil
+		}
+		prev := ""
+		for _, res := range rep.Results {
+			label := familyLabel(res.Point)
+			if prev != "" && label != prev {
+				if err := flush(prev); err != nil {
+					return err
+				}
+			}
+			prev = label
+			if res.Lambda > lambdas[label] {
+				lambdas[label] = res.Lambda
+			}
+			ci, err := res.Rounds.CI(0.95)
+			if err != nil {
+				return err
+			}
+			s := res.Rounds
+			tbl.AddRow(label, d(res.GraphN), d(res.GraphDegree), f4(res.Lambda), d(s.N),
+				f2(s.Mean), f2(ci.Hi-s.Mean), f1(s.P95), f1(s.Max),
+				f2(s.Mean/math.Log2(float64(res.GraphN))))
+			ns = append(ns, float64(res.GraphN))
+			means = append(means, s.Mean)
+		}
+		if err := flush(prev); err != nil {
+			return err
 		}
 	}
 	// Degree-independence verdict. Theorem 1's constant depends on the
@@ -114,4 +128,16 @@ func runE1(ctx context.Context, w io.Writer, p Params) error {
 		tbl.AddNote("small-gap families (e.g. r=3, λ≈0.94) carry a larger constant through (1-λ), not through r — exactly Theorem 1's form")
 	}
 	return tbl.Emit(w, p)
+}
+
+// capSizes returns the sizes not exceeding cap (dense families are too
+// expensive at the largest scales).
+func capSizes(sizes []int, limit int) []int {
+	var out []int
+	for _, n := range sizes {
+		if n <= limit {
+			out = append(out, n)
+		}
+	}
+	return out
 }

@@ -5,9 +5,8 @@ import (
 	"io"
 	"math"
 
-	"cobrawalk/internal/core"
-	"cobrawalk/internal/rng"
 	"cobrawalk/internal/stats"
+	"cobrawalk/internal/sweep"
 )
 
 // e8Experiment reproduces the prior results of Dutta et al. (SPAA'13)
@@ -19,7 +18,8 @@ import (
 //	      paper improves it to O(log n);
 //	(iii) d-dimensional grids/tori: Õ(n^{1/d}).
 //
-// The table fits each family's scaling law; for the expander family it
+// Each family is one declarative sweep; the table fits each family's
+// scaling law from the sweep records, and for the expander family it
 // additionally contrasts the a·log n and a·log² n models by residual sum
 // of squares — the paper predicts the linear-in-log model explains the data
 // at least as well.
@@ -51,23 +51,23 @@ func runE8(ctx context.Context, w io.Writer, p Params) error {
 	tbl := NewTable("E8: COBRA k=2 cover-time scaling by family",
 		"family", "n", "mean", "p95", "mean/log2(n)", "mean/√n")
 
-	collect := func(fam family, sizes []int) (ns, means []float64, err error) {
-		gr := rng.NewStream(p.Seed, 0xe8)
-		for _, n := range sizes {
-			g, err := fam.build(n, gr)
-			if err != nil {
-				return nil, nil, err
-			}
-			dg, err := coverDigest(ctx, g, core.DefaultBranching, trials, p, 1<<20)
-			if err != nil {
-				return nil, nil, err
-			}
-			s, err := digestOrErr(dg, "cover times")
-			if err != nil {
-				return nil, nil, err
-			}
-			fn := float64(g.N())
-			tbl.AddRow(fam.name, d(g.N()), f2(s.Mean), f1(s.P95),
+	collect := func(name, fam string, degrees []int, sizes []int) (ns, means []float64, err error) {
+		rep, err := sweep.Run(ctx, sweep.Spec{
+			Name:      name,
+			Families:  []string{fam},
+			Sizes:     sizes,
+			Degrees:   degrees,
+			Trials:    trials,
+			Seed:      p.Seed,
+			MaxRounds: 1 << 20,
+		}, sweep.Options{TrialWorkers: p.Workers})
+		if err != nil {
+			return nil, nil, err
+		}
+		for _, res := range rep.Results {
+			fn := float64(res.GraphN)
+			s := res.Rounds
+			tbl.AddRow(familyLabel(res.Point), d(res.GraphN), f2(s.Mean), f1(s.P95),
 				f2(s.Mean/math.Log2(fn)), f4(s.Mean/math.Sqrt(fn)))
 			ns = append(ns, fn)
 			means = append(means, s.Mean)
@@ -76,7 +76,7 @@ func runE8(ctx context.Context, w io.Writer, p Params) error {
 	}
 
 	// (i) Complete graphs: O(log n).
-	nsK, meansK, err := collect(completeFamily(), sizesK)
+	nsK, meansK, err := collect("e8-complete", "complete", nil, sizesK)
 	if err != nil {
 		return err
 	}
@@ -87,7 +87,7 @@ func runE8(ctx context.Context, w io.Writer, p Params) error {
 	tbl.AddNote("K_n:      cover ≈ %.3f·log₂(n) %+.2f (R²=%.4f) — Dutta et al. (i)", fitK.Slope, fitK.Intercept, fitK.R2)
 
 	// (ii) Constant-degree expanders: log vs log² model comparison.
-	nsE, meansE, err := collect(randomRegularFamily(3), sizesExp)
+	nsE, meansE, err := collect("e8-expander", "rand-reg", []int{3}, sizesExp)
 	if err != nil {
 		return err
 	}
@@ -119,7 +119,7 @@ func runE8(ctx context.Context, w io.Writer, p Params) error {
 	tbl.AddNote("Theorem 1 (this paper) predicts the O(log n) law suffices where Dutta et al. only proved O(log² n)")
 
 	// (iii) 2-D torus: Õ(n^{1/2}).
-	nsT, meansT, err := collect(torus2DFamily(), sizesTorus)
+	nsT, meansT, err := collect("e8-torus", "torus-2d", nil, sizesTorus)
 	if err != nil {
 		return err
 	}

@@ -10,10 +10,12 @@ import (
 	"cobrawalk/internal/sim"
 	"cobrawalk/internal/spectral"
 	"cobrawalk/internal/stats"
+	"cobrawalk/internal/sweep"
 )
 
 // family names a graph generator parameterised only by target size, for
-// size-sweep experiments.
+// size-sweep experiments. The builders delegate to the sweep engine's
+// family registry, so size→graph rounding lives in one place.
 type family struct {
 	name string
 	// build returns a graph with ~n vertices (generators round to their
@@ -21,57 +23,43 @@ type family struct {
 	build func(n int, r *rng.Rand) (*graph.Graph, error)
 }
 
+// sweepFamily adapts a sweep.Family (with a fixed degree) to the local
+// family shape. The registry names are compile-time constants, so a
+// lookup failure is a programming error.
+func sweepFamily(name string, deg int, display string) family {
+	sf, err := sweep.LookupFamily(name)
+	if err != nil {
+		panic(err)
+	}
+	return family{
+		name: display,
+		build: func(n int, r *rng.Rand) (*graph.Graph, error) {
+			return sf.Build(n, deg, r)
+		},
+	}
+}
+
 func randomRegularFamily(deg int) family {
-	return family{
-		name: fmt.Sprintf("rand-%d-reg", deg),
-		build: func(n int, r *rng.Rand) (*graph.Graph, error) {
-			if n*deg%2 != 0 {
-				n++
-			}
-			return graph.RandomRegularConnected(n, deg, r)
-		},
-	}
+	return sweepFamily("rand-reg", deg, fmt.Sprintf("rand-%d-reg", deg))
 }
 
-func completeFamily() family {
-	return family{
-		name:  "complete",
-		build: func(n int, r *rng.Rand) (*graph.Graph, error) { return graph.Complete(n) },
-	}
-}
+func completeFamily() family { return sweepFamily("complete", 0, "complete") }
 
-func torus2DFamily() family {
-	return family{
-		name: "torus-2d",
-		build: func(n int, r *rng.Rand) (*graph.Graph, error) {
-			side := intSqrt(n)
-			if side < 3 {
-				side = 3
-			}
-			return graph.Torus(side, side)
-		},
-	}
-}
+func torus2DFamily() family { return sweepFamily("torus-2d", 0, "torus-2d") }
 
-func hypercubeFamily() family {
-	return family{
-		name: "hypercube",
-		build: func(n int, r *rng.Rand) (*graph.Graph, error) {
-			d := 1
-			for (1 << d) < n {
-				d++
-			}
-			return graph.Hypercube(d)
-		},
-	}
-}
+func hypercubeFamily() family { return sweepFamily("hypercube", 0, "hypercube") }
 
-func intSqrt(n int) int {
-	s := 0
-	for (s+1)*(s+1) <= n {
-		s++
+// intSqrt returns ⌊√n⌋ (torus sizing in E5/E7), delegating to the sweep
+// engine's helper so the rounding rule has one home.
+func intSqrt(n int) int { return sweep.IntSqrt(n) }
+
+// familyLabel names a sweep point's family the way the experiment tables
+// do: degree-parameterised families carry their degree ("rand-3-reg").
+func familyLabel(pt sweep.Point) string {
+	if pt.Family == "rand-reg" {
+		return fmt.Sprintf("rand-%d-reg", pt.Degree)
 	}
-	return s
+	return pt.Family
 }
 
 // cobraWorkload packages the per-worker factory and per-trial function

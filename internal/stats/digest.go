@@ -82,6 +82,20 @@ func (d *Digest) Summary() (DigestSummary, error) {
 	}, nil
 }
 
+// CI returns the normal-approximation confidence interval for the mean
+// at the given level — Stream.CI reconstructed from the snapshot, for
+// consumers that only hold the serialised summary (sweep records).
+func (s DigestSummary) CI(level float64) (Interval, error) {
+	if s.N == 0 {
+		return Interval{}, ErrEmpty
+	}
+	if level <= 0 || level >= 1 {
+		return Interval{}, errBadLevel(level)
+	}
+	h := zQuantile(level) * s.SE
+	return Interval{Point: s.Mean, Lo: s.Mean - h, Hi: s.Mean + h, Level: level}, nil
+}
+
 func (s DigestSummary) String() string {
 	return fmt.Sprintf("n=%d mean=%.4g ±%.2g sd=%.4g min=%.4g p50=%.4g p95=%.4g p99=%.4g max=%.4g",
 		s.N, s.Mean, s.SE, s.Std, s.Min, s.P50, s.P95, s.P99, s.Max)

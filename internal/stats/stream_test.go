@@ -390,3 +390,136 @@ func TestDigestMerge(t *testing.T) {
 		t.Fatalf("merged mean %v, whole %v", a.Mean, b.Mean)
 	}
 }
+
+// TestDigestSummaryJSONRoundTrip pins the DigestSummary wire format: a
+// marshalled summary unmarshals back field-for-field, non-finite values
+// travel as null (and come back as the zero value), and the CI
+// reconstructed from the snapshot matches the live Stream's.
+func TestDigestSummaryJSONRoundTrip(t *testing.T) {
+	d := NewDigest()
+	xs := randomSample(2500, 13)
+	for _, x := range xs {
+		d.Add(x)
+	}
+	s, err := d.Summary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back DigestSummary
+	if err := json.Unmarshal(blob, &back); err != nil {
+		t.Fatalf("unmarshal: %v\n%s", err, blob)
+	}
+	if back != s {
+		t.Fatalf("round trip changed the summary:\n got %+v\nwant %+v", back, s)
+	}
+	// Re-marshalling is byte-stable — the property sweep artifacts rely
+	// on for byte-identical resumes.
+	blob2, err := json.Marshal(back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(blob) != string(blob2) {
+		t.Fatalf("re-marshal not byte-stable:\n%s\n%s", blob, blob2)
+	}
+
+	// CI from the snapshot matches CI from the live stream.
+	want, err := d.Stream.CI(0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := back.CI(0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got.Lo-want.Lo) > 1e-9 || math.Abs(got.Hi-want.Hi) > 1e-9 {
+		t.Fatalf("snapshot CI %+v, stream CI %+v", got, want)
+	}
+	if _, err := (DigestSummary{}).CI(0.95); err == nil {
+		t.Fatal("empty summary CI should fail")
+	}
+	if _, err := s.CI(1.5); err == nil {
+		t.Fatal("bad level should fail")
+	}
+
+	// Non-finite fields marshal as null...
+	inf := NewDigest()
+	inf.Add(math.Inf(1))
+	si, err := inf.Summary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	iblob, err := json.Marshal(si)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(iblob), `"max":null`) {
+		t.Fatalf("+Inf max should marshal as null: %s", iblob)
+	}
+	// ...and unmarshal to the zero value rather than erroring.
+	var iback DigestSummary
+	if err := json.Unmarshal(iblob, &iback); err != nil {
+		t.Fatalf("null fields should unmarshal: %v", err)
+	}
+	if iback.Max != 0 || iback.N != 1 {
+		t.Fatalf("null round trip: %+v", iback)
+	}
+}
+
+// TestSketchSingleValue: a sketch holding one observation reports that
+// observation (within α) at every quantile.
+func TestSketchSingleValue(t *testing.T) {
+	for _, v := range []float64{42.5, -3.25, 0} {
+		sk := NewDefaultSketch()
+		sk.Add(v)
+		if sk.N() != 1 {
+			t.Fatalf("N = %d", sk.N())
+		}
+		for _, q := range []float64{0, 0.25, 0.5, 0.95, 1} {
+			got, err := sk.Quantile(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(got-v) > DefaultSketchAlpha*math.Abs(v)+1e-12 {
+				t.Fatalf("value %v: Q(%v) = %v", v, q, got)
+			}
+		}
+	}
+}
+
+// TestSketchAllEqual: a constant sample collapses into one bucket, so
+// every quantile agrees to within α and the digest summary stays sane.
+func TestSketchAllEqual(t *testing.T) {
+	const v = 7.5
+	d := NewDigest()
+	for i := 0; i < 1000; i++ {
+		d.Add(v)
+	}
+	lo, err := d.Quantile(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hi, err := d.Quantile(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lo != hi {
+		t.Fatalf("constant sample spread across buckets: Q(0)=%v Q(1)=%v", lo, hi)
+	}
+	if math.Abs(lo-v) > DefaultSketchAlpha*v {
+		t.Fatalf("Q = %v, want within %v of %v", lo, DefaultSketchAlpha*v, v)
+	}
+	s, err := d.Summary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.N != 1000 || s.Mean != v || s.Variance != 0 || s.Min != v || s.Max != v {
+		t.Fatalf("summary of constant sample: %+v", s)
+	}
+	if s.P50 != s.P99 {
+		t.Fatalf("constant quantiles differ: %+v", s)
+	}
+}

@@ -1,0 +1,143 @@
+package sweep
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// Artifact layout inside Options.Dir:
+//
+//	manifest.json      version + normalised spec + point IDs, written
+//	                   before any point runs; a resume must match it
+//	                   byte for byte.
+//	points/<id>.json   one Result per completed point, written
+//	                   atomically as each point finishes.
+//	results.ndjson     all point records in expansion order, written on
+//	                   completion by concatenating the point files — so
+//	                   a resumed run reproduces an uninterrupted run's
+//	                   bytes exactly.
+const (
+	manifestName = "manifest.json"
+	pointsDir    = "points"
+	resultsName  = "results.ndjson"
+
+	// manifestVersion guards the artifact layout; bump on incompatible
+	// changes so stale dirs fail loudly instead of resuming wrongly.
+	manifestVersion = 1
+)
+
+// manifest pins a sweep to its artifact directory.
+type manifest struct {
+	Version int      `json:"version"`
+	Spec    Spec     `json:"spec"`
+	Points  []string `json:"points"`
+}
+
+type artifacts struct {
+	dir string
+}
+
+// openArtifacts prepares dir for the sweep: it creates the layout and
+// writes the manifest, or — when a manifest already exists — verifies it
+// matches so a resume cannot silently mix two different sweeps.
+func openArtifacts(dir string, spec Spec, pts []Point, resume bool) (*artifacts, error) {
+	if err := os.MkdirAll(filepath.Join(dir, pointsDir), 0o755); err != nil {
+		return nil, fmt.Errorf("sweep: creating artifact dir: %w", err)
+	}
+	ids := make([]string, len(pts))
+	for i, pt := range pts {
+		ids[i] = pt.ID
+	}
+	want, err := json.MarshalIndent(manifest{Version: manifestVersion, Spec: spec, Points: ids}, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	want = append(want, '\n')
+
+	path := filepath.Join(dir, manifestName)
+	existing, err := os.ReadFile(path)
+	switch {
+	case err == nil:
+		if !resume {
+			return nil, fmt.Errorf("sweep: %s already holds a sweep manifest; pass resume to continue it or use a fresh dir", dir)
+		}
+		if !bytes.Equal(existing, want) {
+			return nil, fmt.Errorf("sweep: manifest in %s does not match this spec; refusing to mix sweeps", dir)
+		}
+	case os.IsNotExist(err):
+		if err := writeFileAtomic(path, want); err != nil {
+			return nil, err
+		}
+	default:
+		return nil, fmt.Errorf("sweep: reading manifest: %w", err)
+	}
+	return &artifacts{dir: dir}, nil
+}
+
+func (a *artifacts) pointPath(id string) string {
+	return filepath.Join(a.dir, pointsDir, id+".json")
+}
+
+// load returns the persisted Result for pt, if present. A record that
+// fails to parse or names a different point is an error, not a silent
+// recompute — delete the file to recompute the point.
+func (a *artifacts) load(pt Point) (Result, bool, error) {
+	path := a.pointPath(pt.ID)
+	blob, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return Result{}, false, nil
+	}
+	if err != nil {
+		return Result{}, false, fmt.Errorf("sweep: reading %s: %w", path, err)
+	}
+	var res Result
+	if err := json.Unmarshal(blob, &res); err != nil {
+		return Result{}, false, fmt.Errorf("sweep: corrupt point record %s (delete it to recompute): %w", path, err)
+	}
+	if res.ID != pt.ID || res.Index != pt.Index {
+		return Result{}, false, fmt.Errorf("sweep: point record %s names %s[%d], expected %s[%d]",
+			path, res.ID, res.Index, pt.ID, pt.Index)
+	}
+	return res, true, nil
+}
+
+// save persists one completed point atomically.
+func (a *artifacts) save(res Result) error {
+	blob, err := json.Marshal(res)
+	if err != nil {
+		return fmt.Errorf("sweep: encoding point %s: %w", res.ID, err)
+	}
+	return writeFileAtomic(a.pointPath(res.ID), append(blob, '\n'))
+}
+
+// finish writes results.ndjson by concatenating the point records in
+// expansion order. Using the persisted bytes (rather than re-encoding
+// in-memory results) guarantees a resumed run's final artifacts are
+// byte-identical to an uninterrupted run's.
+func (a *artifacts) finish(pts []Point) error {
+	var buf bytes.Buffer
+	for _, pt := range pts {
+		blob, err := os.ReadFile(a.pointPath(pt.ID))
+		if err != nil {
+			return fmt.Errorf("sweep: assembling results: %w", err)
+		}
+		buf.Write(blob)
+	}
+	return writeFileAtomic(filepath.Join(a.dir, resultsName), buf.Bytes())
+}
+
+// writeFileAtomic writes via a temp file + rename, so readers (and
+// resumes after a kill) never observe a partial record.
+func writeFileAtomic(path string, data []byte) error {
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return fmt.Errorf("sweep: writing %s: %w", tmp, err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("sweep: committing %s: %w", path, err)
+	}
+	return nil
+}

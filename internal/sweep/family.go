@@ -1,0 +1,103 @@
+package sweep
+
+import (
+	"fmt"
+	"strings"
+
+	"cobrawalk/internal/graph"
+	"cobrawalk/internal/rng"
+)
+
+// Family names a graph generator parameterised by a target size and,
+// when Degreed, a degree. Generators round the target to their natural
+// lattice (tori to squares, hypercubes to powers of two); the realised
+// size is recorded on each Result.
+type Family struct {
+	Name string
+	// Degreed reports whether the family consumes the Degrees axis.
+	Degreed bool
+	// Build constructs a graph with ~n vertices. degree is ignored when
+	// !Degreed. Random families draw from r.
+	Build func(n, degree int, r *rng.Rand) (*graph.Graph, error)
+}
+
+// Families returns the family registry in canonical order. This is the
+// single home of size→graph rounding: the experiment helpers in
+// internal/expt wrap these same builders.
+func Families() []Family {
+	return []Family{
+		{
+			Name:    "rand-reg",
+			Degreed: true,
+			Build: func(n, degree int, r *rng.Rand) (*graph.Graph, error) {
+				if n*degree%2 != 0 {
+					n++
+				}
+				return graph.RandomRegularConnected(n, degree, r)
+			},
+		},
+		{
+			Name: "complete",
+			Build: func(n, _ int, r *rng.Rand) (*graph.Graph, error) {
+				return graph.Complete(n)
+			},
+		},
+		{
+			Name: "torus-2d",
+			Build: func(n, _ int, r *rng.Rand) (*graph.Graph, error) {
+				side := IntSqrt(n)
+				if side < 3 {
+					side = 3
+				}
+				return graph.Torus(side, side)
+			},
+		},
+		{
+			Name: "hypercube",
+			Build: func(n, _ int, r *rng.Rand) (*graph.Graph, error) {
+				d := 1
+				for (1 << d) < n {
+					d++
+				}
+				return graph.Hypercube(d)
+			},
+		},
+		{
+			Name: "cycle",
+			Build: func(n, _ int, r *rng.Rand) (*graph.Graph, error) {
+				return graph.Cycle(n)
+			},
+		},
+	}
+}
+
+// FamilyNames returns the registered family names in canonical order.
+func FamilyNames() []string {
+	fams := Families()
+	names := make([]string, len(fams))
+	for i, f := range fams {
+		names[i] = f.Name
+	}
+	return names
+}
+
+// LookupFamily finds a family by name.
+func LookupFamily(name string) (Family, error) {
+	for _, f := range Families() {
+		if f.Name == name {
+			return f, nil
+		}
+	}
+	return Family{}, fmt.Errorf("sweep: unknown family %q (want one of %s)",
+		name, strings.Join(FamilyNames(), ", "))
+}
+
+// IntSqrt returns ⌊√n⌋ — the torus-sizing helper shared with the
+// experiment layer.
+func IntSqrt(n int) int {
+	s := 0
+	for (s+1)*(s+1) <= n {
+		s++
+	}
+	return s
+}

@@ -1,0 +1,345 @@
+package sweep
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"cobrawalk/internal/baseline"
+	"cobrawalk/internal/core"
+	"cobrawalk/internal/graph"
+	"cobrawalk/internal/rng"
+	"cobrawalk/internal/sim"
+	"cobrawalk/internal/spectral"
+	"cobrawalk/internal/stats"
+)
+
+// graphStream is the rng stream index reserved for graph construction.
+// Trial i of a point uses stream i, so the maximum index can never
+// collide with a trial stream.
+const graphStream = ^uint64(0)
+
+// Options configures a Run without affecting what is computed: every
+// field may change between an interrupted run and its resume and the
+// results stay byte-identical.
+type Options struct {
+	// Dir is the artifact directory: a manifest pinning the spec, one
+	// JSON record per completed point under points/, and results.ndjson
+	// (all records in expansion order) on completion. Empty = in-memory
+	// only.
+	Dir string
+	// Resume continues a previous run into Dir: points whose records
+	// already exist are loaded instead of recomputed. The manifest must
+	// match the spec.
+	Resume bool
+	// PointWorkers bounds how many points run concurrently (default 1).
+	PointWorkers int
+	// TrialWorkers bounds the sim worker pool inside each point
+	// (default GOMAXPROCS).
+	TrialWorkers int
+	// PointDone, when non-nil, is called once per completed point —
+	// resumed points first, in expansion order, then live points as
+	// they finish. Calls are serialised.
+	PointDone func(res Result, resumed bool)
+}
+
+// Result is one completed point: the point identity plus the realised
+// graph and the streamed ensemble digests. Rounds is the process's time
+// metric (cover time for cobra, infection time for bips, rounds to
+// inform all vertices for the baselines); Transmissions counts messages.
+type Result struct {
+	Point
+	// GraphN is the realised vertex count (generators round the target
+	// size); GraphDegree is the realised degree, 0 for irregular graphs.
+	GraphN      int `json:"graph_n"`
+	GraphDegree int `json:"graph_degree,omitempty"`
+	// Lambda is λ_max of the realised graph when Spec.MeasureLambda was
+	// set, else 0.
+	Lambda float64 `json:"lambda,omitempty"`
+	// Rounds and Transmissions summarise the per-trial metrics.
+	Rounds        stats.DigestSummary `json:"rounds"`
+	Transmissions stats.DigestSummary `json:"transmissions"`
+}
+
+// Report is the outcome of a Run.
+type Report struct {
+	// Spec is the normalised spec the points expanded from.
+	Spec Spec `json:"spec"`
+	// Results holds one Result per point, in expansion order.
+	Results []Result `json:"results"`
+	// Resumed counts the points loaded from a prior run's artifacts.
+	Resumed int `json:"resumed,omitempty"`
+}
+
+// Run expands spec and executes every point across a worker pool. With
+// Options.Dir set, completed points persist immediately and
+// Options.Resume skips points already on disk; see Options. The report
+// — and, with Dir set, every artifact byte — is independent of the
+// worker counts and of how a run was split by interruptions.
+func Run(ctx context.Context, spec Spec, opts Options) (*Report, error) {
+	spec = spec.withDefaults()
+	pts, err := spec.Points()
+	if err != nil {
+		return nil, err
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+
+	var art *artifacts
+	if opts.Dir != "" {
+		art, err = openArtifacts(opts.Dir, spec, pts, opts.Resume)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	var cbMu sync.Mutex // serialises PointDone across point workers
+	notify := func(res Result, resumed bool) {
+		if opts.PointDone == nil {
+			return
+		}
+		cbMu.Lock()
+		defer cbMu.Unlock()
+		opts.PointDone(res, resumed)
+	}
+
+	results := make([]Result, len(pts))
+	var todo []int
+	resumed := 0
+	for i, pt := range pts {
+		if art != nil && opts.Resume {
+			res, ok, err := art.load(pt)
+			if err != nil {
+				return nil, err
+			}
+			if ok {
+				results[i] = res
+				resumed++
+				notify(res, true)
+				continue
+			}
+		}
+		todo = append(todo, i)
+	}
+
+	workers := opts.PointWorkers
+	if workers <= 0 {
+		workers = 1
+	}
+	if workers > len(todo) {
+		workers = len(todo)
+	}
+
+	var (
+		next     atomic.Int64
+		wg       sync.WaitGroup
+		errOnce  sync.Once
+		firstErr error
+	)
+	cctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	fail := func(err error) {
+		errOnce.Do(func() {
+			firstErr = err
+			cancel()
+		})
+	}
+
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				if cctx.Err() != nil {
+					return
+				}
+				k := int(next.Add(1) - 1)
+				if k >= len(todo) {
+					return
+				}
+				i := todo[k]
+				res, err := runPoint(cctx, pts[i], opts.TrialWorkers)
+				if err != nil {
+					fail(fmt.Errorf("sweep: point %s: %w", pts[i].ID, err))
+					return
+				}
+				if art != nil {
+					if err := art.save(res); err != nil {
+						fail(err)
+						return
+					}
+				}
+				results[i] = res
+				notify(res, false)
+			}
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("sweep: cancelled: %w", err)
+	}
+	if art != nil {
+		if err := art.finish(pts); err != nil {
+			return nil, err
+		}
+	}
+	return &Report{Spec: spec, Results: results, Resumed: resumed}, nil
+}
+
+// trialOut is the per-trial metric pair every process reports.
+type trialOut struct {
+	rounds        float64
+	transmissions float64
+}
+
+// pointAcc streams a point's ensemble: one digest per metric.
+type pointAcc struct {
+	rounds *stats.Digest
+	trans  *stats.Digest
+}
+
+// pointReducer folds trialOuts into a pointAcc; merges are associative
+// digest merges, so the ensemble is independent of the trial worker
+// count.
+func pointReducer() sim.Reducer[trialOut, pointAcc] {
+	return sim.Reducer[trialOut, pointAcc]{
+		New: func() pointAcc {
+			return pointAcc{rounds: stats.NewDigest(), trans: stats.NewDigest()}
+		},
+		Fold: func(acc pointAcc, _ int, v trialOut) pointAcc {
+			acc.rounds.Add(v.rounds)
+			acc.trans.Add(v.transmissions)
+			return acc
+		},
+		Merge: func(into, from pointAcc) (pointAcc, error) {
+			if err := into.rounds.Merge(from.rounds); err != nil {
+				return pointAcc{}, err
+			}
+			if err := into.trans.Merge(from.trans); err != nil {
+				return pointAcc{}, err
+			}
+			return into, nil
+		},
+	}
+}
+
+// runPoint builds the point's graph deterministically from the point
+// seed and streams its ensemble. It depends on nothing but pt and the
+// trial worker count (which cannot affect the result).
+func runPoint(ctx context.Context, pt Point, trialWorkers int) (Result, error) {
+	fam, err := LookupFamily(pt.Family)
+	if err != nil {
+		return Result{}, err
+	}
+	g, err := fam.Build(pt.Size, pt.Degree, rng.NewStream(pt.Seed, graphStream))
+	if err != nil {
+		return Result{}, fmt.Errorf("building graph: %w", err)
+	}
+	res := Result{Point: pt, GraphN: g.N()}
+	if deg, err := g.Regularity(); err == nil {
+		res.GraphDegree = deg
+	}
+	if pt.MeasureLambda {
+		res.Lambda, err = spectral.LambdaMax(g, spectral.Options{Tol: 1e-9, MaxIter: 20000})
+		if err != nil {
+			return Result{}, fmt.Errorf("measuring lambda: %w", err)
+		}
+	}
+
+	acc, err := runEnsemble(ctx, g, pt, trialWorkers)
+	if err != nil {
+		return Result{}, err
+	}
+	if res.Rounds, err = acc.rounds.Summary(); err != nil {
+		return Result{}, err
+	}
+	if res.Transmissions, err = acc.trans.Summary(); err != nil {
+		return Result{}, err
+	}
+	return res, nil
+}
+
+// runEnsemble dispatches the point's process. All runs start from vertex
+// 0: the sweep families are vertex-transitive or statistically
+// symmetric, so vertex 0 is representative of the worst-case start.
+func runEnsemble(ctx context.Context, g *graph.Graph, pt Point, trialWorkers int) (pointAcc, error) {
+	spec := sim.Spec{Trials: pt.Trials, Seed: pt.Seed, Workers: trialWorkers}
+	procOpts := []core.Option{core.WithBranching(pt.Branching), core.WithMaxRounds(pt.MaxRounds)}
+
+	switch pt.Process {
+	case ProcCobra:
+		// Validate construction once so the per-worker factory cannot fail.
+		if _, err := core.NewCobra(g, procOpts...); err != nil {
+			return pointAcc{}, err
+		}
+		return sim.ReduceWithState(ctx, spec, pointReducer(),
+			func() *core.Cobra {
+				c, err := core.NewCobra(g, procOpts...)
+				if err != nil {
+					panic(err) // unreachable: validated above
+				}
+				return c
+			},
+			func(c *core.Cobra, _ int, r *rng.Rand) (trialOut, error) {
+				out, err := c.Run(0, r)
+				if err != nil {
+					return trialOut{}, err
+				}
+				if !out.Covered {
+					return trialOut{}, fmt.Errorf("cover run hit round cap %d on %s", pt.MaxRounds, g.Name())
+				}
+				return trialOut{rounds: float64(out.CoverTime), transmissions: float64(out.Transmissions)}, nil
+			})
+	case ProcBIPS:
+		if _, err := core.NewBIPS(g, procOpts...); err != nil {
+			return pointAcc{}, err
+		}
+		return sim.ReduceWithState(ctx, spec, pointReducer(),
+			func() *core.BIPS {
+				b, err := core.NewBIPS(g, procOpts...)
+				if err != nil {
+					panic(err) // unreachable: validated above
+				}
+				return b
+			},
+			func(b *core.BIPS, _ int, r *rng.Rand) (trialOut, error) {
+				out, err := b.Run(0, r)
+				if err != nil {
+					return trialOut{}, err
+				}
+				if !out.Infected {
+					return trialOut{}, fmt.Errorf("infection run hit round cap %d on %s", pt.MaxRounds, g.Name())
+				}
+				return trialOut{rounds: float64(out.InfectionTime), transmissions: float64(out.Transmissions)}, nil
+			})
+	default:
+		var run func(*graph.Graph, int32, baseline.Config, *rng.Rand) (baseline.Result, error)
+		switch pt.Process {
+		case ProcPush:
+			run = baseline.Push
+		case ProcPushPull:
+			run = baseline.PushPull
+		case ProcFlood:
+			run = baseline.Flood
+		default:
+			return pointAcc{}, fmt.Errorf("sweep: unknown process %q", pt.Process)
+		}
+		cfg := baseline.Config{MaxRounds: pt.MaxRounds}
+		return sim.Reduce(ctx, spec, pointReducer(),
+			func(_ int, r *rng.Rand) (trialOut, error) {
+				out, err := run(g, 0, cfg, r)
+				if err != nil {
+					return trialOut{}, err
+				}
+				if !out.Covered {
+					return trialOut{}, fmt.Errorf("%s run hit round cap %d on %s", pt.Process, pt.MaxRounds, g.Name())
+				}
+				return trialOut{rounds: float64(out.Rounds), transmissions: float64(out.Transmissions)}, nil
+			})
+	}
+}

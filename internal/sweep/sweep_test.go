@@ -1,0 +1,431 @@
+package sweep
+
+import (
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"cobrawalk/internal/core"
+)
+
+// testSpec is a small grid that still exercises collapsed axes: a
+// degreed family × two degrees, a non-degreed family, a branched and an
+// unbranched process.
+func testSpec() Spec {
+	return Spec{
+		Name:       "test",
+		Families:   []string{"rand-reg", "complete"},
+		Sizes:      []int{24, 32},
+		Degrees:    []int{3, 4},
+		Processes:  []string{ProcCobra, ProcPush},
+		Branchings: []core.Branching{{K: 2}, {K: 1, Rho: 0.5}},
+		Trials:     6,
+		Seed:       7,
+		MaxRounds:  1 << 14,
+	}
+}
+
+func TestSpecExpansion(t *testing.T) {
+	pts, err := testSpec().Points()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// rand-reg: 2 degrees × 2 sizes × (cobra×2 branchings + push×1) = 12
+	// complete: 1 × 2 sizes × 3 = 6
+	if len(pts) != 18 {
+		t.Fatalf("got %d points, want 18", len(pts))
+	}
+	seen := make(map[string]bool)
+	for i, pt := range pts {
+		if pt.Index != i {
+			t.Fatalf("point %s has index %d at position %d", pt.ID, pt.Index, i)
+		}
+		if seen[pt.ID] {
+			t.Fatalf("duplicate ID %s", pt.ID)
+		}
+		seen[pt.ID] = true
+		if pt.Family == "complete" && pt.Degree != 0 {
+			t.Fatalf("complete point %s carries degree %d", pt.ID, pt.Degree)
+		}
+		if pt.Process == ProcPush && pt.Branching.K != 0 {
+			t.Fatalf("push point %s carries branching %v", pt.ID, pt.Branching)
+		}
+		if pt.Seed == 0 {
+			t.Fatalf("point %s has zero seed", pt.ID)
+		}
+	}
+	if !seen["cobra-rand-reg-n24-d3-k1-rho0.5"] {
+		t.Fatalf("expected canonical ID missing; have %v", keys(seen))
+	}
+	if !seen["push-complete-n32"] {
+		t.Fatalf("collapsed-axis ID missing; have %v", keys(seen))
+	}
+
+	// Expansion is deterministic: same spec, same list.
+	again, err := testSpec().Points()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(pts, again) {
+		t.Fatal("expansion is not deterministic")
+	}
+}
+
+func keys(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+func TestSpecValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*Spec)
+		want string
+	}{
+		{"no families", func(s *Spec) { s.Families = nil }, "family"},
+		{"unknown family", func(s *Spec) { s.Families = []string{"mobius"} }, "unknown family"},
+		{"degreed without degrees", func(s *Spec) { s.Degrees = nil }, "no degrees"},
+		{"bad degree", func(s *Spec) { s.Degrees = []int{0} }, "degree"},
+		{"no sizes", func(s *Spec) { s.Sizes = nil }, "size"},
+		{"tiny size", func(s *Spec) { s.Sizes = []int{1} }, "size"},
+		{"unknown process", func(s *Spec) { s.Processes = []string{"gossip"} }, "unknown process"},
+		{"bad K", func(s *Spec) { s.Branchings = []core.Branching{{K: 0}} }, "K"},
+		{"bad rho", func(s *Spec) { s.Branchings = []core.Branching{{K: 1, Rho: 1.5}} }, "Rho"},
+		{"no trials", func(s *Spec) { s.Trials = 0 }, "trials"},
+		{"duplicate size", func(s *Spec) { s.Sizes = []int{24, 24} }, "duplicate"},
+	}
+	for _, tc := range cases {
+		s := testSpec()
+		tc.mut(&s)
+		_, err := s.Points()
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: err = %v, want mention of %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestSpecDefaults(t *testing.T) {
+	pts, err := Spec{Families: []string{"complete"}, Sizes: []int{16}, Trials: 2, Seed: 1}.Points()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 1 {
+		t.Fatalf("got %d points, want 1", len(pts))
+	}
+	pt := pts[0]
+	if pt.Process != ProcCobra || pt.Branching != core.DefaultBranching || pt.MaxRounds != DefaultMaxRounds {
+		t.Fatalf("defaults not applied: %+v", pt)
+	}
+}
+
+func TestParseBranchings(t *testing.T) {
+	got, err := ParseBranchings("2, 1+0.5,3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []core.Branching{{K: 2}, {K: 1, Rho: 0.5}, {K: 3}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	if got, err := ParseBranchings(""); err != nil || got != nil {
+		t.Fatalf("empty input: got %v, %v", got, err)
+	}
+	for _, bad := range []string{"x", "1+x", "1.5"} {
+		if _, err := ParseBranchings(bad); err == nil {
+			t.Errorf("%q should fail", bad)
+		}
+	}
+}
+
+// smallSpec keeps end-to-end engine tests fast.
+func smallSpec() Spec {
+	return Spec{
+		Name:      "small",
+		Families:  []string{"rand-reg", "complete"},
+		Sizes:     []int{16, 24},
+		Degrees:   []int{3},
+		Processes: []string{ProcCobra, ProcPush},
+		Trials:    5,
+		Seed:      11,
+		MaxRounds: 1 << 14,
+	}
+}
+
+// reportJSON canonicalises a report for comparison.
+func reportJSON(t *testing.T, rep *Report) string {
+	t.Helper()
+	blob, err := json.Marshal(rep.Results)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(blob)
+}
+
+func TestRunWorkerCountIndependence(t *testing.T) {
+	base, err := Run(context.Background(), smallSpec(), Options{PointWorkers: 1, TrialWorkers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// rand-reg×1 degree×2 sizes×2 processes + complete×2 sizes×2 = 8.
+	if len(base.Results) != 8 || base.Resumed != 0 {
+		t.Fatalf("unexpected report shape: %d results, %d resumed", len(base.Results), base.Resumed)
+	}
+	for _, res := range base.Results {
+		if res.Rounds.N != 5 || res.Transmissions.N != 5 {
+			t.Fatalf("point %s: digests saw %d/%d trials, want 5", res.ID, res.Rounds.N, res.Transmissions.N)
+		}
+		if res.Rounds.Mean <= 0 || res.Transmissions.Mean <= 0 {
+			t.Fatalf("point %s: degenerate digests %+v", res.ID, res.Rounds)
+		}
+		if res.GraphN < res.Size {
+			t.Fatalf("point %s: graph_n %d below requested %d", res.ID, res.GraphN, res.Size)
+		}
+	}
+	parallel, err := Run(context.Background(), smallSpec(), Options{PointWorkers: 4, TrialWorkers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reportJSON(t, base) != reportJSON(t, parallel) {
+		t.Fatal("report depends on worker counts")
+	}
+}
+
+func TestRunMeasureLambda(t *testing.T) {
+	spec := Spec{Families: []string{"complete"}, Sizes: []int{12}, Trials: 2, Seed: 3, MeasureLambda: true}
+	rep, err := Run(context.Background(), spec, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// K_12 has λ = 1/(n-1).
+	if got := rep.Results[0].Lambda; got < 0.05 || got > 0.15 {
+		t.Fatalf("lambda = %v, want ≈ 1/11", got)
+	}
+	if deg := rep.Results[0].GraphDegree; deg != 11 {
+		t.Fatalf("graph_degree = %d, want 11", deg)
+	}
+}
+
+func TestRunBips(t *testing.T) {
+	spec := Spec{Families: []string{"complete"}, Sizes: []int{16}, Processes: []string{ProcBIPS, ProcPushPull, ProcFlood}, Trials: 3, Seed: 5}
+	rep, err := Run(context.Background(), spec, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Results) != 3 {
+		t.Fatalf("got %d results", len(rep.Results))
+	}
+	for _, res := range rep.Results {
+		if res.Rounds.Mean <= 0 {
+			t.Fatalf("point %s: mean rounds %v", res.ID, res.Rounds.Mean)
+		}
+	}
+}
+
+// readTree returns relative path → content for every regular file under
+// dir, skipping nothing — so comparisons cover manifest, point records
+// and results.ndjson alike.
+func readTree(t *testing.T, dir string) map[string]string {
+	t.Helper()
+	out := make(map[string]string)
+	err := filepath.Walk(dir, func(path string, info os.FileInfo, err error) error {
+		if err != nil || info.IsDir() {
+			return err
+		}
+		blob, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		rel, err := filepath.Rel(dir, path)
+		if err != nil {
+			return err
+		}
+		out[rel] = string(blob)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// TestResumeByteIdentical pins the resume contract: kill a sweep after k
+// of m points, re-run with Resume, and every final artifact byte matches
+// an uninterrupted run — across different worker counts.
+func TestResumeByteIdentical(t *testing.T) {
+	spec := smallSpec()
+
+	// Reference: uninterrupted run.
+	dirA := t.TempDir()
+	repA, err := Run(context.Background(), spec, Options{Dir: dirA, PointWorkers: 2, TrialWorkers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Interrupted run: cancel after 2 completed points.
+	dirB := t.TempDir()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := 0
+	_, err = Run(ctx, spec, Options{
+		Dir: dirB, PointWorkers: 1, TrialWorkers: 1,
+		PointDone: func(Result, bool) {
+			if done++; done == 2 {
+				cancel()
+			}
+		},
+	})
+	if err == nil {
+		t.Fatal("interrupted run should report an error")
+	}
+	partial := readTree(t, dirB)
+	if _, ok := partial["manifest.json"]; !ok {
+		t.Fatal("interrupted run left no manifest")
+	}
+	if _, ok := partial["results.ndjson"]; ok {
+		t.Fatal("interrupted run should not have written results.ndjson")
+	}
+	nPartial := 0
+	for rel := range partial {
+		if strings.HasPrefix(rel, "points/") {
+			nPartial++
+		}
+	}
+	if nPartial < 2 || nPartial >= len(repA.Results) {
+		t.Fatalf("interrupted run persisted %d points, want in [2, %d)", nPartial, len(repA.Results))
+	}
+
+	// Resume with different worker counts; results must not depend on
+	// either the interruption or the scheduling.
+	repB, err := Run(context.Background(), spec, Options{Dir: dirB, Resume: true, PointWorkers: 3, TrialWorkers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if repB.Resumed != nPartial {
+		t.Fatalf("resume skipped %d points, want %d", repB.Resumed, nPartial)
+	}
+	treeA, treeB := readTree(t, dirA), readTree(t, dirB)
+	if len(treeA) != len(treeB) {
+		t.Fatalf("artifact trees differ in size: %d vs %d", len(treeA), len(treeB))
+	}
+	for rel, want := range treeA {
+		if got, ok := treeB[rel]; !ok {
+			t.Errorf("resumed tree missing %s", rel)
+		} else if got != want {
+			t.Errorf("%s differs between uninterrupted and resumed runs", rel)
+		}
+	}
+	if reportJSON(t, repA) != reportJSON(t, repB) {
+		t.Fatal("in-memory reports differ between uninterrupted and resumed runs")
+	}
+
+	// results.ndjson is the point records concatenated in order.
+	var want strings.Builder
+	for _, res := range repA.Results {
+		want.WriteString(treeA[filepath.Join("points", res.ID+".json")])
+	}
+	if treeA["results.ndjson"] != want.String() {
+		t.Fatal("results.ndjson is not the in-order concatenation of point records")
+	}
+}
+
+// TestResumeCompletedRunIsNoop re-runs a finished sweep with Resume: all
+// points skip and the artifacts are untouched.
+func TestResumeCompletedRunIsNoop(t *testing.T) {
+	spec := Spec{Families: []string{"complete"}, Sizes: []int{12}, Trials: 2, Seed: 2}
+	dir := t.TempDir()
+	if _, err := Run(context.Background(), spec, Options{Dir: dir}); err != nil {
+		t.Fatal(err)
+	}
+	before := readTree(t, dir)
+	resumedFlags := make(map[string]bool)
+	rep, err := Run(context.Background(), spec, Options{Dir: dir, Resume: true,
+		PointDone: func(res Result, resumed bool) { resumedFlags[res.ID] = resumed }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Resumed != len(rep.Results) {
+		t.Fatalf("resumed %d of %d points", rep.Resumed, len(rep.Results))
+	}
+	for id, resumed := range resumedFlags {
+		if !resumed {
+			t.Fatalf("point %s was recomputed", id)
+		}
+	}
+	if !reflect.DeepEqual(before, readTree(t, dir)) {
+		t.Fatal("no-op resume modified artifacts")
+	}
+}
+
+func TestArtifactGuards(t *testing.T) {
+	spec := Spec{Families: []string{"complete"}, Sizes: []int{12}, Trials: 2, Seed: 2}
+	dir := t.TempDir()
+	if _, err := Run(context.Background(), spec, Options{Dir: dir}); err != nil {
+		t.Fatal(err)
+	}
+	// Re-running into an occupied dir without Resume is refused.
+	if _, err := Run(context.Background(), spec, Options{Dir: dir}); err == nil ||
+		!strings.Contains(err.Error(), "resume") {
+		t.Fatalf("overwrite guard failed: %v", err)
+	}
+	// Resuming a different spec is refused.
+	other := spec
+	other.Seed = 99
+	if _, err := Run(context.Background(), other, Options{Dir: dir, Resume: true}); err == nil ||
+		!strings.Contains(err.Error(), "manifest") {
+		t.Fatalf("spec-mismatch guard failed: %v", err)
+	}
+	// A corrupt point record is an error, not a silent recompute.
+	recs, err := filepath.Glob(filepath.Join(dir, pointsDir, "*.json"))
+	if err != nil || len(recs) == 0 {
+		t.Fatalf("no point records: %v", err)
+	}
+	if err := os.WriteFile(recs[0], []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(context.Background(), spec, Options{Dir: dir, Resume: true}); err == nil ||
+		!strings.Contains(err.Error(), "corrupt") {
+		t.Fatalf("corrupt-record guard failed: %v", err)
+	}
+}
+
+// TestPointSeedStability: a point's seed depends on its identity, not
+// its position, so adding a size upstream does not disturb existing
+// points.
+func TestPointSeedStability(t *testing.T) {
+	spec := smallSpec()
+	pts, err := spec.Points()
+	if err != nil {
+		t.Fatal(err)
+	}
+	grown := spec
+	grown.Sizes = append([]int{12}, spec.Sizes...)
+	grownPts, err := grown.Points()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bySeed := make(map[string]uint64)
+	for _, pt := range grownPts {
+		bySeed[pt.ID] = pt.Seed
+	}
+	for _, pt := range pts {
+		if got, ok := bySeed[pt.ID]; !ok || got != pt.Seed {
+			t.Fatalf("point %s seed changed after grid edit: %d vs %d", pt.ID, pt.Seed, got)
+		}
+	}
+}
+
+func TestRunPointErrorNamesPoint(t *testing.T) {
+	// A 1-round cap cannot cover K_16, so the point must fail with its ID.
+	spec := Spec{Families: []string{"complete"}, Sizes: []int{16}, Trials: 2, Seed: 1, MaxRounds: 1}
+	_, err := Run(context.Background(), spec, Options{})
+	if err == nil || !strings.Contains(err.Error(), "cobra-complete-n16") {
+		t.Fatalf("err = %v, want point ID context", err)
+	}
+}
