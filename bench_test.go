@@ -16,6 +16,7 @@ import (
 	"cobrawalk"
 	"cobrawalk/internal/core"
 	"cobrawalk/internal/graph"
+	"cobrawalk/internal/process"
 	"cobrawalk/internal/rng"
 	"cobrawalk/internal/sim"
 	"cobrawalk/internal/spectral"
@@ -300,6 +301,48 @@ func BenchmarkE11TailDecay(b *testing.B) {
 }
 
 // --- micro-benchmarks of the hot paths ---
+
+// BenchmarkProcessStep: the unified process layer's hot loop — one full
+// trial (Reset + Step to completion from vertex 0, default branching)
+// per op for every registered process on a 2^14-vertex random-regular
+// graph. allocs/op is the buffer-reuse pin: a warmed Process must run
+// whole trials with zero graph-sized allocations (AllocsPerRun-style
+// zero is asserted in internal/process tests; here the benchmark
+// reports it so regressions show up in the series). The committed
+// baseline lives in BENCH_process.json.
+func BenchmarkProcessStep(b *testing.B) {
+	g := buildRandomRegular(b, 1<<14, 8)
+	starts := []int32{0}
+	for _, info := range process.All() {
+		b.Run(info.Name, func(b *testing.B) {
+			p, err := info.New(g, process.Config{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			r := rng.New(1)
+			trial := func() int {
+				if err := p.Reset(starts...); err != nil {
+					b.Fatal(err)
+				}
+				for !p.Done() && p.Round() < 1<<20 {
+					p.Step(r)
+				}
+				if !p.Done() {
+					b.Fatal("trial hit the round cap")
+				}
+				return p.Round()
+			}
+			trial() // warm the buffers so steady-state allocation is measured
+			var rounds int64
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				rounds += int64(trial())
+			}
+			b.ReportMetric(float64(rounds)/float64(b.N), "rounds/op")
+		})
+	}
+}
 
 func BenchmarkCobraStep(b *testing.B) {
 	g := buildRandomRegular(b, 65536, 8)

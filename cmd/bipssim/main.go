@@ -24,6 +24,7 @@ import (
 
 	"cobrawalk/internal/cli"
 	"cobrawalk/internal/core"
+	"cobrawalk/internal/process"
 	"cobrawalk/internal/rng"
 	"cobrawalk/internal/sim"
 	"cobrawalk/internal/spectral"
@@ -88,14 +89,14 @@ func run(args []string, w io.Writer) error {
 		fmt.Fprintf(w, "λmax: %.6f  gap: %.6f\n", lambda, 1-lambda)
 	}
 
-	opts := []core.Option{
-		core.WithBranching(core.Branching{K: *k, Rho: *rho}),
-		core.WithMaxRounds(*maxRounds),
+	branch := core.Branching{K: *k, Rho: *rho}
+	if err := branch.Validate(); err != nil {
+		return err
 	}
-	if *fast {
-		opts = append(opts, core.WithFastSampling())
+	if *maxRounds < 1 {
+		return fmt.Errorf("max rounds %d, need >= 1", *maxRounds)
 	}
-	if _, err := core.NewBIPS(g, opts...); err != nil {
+	if _, err := process.New(process.BIPS, g, process.Config{Branching: branch, FastSampling: *fast}); err != nil {
 		return err
 	}
 	smallTarget := int(math.Ceil(4 * math.Log2(float64(g.N()))))
@@ -111,27 +112,46 @@ func run(args []string, w io.Writer) error {
 		},
 		Merge: func(into, from *agg) (*agg, error) { return into.merge(from) },
 	}
+	// Each worker owns one reusable BIPS process plus a |A_t| trajectory
+	// buffer refilled per trial through the RoundObserver hook — the
+	// per-round sizes feed the Lemmas 2-4 phase decomposition without any
+	// per-trial allocation.
+	type bipsState struct {
+		p     process.Process
+		sizes []int
+	}
+	sources := []int32{int32(*source)}
 	total, err := sim.ReduceWithState(context.Background(),
 		sim.Spec{Trials: *trials, Seed: *seed, Workers: *workers},
 		red,
-		func() *core.BIPS {
-			b, err := core.NewBIPS(g, opts...)
+		func() *bipsState {
+			st := &bipsState{}
+			cfg := process.Config{
+				Branching:    branch,
+				FastSampling: *fast,
+				Observer: func(rs process.RoundStat) {
+					st.sizes = append(st.sizes, rs.Active)
+				},
+			}
+			p, err := process.New(process.BIPS, g, cfg)
 			if err != nil {
 				panic(err) // unreachable: validated above
 			}
-			return b
+			st.p = p
+			return st
 		},
-		func(b *core.BIPS, trial int, r *rng.Rand) (outcome, error) {
-			out, err := b.Run(int32(*source), r)
+		func(st *bipsState, trial int, r *rng.Rand) (outcome, error) {
+			st.sizes = append(st.sizes[:0], 1) // |A_0| = {source}
+			out, err := process.Run(st.p, r, *maxRounds, sources...)
 			if err != nil {
 				return outcome{}, err
 			}
-			if !out.Infected {
+			if !out.Done {
 				return outcome{}, fmt.Errorf("trial hit the %d-round cap", *maxRounds)
 			}
-			ph := core.DetectPhases(out.Sizes, g.N(), smallTarget)
+			ph := core.DetectPhases(st.sizes, g.N(), smallTarget)
 			p1, p2, p3 := ph.PhaseLengths()
-			return outcome{float64(out.InfectionTime), float64(p1), float64(p2), float64(p3)}, nil
+			return outcome{float64(out.Rounds), float64(p1), float64(p2), float64(p3)}, nil
 		})
 	if err != nil {
 		return err

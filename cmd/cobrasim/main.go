@@ -24,6 +24,7 @@ import (
 
 	"cobrawalk/internal/cli"
 	"cobrawalk/internal/core"
+	"cobrawalk/internal/process"
 	"cobrawalk/internal/rng"
 	"cobrawalk/internal/sim"
 	"cobrawalk/internal/spectral"
@@ -95,7 +96,15 @@ func run(args []string, w io.Writer) error {
 	}
 
 	branch := core.Branching{K: *k, Rho: *rho}
-	if _, err := core.NewCobra(g, core.WithBranching(branch), core.WithMaxRounds(*maxRounds)); err != nil {
+	if err := branch.Validate(); err != nil {
+		return err
+	}
+	if *maxRounds < 1 {
+		return fmt.Errorf("max rounds %d, need >= 1", *maxRounds)
+	}
+	procCfg := process.Config{Branching: branch}
+	// Validate construction once so the per-worker factory cannot fail.
+	if _, err := process.New(process.Cobra, g, procCfg); err != nil {
 		return err
 	}
 	type outcome struct{ cover, msgs float64 }
@@ -108,25 +117,26 @@ func run(args []string, w io.Writer) error {
 		},
 		Merge: func(into, from *agg) (*agg, error) { return into.merge(from) },
 	}
+	starts := []int32{int32(*start)}
 	total, err := sim.ReduceWithState(context.Background(),
 		sim.Spec{Trials: *trials, Seed: *seed, Workers: *workers},
 		red,
-		func() *core.Cobra {
-			c, err := core.NewCobra(g, core.WithBranching(branch), core.WithMaxRounds(*maxRounds))
+		func() process.Process {
+			p, err := process.New(process.Cobra, g, procCfg)
 			if err != nil {
 				panic(err) // unreachable: validated above
 			}
-			return c
+			return p
 		},
-		func(c *core.Cobra, trial int, r *rng.Rand) (outcome, error) {
-			out, err := c.Run(int32(*start), r)
+		func(p process.Process, trial int, r *rng.Rand) (outcome, error) {
+			out, err := process.Run(p, r, *maxRounds, starts...)
 			if err != nil {
 				return outcome{}, err
 			}
-			if !out.Covered {
+			if !out.Done {
 				return outcome{}, fmt.Errorf("trial hit the %d-round cap", *maxRounds)
 			}
-			return outcome{float64(out.CoverTime), float64(out.Transmissions)}, nil
+			return outcome{float64(out.Rounds), float64(out.Transmissions)}, nil
 		})
 	if err != nil {
 		return err

@@ -8,12 +8,17 @@
 // interrupted sweep, skipping points already on disk; a completed resume
 // is byte-identical to an uninterrupted run.
 //
+// The process axis accepts every name in the internal/process registry
+// (see -list-processes); for kwalk the branching K is the walker count.
+//
 // Usage:
 //
 //	sweep -families rand-reg -sizes 1024,4096 -degrees 3,8 -trials 100
 //	sweep -families rand-reg,complete -sizes 512 -degrees 8 \
 //	      -processes cobra,push,flood -branchings 2,1+0.5 \
 //	      -out runs/compare -format csv
+//	sweep -families rand-reg -sizes 4096 -degrees 8 \
+//	      -processes cobra,kwalk -branchings 1,2,4 -trials 50
 //	sweep -spec sweep.json -out runs/night -resume
 //	sweep -families complete -sizes 256 -list-points
 package main
@@ -29,7 +34,9 @@ import (
 	"strconv"
 	"strings"
 
+	"cobrawalk/internal/cli"
 	"cobrawalk/internal/expt"
+	"cobrawalk/internal/process"
 	"cobrawalk/internal/sweep"
 )
 
@@ -49,7 +56,7 @@ func run(args []string, out, errw io.Writer) error {
 		families   = fs.String("families", "", "comma-separated graph families (see -list-families)")
 		sizes      = fs.String("sizes", "", "comma-separated target vertex counts")
 		degrees    = fs.String("degrees", "", "comma-separated degrees for degreed families")
-		processes  = fs.String("processes", "cobra", "comma-separated processes (cobra, bips, push, push-pull, flood)")
+		processes  = fs.String("processes", "cobra", "comma-separated processes ("+cli.ProcessList()+")")
 		branchings = fs.String("branchings", "", "comma-separated branchings, each K or K+RHO (default 2)")
 		trials     = fs.Int("trials", 30, "trials per point")
 		seed       = fs.Uint64("seed", 1, "sweep master seed")
@@ -65,6 +72,7 @@ func run(args []string, out, errw io.Writer) error {
 		quiet      = fs.Bool("quiet", false, "suppress per-point progress on stderr")
 		listPoints = fs.Bool("list-points", false, "print the expanded point list and exit")
 		listFams   = fs.Bool("list-families", false, "print the family registry and exit")
+		listProcs  = fs.Bool("list-processes", false, "print the process registry and exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -77,6 +85,20 @@ func run(args []string, out, errw io.Writer) error {
 				kind = "sized + degreed"
 			}
 			fmt.Fprintf(out, "%-10s %s\n", f.Name, kind)
+		}
+		return nil
+	}
+	if *listProcs {
+		for _, info := range process.All() {
+			axis := "unbranched"
+			if info.Branched {
+				axis = "branched (K"
+				if info.AcceptsRho {
+					axis += "+Rho"
+				}
+				axis += ")"
+			}
+			fmt.Fprintf(out, "%-10s %-18s %s\n", info.Name, axis, info.Summary)
 		}
 		return nil
 	}
@@ -101,11 +123,13 @@ func run(args []string, out, errw io.Writer) error {
 		spec = sweep.Spec{
 			Name:          *name,
 			Families:      splitList(*families),
-			Processes:     splitList(*processes),
 			Trials:        *trials,
 			Seed:          *seed,
 			MaxRounds:     *maxRounds,
 			MeasureLambda: *lambda,
+		}
+		if spec.Processes, err = cli.ParseProcesses(*processes); err != nil {
+			return err
 		}
 		if spec.Sizes, err = splitInts(*sizes); err != nil {
 			return fmt.Errorf("-sizes: %w", err)

@@ -6,6 +6,7 @@ import (
 	"cobrawalk/internal/baseline"
 	"cobrawalk/internal/core"
 	"cobrawalk/internal/graph"
+	"cobrawalk/internal/process"
 	"cobrawalk/internal/rng"
 	"cobrawalk/internal/spectral"
 	"cobrawalk/internal/stats"
@@ -192,7 +193,47 @@ var (
 // DefaultBranching is the paper's canonical k = 2 branching factor.
 var DefaultBranching = core.DefaultBranching
 
-// Baseline protocols for comparison experiments (the paper's §1 context).
+// The unified process layer: every spreading process — cobra, bips,
+// push, push-pull, flood, kwalk — is a reusable Process object behind
+// one interface, registered by name (see internal/process). Construct
+// once per graph via NewProcess, then Reset/Step (or RunProcess) many
+// times; ensembles run without per-trial graph-sized allocations.
+type (
+	// Process is a reusable spreading process bound to a fixed graph.
+	Process = process.Process
+	// ProcessConfig parameterises process construction (branching,
+	// bips fast sampling, round observer).
+	ProcessConfig = process.Config
+	// ProcessInfo is one registry entry: name, axis semantics, factory.
+	ProcessInfo = process.Info
+	// ProcessResult reports one driven run (RunProcess).
+	ProcessResult = process.Result
+	// ProcessRoundStat is the per-round observation a RoundObserver
+	// receives.
+	ProcessRoundStat = process.RoundStat
+	// RoundObserver receives a ProcessRoundStat after every Step —
+	// the hook for recording per-round trajectories.
+	RoundObserver = process.RoundObserver
+)
+
+var (
+	// NewProcess constructs the named registry process on a graph.
+	NewProcess = process.New
+	// LookupProcess returns the registry entry for a process name.
+	LookupProcess = process.Lookup
+	// ProcessNames returns the registered process names in canonical
+	// order — the single source of truth for every process list.
+	ProcessNames = process.Names
+	// ProcessInfos returns the registry entries in canonical order.
+	ProcessInfos = process.All
+	// RunProcess drives a Process through one full run (Reset + Step
+	// until done or the round cap).
+	RunProcess = process.Run
+)
+
+// Baseline protocols for comparison experiments (the paper's §1
+// context). These are one-shot convenience wrappers over the process
+// layer; ensemble callers should construct a Process once and reuse it.
 type (
 	// BaselineResult reports one baseline protocol run.
 	BaselineResult = baseline.Result
@@ -259,7 +300,8 @@ func RunSweep(ctx context.Context, spec SweepSpec, opts SweepOptions) (*SweepRep
 var (
 	// SweepFamilies returns the sweep family registry.
 	SweepFamilies = sweep.Families
-	// SweepProcesses returns the supported sweep process names.
+	// SweepProcesses returns the supported sweep process names,
+	// delegating to the process registry (same list as ProcessNames).
 	SweepProcesses = sweep.Processes
 	// ParseBranchings parses the "K" / "K+RHO" comma-list grammar used
 	// by cmd/sweep's -branchings flag.

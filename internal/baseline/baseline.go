@@ -1,16 +1,23 @@
-// Package baseline implements the comparison protocols the paper positions
-// COBRA against: the classic push and push-pull rumour-spreading protocols,
-// flooding, a single random walk, and k independent random walks. Each
-// exposes the same Result shape (rounds to cover, messages sent) so the
-// experiment harness can tabulate round-complexity against per-round
-// transmission budgets.
+// Package baseline is the one-shot convenience face of the comparison
+// protocols the paper positions COBRA against: the classic push and
+// push-pull rumour-spreading protocols, flooding, a single random walk,
+// and k independent random walks. Each call constructs the process from
+// the internal/process registry, drives one run, and reports the same
+// Result shape (rounds to cover, messages sent) the experiment harness
+// tabulates.
+//
+// Ensemble callers should not loop over these functions: construct the
+// process once via internal/process and Reset/Step (or process.Run) per
+// trial instead, which reuses every buffer. These wrappers allocate a
+// fresh process per call and exist for single-shot comparisons and API
+// stability.
 package baseline
 
 import (
-	"errors"
 	"fmt"
 
 	"cobrawalk/internal/graph"
+	"cobrawalk/internal/process"
 	"cobrawalk/internal/rng"
 )
 
@@ -34,173 +41,61 @@ type Config struct {
 
 func (c Config) maxRounds() int {
 	if c.MaxRounds <= 0 {
-		return 1 << 20
+		return process.DefaultMaxRounds
 	}
 	return c.MaxRounds
 }
 
-func validate(g *graph.Graph, start int32) error {
-	if g == nil || g.N() == 0 {
-		return errors.New("baseline: empty graph")
+// run constructs the named registry process and drives one run from
+// start.
+func run(name string, branch process.Branching, g *graph.Graph, start int32, cfg Config, r *rng.Rand) (Result, error) {
+	p, err := process.New(name, g, process.Config{Branching: branch})
+	if err != nil {
+		return Result{}, err
 	}
-	if g.MinDegree() == 0 {
-		return errors.New("baseline: graph has an isolated vertex")
+	out, err := process.Run(p, r, cfg.maxRounds(), start)
+	if err != nil {
+		return Result{}, err
 	}
-	if start < 0 || int(start) >= g.N() {
-		return fmt.Errorf("baseline: start vertex %d out of range [0,%d)", start, g.N())
-	}
-	return nil
+	return Result{Rounds: out.Rounds, Covered: out.Done, Transmissions: out.Transmissions}, nil
 }
 
 // Push runs the classic push protocol: every informed vertex sends the
-// rumour to one uniformly random neighbour per round. Rounds to inform all
-// of K_n is log₂n + ln n + o(log n) (Frieze–Grimmett); on expanders it is
-// O(log n). COBRA with k = 1 differs from push in that COBRA vertices go
-// quiet after pushing — push keeps every informed vertex active forever,
-// so its per-round transmission cost grows to n.
+// rumour to one uniformly random neighbour per round; informed vertices
+// keep transmitting forever (unlike COBRA, whose vertices go quiet after
+// pushing).
 func Push(g *graph.Graph, start int32, cfg Config, r *rng.Rand) (Result, error) {
-	if err := validate(g, start); err != nil {
-		return Result{}, err
-	}
-	n := g.N()
-	informed := make([]bool, n)
-	informed[start] = true
-	frontier := []int32{start}
-	count := 1
-	var res Result
-	maxRounds := cfg.maxRounds()
-	for count < n && res.Rounds < maxRounds {
-		res.Rounds++
-		var newly []int32
-		for _, v := range frontier {
-			u := g.Neighbor(v, r.Intn(g.Degree(v)))
-			res.Transmissions++
-			if !informed[u] {
-				informed[u] = true
-				count++
-				newly = append(newly, u)
-			}
-		}
-		frontier = append(frontier, newly...)
-	}
-	res.Covered = count == n
-	return res, nil
+	return run(process.Push, process.Branching{}, g, start, cfg, r)
 }
 
-// PushPull runs the push-pull protocol: every round, every vertex contacts
-// one uniformly random neighbour; the rumour crosses the contact edge in
-// whichever direction informs someone. Karp et al. showed K_n needs only
-// Θ(log n) rounds and Θ(n·loglog n) total messages.
+// PushPull runs the push-pull protocol: every round, every vertex
+// contacts one uniformly random neighbour; the rumour crosses the
+// contact edge in whichever direction informs someone.
 func PushPull(g *graph.Graph, start int32, cfg Config, r *rng.Rand) (Result, error) {
-	if err := validate(g, start); err != nil {
-		return Result{}, err
-	}
-	n := g.N()
-	informed := make([]bool, n)
-	informed[start] = true
-	count := 1
-	var res Result
-	maxRounds := cfg.maxRounds()
-	next := make([]bool, n)
-	for count < n && res.Rounds < maxRounds {
-		res.Rounds++
-		copy(next, informed)
-		for v := int32(0); v < int32(n); v++ {
-			u := g.Neighbor(v, r.Intn(g.Degree(v)))
-			res.Transmissions++
-			switch {
-			case informed[v] && !informed[u] && !next[u]:
-				next[u] = true
-				count++
-			case !informed[v] && informed[u] && !next[v]:
-				next[v] = true
-				count++
-			}
-		}
-		informed, next = next, informed
-	}
-	res.Covered = count == n
-	return res, nil
+	return run(process.PushPull, process.Branching{}, g, start, cfg, r)
 }
 
 // Flood runs flooding: every informed vertex forwards to all neighbours
-// every round. Rounds equal the eccentricity of the start vertex — the
-// fastest possible broadcast — at the cost of Θ(m) messages per round.
+// every round, so rounds equal the eccentricity of the start vertex.
 func Flood(g *graph.Graph, start int32, cfg Config, r *rng.Rand) (Result, error) {
-	if err := validate(g, start); err != nil {
-		return Result{}, err
-	}
-	n := g.N()
-	informed := make([]bool, n)
-	informed[start] = true
-	frontier := []int32{start}
-	active := []int32{start} // all informed vertices forward every round
-	count := 1
-	var res Result
-	maxRounds := cfg.maxRounds()
-	for count < n && res.Rounds < maxRounds {
-		res.Rounds++
-		frontier = frontier[:0]
-		for _, v := range active {
-			res.Transmissions += int64(g.Degree(v))
-			for _, u := range g.Neighbors(v) {
-				if !informed[u] {
-					informed[u] = true
-					count++
-					frontier = append(frontier, u)
-				}
-			}
-		}
-		active = append(active, frontier...)
-	}
-	res.Covered = count == n
-	_ = r // flooding is deterministic; parameter kept for interface symmetry
-	return res, nil
+	return run(process.Flood, process.Branching{}, g, start, cfg, r)
 }
 
 // RandomWalkCover runs a single simple random walk until it has visited
-// every vertex. Cover time is Θ(n log n) for expanders and K_n, Θ(n²) for
-// cycles — the paper's point of comparison for COBRA's k = 1 case.
+// every vertex. Cover time is Θ(n log n) for expanders and K_n, Θ(n²)
+// for cycles — the paper's point of comparison for COBRA's k = 1 case.
 func RandomWalkCover(g *graph.Graph, start int32, cfg Config, r *rng.Rand) (Result, error) {
 	return MultiWalkCover(g, start, 1, cfg, r)
 }
 
 // MultiWalkCover runs k independent simple random walks from the same
 // start vertex, one step each per round, until their union has visited
-// every vertex. This is the "multiple random walks" process of Alon et al.
-// and Elsässer-Sauerwald whose techniques the paper contrasts with COBRA's
-// dependent branching.
+// every vertex.
 func MultiWalkCover(g *graph.Graph, start int32, k int, cfg Config, r *rng.Rand) (Result, error) {
-	if err := validate(g, start); err != nil {
-		return Result{}, err
-	}
 	if k < 1 {
 		return Result{}, fmt.Errorf("baseline: walker count %d, need >= 1", k)
 	}
-	n := g.N()
-	visited := make([]bool, n)
-	visited[start] = true
-	count := 1
-	walkers := make([]int32, k)
-	for i := range walkers {
-		walkers[i] = start
-	}
-	var res Result
-	maxRounds := cfg.maxRounds()
-	for count < n && res.Rounds < maxRounds {
-		res.Rounds++
-		for i, v := range walkers {
-			u := g.Neighbor(v, r.Intn(g.Degree(v)))
-			res.Transmissions++
-			walkers[i] = u
-			if !visited[u] {
-				visited[u] = true
-				count++
-			}
-		}
-	}
-	res.Covered = count == n
-	return res, nil
+	return run(process.KWalk, process.Branching{K: k}, g, start, cfg, r)
 }
 
 // Protocol is the common shape of all baselines, for table-driven

@@ -1,0 +1,33 @@
+package cli
+
+import (
+	"fmt"
+	"strings"
+
+	"cobrawalk/internal/process"
+)
+
+// ProcessList renders the registered process names for flag help text —
+// "cobra, bips, push, push-pull, flood, kwalk" — so every binary's
+// usage string tracks the registry instead of a hand-maintained list.
+func ProcessList() string {
+	return strings.Join(process.Names(), ", ")
+}
+
+// ParseProcesses parses a comma-separated process list, validating
+// every name against the process registry. Empty items are skipped; an
+// empty input yields nil (callers apply their own default).
+func ParseProcesses(s string) ([]string, error) {
+	var out []string
+	for _, item := range strings.Split(s, ",") {
+		item = strings.TrimSpace(item)
+		if item == "" {
+			continue
+		}
+		if _, err := process.Lookup(item); err != nil {
+			return nil, fmt.Errorf("cli: unknown process %q (want one of %s)", item, ProcessList())
+		}
+		out = append(out, item)
+	}
+	return out, nil
+}

@@ -216,6 +216,10 @@ func (b *BIPS) Round() int { return b.round }
 // InfectedCount returns |A_t|.
 func (b *BIPS) InfectedCount() int { return len(b.infected) }
 
+// Transmissions returns the number of neighbour samples drawn since Reset
+// (exact path) or the equivalent expected count (fast path).
+func (b *BIPS) Transmissions() int64 { return b.transmitted }
+
 // Infected reports whether v ∈ A_t.
 func (b *BIPS) Infected(v int32) bool { return b.curStamp[v] == b.epoch }
 

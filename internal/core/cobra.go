@@ -199,6 +199,9 @@ func (c *Cobra) Active(dst []int32) []int32 { return append(dst, c.cur...) }
 // VisitedCount returns the number of distinct vertices visited so far.
 func (c *Cobra) VisitedCount() int { return c.visitedCount }
 
+// Transmissions returns the number of messages pushed since Reset.
+func (c *Cobra) Transmissions() int64 { return c.transmitted }
+
 // Covered reports whether every vertex has been visited.
 func (c *Cobra) Covered() bool { return c.visitedCount == c.g.N() }
 

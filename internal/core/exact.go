@@ -73,7 +73,7 @@ func ComputeExactDuality(g *graph.Graph, v int32, tMax int, branch Branching) (*
 	if v < 0 || int(v) >= n {
 		return nil, fmt.Errorf("core: vertex %d out of range [0,%d)", v, n)
 	}
-	if err := branch.validate(); err != nil {
+	if err := branch.Validate(); err != nil {
 		return nil, err
 	}
 	if g.MinDegree() == 0 {

@@ -38,7 +38,7 @@ func Lemma1Bound(sizeA, n int, lambda float64, branch Branching) float64 {
 // at O(Σ_{v∈A} deg(v)) cost. A must not contain duplicates; source must be
 // a member of A.
 func ExactExpectedGrowth(g *graph.Graph, source int32, a []int32, branch Branching) (float64, error) {
-	if err := branch.validate(); err != nil {
+	if err := branch.Validate(); err != nil {
 		return 0, err
 	}
 	n := g.N()

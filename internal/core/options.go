@@ -33,7 +33,8 @@ var DefaultBranching = Branching{K: 2}
 // K + Rho.
 func (b Branching) Expected() float64 { return float64(b.K) + b.Rho }
 
-func (b Branching) validate() error {
+// Validate checks the branching parameters: K >= 1 and 0 <= Rho < 1.
+func (b Branching) Validate() error {
 	if b.K < 1 {
 		return fmt.Errorf("core: branching K = %d, need >= 1", b.K)
 	}
@@ -120,7 +121,7 @@ func buildConfig(g *graph.Graph, opts []Option) (config, error) {
 	for _, o := range opts {
 		o(&cfg)
 	}
-	if err := cfg.branching.validate(); err != nil {
+	if err := cfg.branching.Validate(); err != nil {
 		return cfg, err
 	}
 	if cfg.maxRounds < 1 {

@@ -5,7 +5,6 @@ import (
 	"fmt"
 	"io"
 
-	"cobrawalk/internal/baseline"
 	"cobrawalk/internal/core"
 	"cobrawalk/internal/graph"
 	"cobrawalk/internal/rng"
@@ -128,10 +127,10 @@ func runE14(ctx context.Context, w io.Writer, p Params) error {
 	return tbl.Emit(w, p)
 }
 
-// pushWithLoad runs the push protocol recording per-vertex send counts.
+// pushWithLoad runs the push protocol recording per-vertex send counts
+// (the process-layer push tracks only totals, so this mirrors its loop
+// with a per-vertex counter).
 func pushWithLoad(g *graph.Graph, start int32, r *rng.Rand) (rounds int, total int64, maxSend int64, err error) {
-	cfg := baseline.Config{}
-	_ = cfg // the loop below mirrors baseline.Push but with send counters
 	n := g.N()
 	informed := make([]bool, n)
 	informed[start] = true

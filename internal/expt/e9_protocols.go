@@ -5,9 +5,9 @@ import (
 	"fmt"
 	"io"
 
-	"cobrawalk/internal/baseline"
 	"cobrawalk/internal/core"
 	"cobrawalk/internal/graph"
+	"cobrawalk/internal/process"
 	"cobrawalk/internal/rng"
 	"cobrawalk/internal/sim"
 	"cobrawalk/internal/stats"
@@ -52,63 +52,54 @@ func runE9(ctx context.Context, w io.Writer, p Params) error {
 		return nil
 	}
 
-	// COBRA k=2.
-	if _, err := core.NewCobra(g); err != nil {
-		return err
-	}
-	cres, err := sim.RunWithState(ctx, sim.Spec{Trials: trials, Seed: p.Seed ^ 0xe9, Workers: p.Workers},
-		func() *core.Cobra {
-			c, err := core.NewCobra(g, core.WithMaxRounds(1<<18))
-			if err != nil {
-				panic(err) // unreachable: validated above
-			}
-			return c
-		},
-		func(c *core.Cobra, trial int, r *rng.Rand) (outcome, error) {
-			out, err := c.Run(0, r)
-			if err != nil {
-				return outcome{}, err
-			}
-			if !out.Covered {
-				return outcome{}, fmt.Errorf("COBRA hit round cap")
-			}
-			return outcome{float64(out.CoverTime), float64(out.Transmissions)}, nil
-		})
-	if err != nil {
-		return err
-	}
-	if err := addRows("COBRA k=2", "2",
-		sim.Floats(cres, func(o outcome) float64 { return o.rounds }),
-		sim.Floats(cres, func(o outcome) float64 { return o.msgs })); err != nil {
-		return err
-	}
-
-	// Baselines.
+	// Every protocol rides the unified process layer: one reusable
+	// Process per trial worker (construct once, Reset per trial), so the
+	// comparison ensemble allocates nothing per trial.
 	deg, _ := g.Regularity()
-	caps := map[string]string{
-		"push":        "1 (but all informed vertices push forever)",
-		"push-pull":   "2 (every vertex contacts each round)",
-		"flood":       fmt.Sprintf("%d (degree)", deg),
-		"random-walk": "1 walker total",
-		"2-walks":     "2 walkers total",
+	rows := []struct {
+		proc      string
+		branching core.Branching
+		label     string
+		cap       string
+		seed      uint64
+		maxRounds int
+	}{
+		{process.Cobra, core.DefaultBranching, "COBRA k=2", "2", p.Seed ^ 0xe9, 1 << 18},
+		{process.Push, core.Branching{}, "push", "1 (but all informed vertices push forever)", p.Seed ^ 0x99, 1 << 22},
+		{process.PushPull, core.Branching{}, "push-pull", "2 (every vertex contacts each round)", p.Seed ^ 0x99, 1 << 22},
+		{process.Flood, core.Branching{}, "flood", fmt.Sprintf("%d (degree)", deg), p.Seed ^ 0x99, 1 << 22},
+		{process.KWalk, core.Branching{K: 1}, "random-walk", "1 walker total", p.Seed ^ 0x99, 1 << 22},
+		{process.KWalk, core.Branching{K: 2}, "2-walks", "2 walkers total", p.Seed ^ 0x99, 1 << 22},
 	}
-	for _, proto := range baseline.All(2) {
-		proto := proto
-		res, err := sim.Run(ctx, sim.Spec{Trials: trials, Seed: p.Seed ^ 0x99, Workers: p.Workers},
-			func(trial int, r *rng.Rand) (outcome, error) {
-				out, err := proto.Run(g, 0, baseline.Config{MaxRounds: 1 << 22}, r)
+	start := []int32{0}
+	for _, row := range rows {
+		row := row
+		cfg := process.Config{Branching: row.branching}
+		if _, err := process.New(row.proc, g, cfg); err != nil {
+			return err
+		}
+		res, err := sim.RunWithState(ctx, sim.Spec{Trials: trials, Seed: row.seed, Workers: p.Workers},
+			func() process.Process {
+				proc, err := process.New(row.proc, g, cfg)
+				if err != nil {
+					panic(err) // unreachable: validated above
+				}
+				return proc
+			},
+			func(proc process.Process, trial int, r *rng.Rand) (outcome, error) {
+				out, err := process.Run(proc, r, row.maxRounds, start...)
 				if err != nil {
 					return outcome{}, err
 				}
-				if !out.Covered {
-					return outcome{}, fmt.Errorf("%s hit round cap", proto.Name)
+				if !out.Done {
+					return outcome{}, fmt.Errorf("%s hit round cap", row.label)
 				}
 				return outcome{float64(out.Rounds), float64(out.Transmissions)}, nil
 			})
 		if err != nil {
 			return err
 		}
-		if err := addRows(proto.Name, caps[proto.Name],
+		if err := addRows(row.label, row.cap,
 			sim.Floats(res, func(o outcome) float64 { return o.rounds }),
 			sim.Floats(res, func(o outcome) float64 { return o.msgs })); err != nil {
 			return err

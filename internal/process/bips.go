@@ -1,0 +1,56 @@
+package process
+
+import (
+	"errors"
+
+	"cobrawalk/internal/core"
+	"cobrawalk/internal/graph"
+	"cobrawalk/internal/rng"
+)
+
+// bipsProc adapts core.BIPS to the Process interface. The first start
+// vertex is the persistent source; any further starts seed A_0.
+type bipsProc struct {
+	b        *core.BIPS
+	obs      RoundObserver
+	prevSent int64
+}
+
+func newBipsProc(g *graph.Graph, cfg Config) (Process, error) {
+	opts := []core.Option{core.WithBranching(cfg.branching())}
+	if cfg.FastSampling {
+		opts = append(opts, core.WithFastSampling())
+	}
+	b, err := core.NewBIPS(g, opts...)
+	if err != nil {
+		return nil, err
+	}
+	return &bipsProc{b: b, obs: cfg.Observer}, nil
+}
+
+func (p *bipsProc) Reset(starts ...int32) error {
+	if len(starts) == 0 {
+		return errors.New("process: empty start set")
+	}
+	p.prevSent = 0
+	return p.b.Reset(starts[0], starts[1:]...)
+}
+
+func (p *bipsProc) Step(r *rng.Rand) {
+	p.b.Step(r)
+	if p.obs != nil {
+		sent := p.b.Transmissions()
+		p.obs(RoundStat{
+			Round:         p.b.Round(),
+			Active:        p.b.InfectedCount(),
+			Reached:       p.b.InfectedCount(),
+			Transmissions: sent - p.prevSent,
+		})
+		p.prevSent = sent
+	}
+}
+
+func (p *bipsProc) Done() bool           { return p.b.FullyInfected() }
+func (p *bipsProc) Round() int           { return p.b.Round() }
+func (p *bipsProc) ReachedCount() int    { return p.b.InfectedCount() }
+func (p *bipsProc) Transmissions() int64 { return p.b.Transmissions() }

@@ -1,0 +1,49 @@
+package process
+
+import (
+	"cobrawalk/internal/core"
+	"cobrawalk/internal/graph"
+	"cobrawalk/internal/rng"
+)
+
+// cobraProc adapts core.Cobra to the Process interface. The adapter owns
+// no simulation state beyond the per-round transmission cursor the
+// observer needs; all buffers live in the core process and are reused
+// across runs.
+type cobraProc struct {
+	c        *core.Cobra
+	obs      RoundObserver
+	prevSent int64
+}
+
+func newCobraProc(g *graph.Graph, cfg Config) (Process, error) {
+	c, err := core.NewCobra(g, core.WithBranching(cfg.branching()))
+	if err != nil {
+		return nil, err
+	}
+	return &cobraProc{c: c, obs: cfg.Observer}, nil
+}
+
+func (p *cobraProc) Reset(starts ...int32) error {
+	p.prevSent = 0
+	return p.c.Reset(starts...)
+}
+
+func (p *cobraProc) Step(r *rng.Rand) {
+	p.c.Step(r)
+	if p.obs != nil {
+		sent := p.c.Transmissions()
+		p.obs(RoundStat{
+			Round:         p.c.Round(),
+			Active:        p.c.ActiveCount(),
+			Reached:       p.c.VisitedCount(),
+			Transmissions: sent - p.prevSent,
+		})
+		p.prevSent = sent
+	}
+}
+
+func (p *cobraProc) Done() bool           { return p.c.Covered() }
+func (p *cobraProc) Round() int           { return p.c.Round() }
+func (p *cobraProc) ReachedCount() int    { return p.c.VisitedCount() }
+func (p *cobraProc) Transmissions() int64 { return p.c.Transmissions() }

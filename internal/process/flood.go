@@ -1,0 +1,68 @@
+package process
+
+import (
+	"cobrawalk/internal/graph"
+	"cobrawalk/internal/rng"
+)
+
+// floodProc is flooding as a reusable process: every informed vertex
+// forwards to all neighbours every round. Rounds equal the eccentricity
+// of the start vertex — the fastest possible broadcast — at the cost of
+// Θ(m) messages per round. Flooding is deterministic; Step ignores its
+// generator (kept for interface symmetry) and draws nothing from it.
+type floodProc struct {
+	g        *graph.Graph
+	informed stampSet
+	active   []int32 // every informed vertex, in discovery order
+	round    int
+	sent     int64
+	obs      RoundObserver
+}
+
+func newFloodProc(g *graph.Graph, cfg Config) (Process, error) {
+	if err := checkGraph(g); err != nil {
+		return nil, err
+	}
+	return &floodProc{g: g, informed: newStampSet(g.N()), obs: cfg.Observer}, nil
+}
+
+func (p *floodProc) Reset(starts ...int32) error {
+	if err := checkStarts(p.g, starts); err != nil {
+		return err
+	}
+	p.informed.clear()
+	p.active = p.active[:0]
+	p.round = 0
+	p.sent = 0
+	for _, s := range starts {
+		if p.informed.add(s) {
+			p.active = append(p.active, s)
+		}
+	}
+	return nil
+}
+
+func (p *floodProc) Step(_ *rng.Rand) {
+	g := p.g
+	m := len(p.active) // all informed vertices forward every round
+	var sent int64
+	for i := 0; i < m; i++ {
+		v := p.active[i]
+		sent += int64(g.Degree(v))
+		for _, u := range g.Neighbors(v) {
+			if p.informed.add(u) {
+				p.active = append(p.active, u)
+			}
+		}
+	}
+	p.round++
+	p.sent += sent
+	if p.obs != nil {
+		p.obs(RoundStat{Round: p.round, Active: len(p.active), Reached: len(p.active), Transmissions: sent})
+	}
+}
+
+func (p *floodProc) Done() bool           { return len(p.active) == p.g.N() }
+func (p *floodProc) Round() int           { return p.round }
+func (p *floodProc) ReachedCount() int    { return len(p.active) }
+func (p *floodProc) Transmissions() int64 { return p.sent }

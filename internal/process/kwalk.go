@@ -1,0 +1,82 @@
+package process
+
+import (
+	"fmt"
+
+	"cobrawalk/internal/graph"
+	"cobrawalk/internal/rng"
+)
+
+// kwalkProc runs K independent simple random walks, one step each per
+// round, until their union has visited every vertex. This is the
+// "multiple random walks" process of Alon et al. and Elsässer–Sauerwald
+// whose techniques the paper contrasts with COBRA's dependent branching.
+// The walker count is Config.Branching.K, which makes it sweepable
+// through the same branching axis as cobra/bips; fractional branching
+// (Rho > 0) has no meaning for walker counts and is rejected.
+type kwalkProc struct {
+	g       *graph.Graph
+	visited stampSet
+	walkers []int32
+	count   int
+	round   int
+	sent    int64
+	obs     RoundObserver
+}
+
+func newKWalkProc(g *graph.Graph, cfg Config) (Process, error) {
+	if err := checkGraph(g); err != nil {
+		return nil, err
+	}
+	br := cfg.branching()
+	if br.Rho != 0 {
+		return nil, fmt.Errorf("process: kwalk does not support fractional branching (Rho = %v)", br.Rho)
+	}
+	if br.K < 1 {
+		return nil, fmt.Errorf("process: kwalk walker count %d, need >= 1", br.K)
+	}
+	return &kwalkProc{g: g, visited: newStampSet(g.N()), walkers: make([]int32, br.K), obs: cfg.Observer}, nil
+}
+
+// Reset places the walkers round-robin over the start set (all at
+// starts[0] in the common single-start case) and marks every start
+// visited.
+func (p *kwalkProc) Reset(starts ...int32) error {
+	if err := checkStarts(p.g, starts); err != nil {
+		return err
+	}
+	p.visited.clear()
+	p.count = 0
+	p.round = 0
+	p.sent = 0
+	for _, s := range starts {
+		if p.visited.add(s) {
+			p.count++
+		}
+	}
+	for i := range p.walkers {
+		p.walkers[i] = starts[i%len(starts)]
+	}
+	return nil
+}
+
+func (p *kwalkProc) Step(r *rng.Rand) {
+	g := p.g
+	for i, v := range p.walkers {
+		u := g.Neighbor(v, r.Intn(g.Degree(v)))
+		p.walkers[i] = u
+		if p.visited.add(u) {
+			p.count++
+		}
+	}
+	p.round++
+	p.sent += int64(len(p.walkers))
+	if p.obs != nil {
+		p.obs(RoundStat{Round: p.round, Active: len(p.walkers), Reached: p.count, Transmissions: int64(len(p.walkers))})
+	}
+}
+
+func (p *kwalkProc) Done() bool           { return p.count == p.g.N() }
+func (p *kwalkProc) Round() int           { return p.round }
+func (p *kwalkProc) ReachedCount() int    { return p.count }
+func (p *kwalkProc) Transmissions() int64 { return p.sent }

@@ -1,0 +1,189 @@
+// Package process is the unified process layer: every spreading process
+// the repository can simulate — COBRA, its dual BIPS, and the comparison
+// protocols push, push-pull, flood and k independent random walks — is a
+// reusable Process object behind one interface, registered by name in a
+// central registry (see registry.go).
+//
+// A Process is constructed once per graph (allocating its frontier and
+// membership buffers) and then Reset/Step many times, so ensembles of
+// thousands of trials run without per-trial graph-sized allocations. The
+// registry is the single source of truth for process names: the sweep
+// engine, the CLI tools and the experiment harness all dispatch through
+// it, and adding a process requires only a new registry entry.
+package process
+
+import (
+	"errors"
+	"fmt"
+
+	"cobrawalk/internal/core"
+	"cobrawalk/internal/graph"
+	"cobrawalk/internal/rng"
+)
+
+// Branching is the branching factor shared with internal/core: K
+// contacts per round plus one more with probability Rho. For kwalk, K is
+// the walker count and Rho must be zero.
+type Branching = core.Branching
+
+// DefaultBranching is the paper's canonical k = 2 branching factor.
+var DefaultBranching = core.DefaultBranching
+
+// Process is one reusable spreading process bound to a fixed graph.
+// Construct via a registry Factory (or the concrete constructors), then
+// Reset and Step; every buffer is reused across runs, so a warmed Process
+// executes whole trials without allocating.
+//
+// A Process is not safe for concurrent use; run one per goroutine.
+type Process interface {
+	// Reset prepares a fresh run from the given non-empty start set.
+	// For source-based processes (bips) the first start is the source.
+	Reset(starts ...int32) error
+	// Step advances the process by one synchronous round.
+	Step(r *rng.Rand)
+	// Done reports whether the process has reached its goal: every
+	// vertex informed, visited or infected.
+	Done() bool
+	// Round returns the number of rounds executed since Reset.
+	Round() int
+	// ReachedCount returns the number of vertices currently counted as
+	// reached (informed/visited for monotone processes, |A_t| for bips).
+	ReachedCount() int
+	// Transmissions returns the number of messages sent since Reset.
+	Transmissions() int64
+}
+
+// RoundStat is the per-round observation delivered to a RoundObserver
+// after every Step.
+type RoundStat struct {
+	// Round is the just-completed round index (1 for the first Step).
+	Round int
+	// Active is the size of the driving set this round: |C_t| for cobra,
+	// |A_t| for bips, the informed count for push/push-pull/flood, the
+	// walker count for kwalk.
+	Active int
+	// Reached is the cumulative reached count after the round.
+	Reached int
+	// Transmissions is the number of messages sent during this round.
+	Transmissions int64
+}
+
+// RoundObserver receives a RoundStat after every Step. Observers are the
+// raw material for trajectory analyses (Lemma 1 growth phases, frontier
+// sizes); a nil observer costs nothing.
+type RoundObserver func(RoundStat)
+
+// Config parameterises process construction. The zero value is valid for
+// every registered process.
+type Config struct {
+	// Branching configures branched processes: K pushes (cobra), K
+	// neighbour samples (bips) or K walkers (kwalk), plus Rho where the
+	// process supports fractional branching. The zero value means
+	// core.DefaultBranching (the paper's k = 2). Unbranched processes
+	// ignore it.
+	Branching Branching
+	// FastSampling switches bips to the closed-form Bernoulli sampling
+	// path (core.WithFastSampling). Ignored by every other process.
+	FastSampling bool
+	// Observer, when non-nil, receives a RoundStat after every Step.
+	Observer RoundObserver
+}
+
+// branching resolves the configured branching factor, defaulting the
+// zero value to the paper's k = 2.
+func (c Config) branching() Branching {
+	if c.Branching == (Branching{}) {
+		return DefaultBranching
+	}
+	return c.Branching
+}
+
+// DefaultMaxRounds caps driven runs that pass maxRounds <= 0 to Run.
+const DefaultMaxRounds = 1 << 20
+
+// Result reports one driven run (see Run).
+type Result struct {
+	// Rounds is the number of rounds executed; when Done it is the
+	// completion round.
+	Rounds int
+	// Done reports whether the process reached its goal within the cap.
+	Done bool
+	// Transmissions counts every message sent.
+	Transmissions int64
+}
+
+// Run drives p through one full run: it resets the process with the
+// given start set and steps until the process is Done or maxRounds is
+// reached (maxRounds <= 0 means DefaultMaxRounds). The process remains
+// usable for further runs.
+func Run(p Process, r *rng.Rand, maxRounds int, starts ...int32) (Result, error) {
+	if maxRounds <= 0 {
+		maxRounds = DefaultMaxRounds
+	}
+	if err := p.Reset(starts...); err != nil {
+		return Result{}, err
+	}
+	for !p.Done() && p.Round() < maxRounds {
+		p.Step(r)
+	}
+	return Result{Rounds: p.Round(), Done: p.Done(), Transmissions: p.Transmissions()}, nil
+}
+
+// checkGraph validates a graph at construction time: processes are
+// undefined on empty graphs and graphs with isolated vertices.
+func checkGraph(g *graph.Graph) error {
+	if g == nil || g.N() == 0 {
+		return errors.New("process: empty graph")
+	}
+	if g.MinDegree() == 0 {
+		return errors.New("process: graph has an isolated vertex")
+	}
+	return nil
+}
+
+// checkStarts validates a Reset start set.
+func checkStarts(g *graph.Graph, starts []int32) error {
+	if len(starts) == 0 {
+		return errors.New("process: empty start set")
+	}
+	for _, s := range starts {
+		if s < 0 || int(s) >= g.N() {
+			return fmt.Errorf("process: start vertex %d out of range [0,%d)", s, g.N())
+		}
+	}
+	return nil
+}
+
+// stampSet is an O(1)-clear membership set over vertex ids: v is a
+// member iff stamp[v] == epoch, so clear is an epoch bump and only the
+// (rare) wrap-around pays an O(n) flush. This is the buffer-reuse
+// pattern that keeps Reset allocation-free.
+type stampSet struct {
+	stamp []uint32
+	epoch uint32
+}
+
+func newStampSet(n int) stampSet {
+	return stampSet{stamp: make([]uint32, n), epoch: 1}
+}
+
+func (s *stampSet) clear() {
+	s.epoch++
+	if s.epoch == 0 { // wrap-around: flush stale stamps
+		for i := range s.stamp {
+			s.stamp[i] = 0
+		}
+		s.epoch = 1
+	}
+}
+
+func (s *stampSet) has(v int32) bool { return s.stamp[v] == s.epoch }
+
+// add inserts v and reports whether it was absent.
+func (s *stampSet) add(v int32) bool {
+	if s.stamp[v] == s.epoch {
+		return false
+	}
+	s.stamp[v] = s.epoch
+	return true
+}

@@ -1,0 +1,330 @@
+package process
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"cobrawalk/internal/core"
+	"cobrawalk/internal/graph"
+	"cobrawalk/internal/rng"
+)
+
+func mk(t *testing.T) func(*graph.Graph, error) *graph.Graph {
+	return func(g *graph.Graph, err error) *graph.Graph {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return g
+	}
+}
+
+func expander(t *testing.T, n, deg int) *graph.Graph {
+	t.Helper()
+	g, err := graph.RandomRegularConnected(n, deg, rng.New(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestRegistry(t *testing.T) {
+	want := []string{Cobra, BIPS, Push, PushPull, Flood, KWalk}
+	if got := Names(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("Names() = %v, want %v", got, want)
+	}
+	for _, name := range want {
+		info, err := Lookup(name)
+		if err != nil {
+			t.Fatalf("Lookup(%q): %v", name, err)
+		}
+		if info.Name != name || info.New == nil || info.Summary == "" {
+			t.Fatalf("incomplete registry entry %+v", info)
+		}
+	}
+	if _, err := Lookup("gossip"); err == nil || !strings.Contains(err.Error(), "unknown process") {
+		t.Fatalf("Lookup(gossip) = %v, want unknown-process error", err)
+	}
+	if _, err := New("gossip", expander(t, 16, 3), Config{}); err == nil {
+		t.Fatal("New with unknown name should fail")
+	}
+	branchedWant := map[string]bool{Cobra: true, BIPS: true, Push: false, PushPull: false, Flood: false, KWalk: true}
+	for _, info := range All() {
+		if info.Branched != branchedWant[info.Name] {
+			t.Errorf("%s: Branched = %v, want %v", info.Name, info.Branched, branchedWant[info.Name])
+		}
+	}
+}
+
+// TestAllProcessesCoverAndRepeat drives every registered process to
+// completion on a small expander, checks the shared invariants, and
+// pins that a reused (Reset) process reproduces the identical run for
+// the identical random stream — the reusability contract.
+func TestAllProcessesCoverAndRepeat(t *testing.T) {
+	g := expander(t, 64, 4)
+	for _, info := range All() {
+		t.Run(info.Name, func(t *testing.T) {
+			p, err := info.New(g, Config{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			first, err := Run(p, rng.New(7), 0, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !first.Done {
+				t.Fatalf("%s did not finish on a 64-vertex expander", info.Name)
+			}
+			if p.ReachedCount() != g.N() {
+				t.Fatalf("ReachedCount = %d, want %d", p.ReachedCount(), g.N())
+			}
+			if first.Rounds < 1 || first.Transmissions < 1 {
+				t.Fatalf("degenerate result %+v", first)
+			}
+			if first.Transmissions < int64(p.ReachedCount())-1 {
+				t.Fatalf("transmissions %d < reached-1 = %d", first.Transmissions, p.ReachedCount()-1)
+			}
+			// Second run on the same object with a fresh identical stream.
+			again, err := Run(p, rng.New(7), 0, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if again != first {
+				t.Fatalf("reused process diverged: %+v vs %+v", again, first)
+			}
+		})
+	}
+}
+
+func TestFloodRoundsEqualEccentricity(t *testing.T) {
+	graphs := []*graph.Graph{
+		mk(t)(graph.Cycle(11)),
+		mk(t)(graph.Hypercube(5)),
+		mk(t)(graph.Path(9)),
+		expander(t, 48, 3),
+	}
+	r := rng.New(1)
+	for _, g := range graphs {
+		p, err := New(Flood, g, Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, s := range []int32{0, int32(g.N() / 2), int32(g.N() - 1)} {
+			res, err := Run(p, r, 0, s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if want := g.Eccentricity(s); !res.Done || res.Rounds != want {
+				t.Fatalf("%s: flood from %d took %d rounds (done=%v), want eccentricity %d",
+					g.Name(), s, res.Rounds, res.Done, want)
+			}
+		}
+	}
+}
+
+// TestPushPullTransmissions pins the accounting invariants: every vertex
+// contacts exactly once per round (n transmissions per round), and at
+// least reached-1 transmissions are needed to inform reached vertices —
+// even on capped, partially-informed runs.
+func TestPushPullTransmissions(t *testing.T) {
+	g := mk(t)(graph.Cycle(64))
+	p, err := New(PushPull, g, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(p, rng.New(3), 5, 0) // capped: C64 cannot finish in 5 rounds
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Done {
+		t.Fatal("push-pull informed C64 in 5 rounds?")
+	}
+	if res.Transmissions != int64(res.Rounds)*int64(g.N()) {
+		t.Fatalf("transmissions = %d, want rounds×n = %d", res.Transmissions, res.Rounds*g.N())
+	}
+	if res.Transmissions < int64(p.ReachedCount())-1 {
+		t.Fatalf("transmissions %d < reached-1 = %d", res.Transmissions, p.ReachedCount()-1)
+	}
+}
+
+func TestKWalk(t *testing.T) {
+	g := mk(t)(graph.Cycle(24))
+	p, err := New(KWalk, g, Config{Branching: Branching{K: 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(p, rng.New(5), 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Done {
+		t.Fatal("3 walks failed to cover C24")
+	}
+	if res.Transmissions != 3*int64(res.Rounds) {
+		t.Fatalf("transmissions = %d, want 3×rounds = %d", res.Transmissions, 3*res.Rounds)
+	}
+	// Multi-start: walkers spread round-robin, both starts visited at round 0.
+	if err := p.Reset(0, 12); err != nil {
+		t.Fatal(err)
+	}
+	if p.ReachedCount() != 2 || p.Round() != 0 {
+		t.Fatalf("after Reset(0, 12): reached=%d round=%d", p.ReachedCount(), p.Round())
+	}
+	// Config validation.
+	if _, err := New(KWalk, g, Config{Branching: Branching{K: 1, Rho: 0.5}}); err == nil {
+		t.Fatal("kwalk should reject fractional branching")
+	}
+	if _, err := New(KWalk, g, Config{Branching: Branching{K: -1}}); err == nil {
+		t.Fatal("kwalk should reject K < 1")
+	}
+	// The zero Config defaults to DefaultBranching: 2 walkers.
+	q, err := New(KWalk, g, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Reset(0); err != nil {
+		t.Fatal(err)
+	}
+	q.Step(rng.New(9))
+	if q.Transmissions() != 2 {
+		t.Fatalf("default kwalk made %d transmissions in one round, want 2 walkers", q.Transmissions())
+	}
+}
+
+func TestResetValidation(t *testing.T) {
+	g := mk(t)(graph.Complete(8))
+	for _, info := range All() {
+		p, err := info.New(g, Config{})
+		if err != nil {
+			t.Fatalf("%s: %v", info.Name, err)
+		}
+		if err := p.Reset(); err == nil {
+			t.Errorf("%s: empty start set should fail", info.Name)
+		}
+		if err := p.Reset(-1); err == nil {
+			t.Errorf("%s: negative start should fail", info.Name)
+		}
+		if err := p.Reset(8); err == nil {
+			t.Errorf("%s: out-of-range start should fail", info.Name)
+		}
+	}
+	for _, info := range All() {
+		if _, err := info.New(nil, Config{}); err == nil {
+			t.Errorf("%s: nil graph should fail", info.Name)
+		}
+	}
+	iso, err := graph.FromEdges("iso", 3, [][2]int32{{0, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, info := range All() {
+		if _, err := info.New(iso, Config{}); err == nil {
+			t.Errorf("%s: isolated vertex should fail", info.Name)
+		}
+	}
+}
+
+// TestObserver pins the RoundObserver contract for every process: one
+// call per Step, increasing round indices, per-round transmissions that
+// sum to the total, and a final Reached matching the process state.
+func TestObserver(t *testing.T) {
+	g := expander(t, 48, 4)
+	for _, info := range All() {
+		t.Run(info.Name, func(t *testing.T) {
+			var stats []RoundStat
+			p, err := info.New(g, Config{Observer: func(rs RoundStat) { stats = append(stats, rs) }})
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := Run(p, rng.New(11), 0, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(stats) != res.Rounds {
+				t.Fatalf("observer saw %d rounds, result has %d", len(stats), res.Rounds)
+			}
+			var sent int64
+			for i, rs := range stats {
+				if rs.Round != i+1 {
+					t.Fatalf("observation %d has round %d", i, rs.Round)
+				}
+				if rs.Active < 0 || rs.Reached < 1 || rs.Reached > g.N() {
+					t.Fatalf("implausible observation %+v", rs)
+				}
+				sent += rs.Transmissions
+			}
+			if sent != res.Transmissions {
+				t.Fatalf("per-round transmissions sum to %d, total is %d", sent, res.Transmissions)
+			}
+			if last := stats[len(stats)-1]; last.Reached != p.ReachedCount() {
+				t.Fatalf("final observed reached %d, process reports %d", last.Reached, p.ReachedCount())
+			}
+
+			// A second run with the observer still attached replays the
+			// same trajectory for the same stream.
+			first := append([]RoundStat(nil), stats...)
+			stats = stats[:0]
+			if _, err := Run(p, rng.New(11), 0, 0); err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(first, stats) {
+				t.Fatal("observer trajectory not reproducible across Reset")
+			}
+		})
+	}
+}
+
+// TestZeroAllocTrials pins the buffer-reuse contract: once warmed, a
+// full Reset+Step-to-completion trial performs zero allocations for
+// every registered process. (AllocsPerRun's integer average also
+// tolerates the rare capacity growth when a later run runs longer than
+// any before.)
+func TestZeroAllocTrials(t *testing.T) {
+	g := expander(t, 512, 8)
+	starts := []int32{0}
+	for _, info := range All() {
+		t.Run(info.Name, func(t *testing.T) {
+			p, err := info.New(g, Config{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			r := rng.New(13)
+			trial := func() {
+				if err := p.Reset(starts...); err != nil {
+					t.Fatal(err)
+				}
+				for !p.Done() && p.Round() < DefaultMaxRounds {
+					p.Step(r)
+				}
+				if !p.Done() {
+					t.Fatal("trial hit the round cap")
+				}
+			}
+			for i := 0; i < 16; i++ { // warm every buffer past its high-water mark
+				trial()
+			}
+			if allocs := testing.AllocsPerRun(16, trial); allocs != 0 {
+				t.Fatalf("%s: %v allocs per trial after warm-up, want 0", info.Name, allocs)
+			}
+		})
+	}
+}
+
+// TestBranchingFlowsThrough pins that Config.Branching reaches the core
+// processes: cobra k=1 sends exactly one message per active vertex per
+// round.
+func TestBranchingFlowsThrough(t *testing.T) {
+	g := mk(t)(graph.Complete(16))
+	p, err := New(Cobra, g, Config{Branching: core.Branching{K: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Reset(0); err != nil {
+		t.Fatal(err)
+	}
+	p.Step(rng.New(17))
+	if p.Transmissions() != 1 {
+		t.Fatalf("cobra k=1 first round sent %d messages, want 1", p.Transmissions())
+	}
+}

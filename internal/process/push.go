@@ -1,0 +1,72 @@
+package process
+
+import (
+	"cobrawalk/internal/graph"
+	"cobrawalk/internal/rng"
+)
+
+// pushProc is the classic push protocol as a reusable process: every
+// informed vertex sends the rumour to one uniformly random neighbour per
+// round and keeps transmitting forever. Rounds to inform all of K_n is
+// log₂n + ln n + o(log n) (Frieze–Grimmett); on expanders it is
+// O(log n). COBRA with k = 1 differs from push in that COBRA vertices go
+// quiet after pushing.
+//
+// Membership is an epoch-stamped set and the informed list is an
+// append-only buffer, both reused across Resets, so a warmed process
+// runs whole trials without allocating.
+type pushProc struct {
+	g        *graph.Graph
+	informed stampSet
+	active   []int32 // every informed vertex, in discovery order
+	round    int
+	sent     int64
+	obs      RoundObserver
+}
+
+func newPushProc(g *graph.Graph, cfg Config) (Process, error) {
+	if err := checkGraph(g); err != nil {
+		return nil, err
+	}
+	return &pushProc{g: g, informed: newStampSet(g.N()), obs: cfg.Observer}, nil
+}
+
+func (p *pushProc) Reset(starts ...int32) error {
+	if err := checkStarts(p.g, starts); err != nil {
+		return err
+	}
+	p.informed.clear()
+	p.active = p.active[:0]
+	p.round = 0
+	p.sent = 0
+	for _, s := range starts {
+		if p.informed.add(s) {
+			p.active = append(p.active, s)
+		}
+	}
+	return nil
+}
+
+func (p *pushProc) Step(r *rng.Rand) {
+	g := p.g
+	m := len(p.active) // vertices informed at round start push this round
+	var sent int64
+	for i := 0; i < m; i++ {
+		v := p.active[i]
+		u := g.Neighbor(v, r.Intn(g.Degree(v)))
+		sent++
+		if p.informed.add(u) {
+			p.active = append(p.active, u)
+		}
+	}
+	p.round++
+	p.sent += sent
+	if p.obs != nil {
+		p.obs(RoundStat{Round: p.round, Active: len(p.active), Reached: len(p.active), Transmissions: sent})
+	}
+}
+
+func (p *pushProc) Done() bool           { return len(p.active) == p.g.N() }
+func (p *pushProc) Round() int           { return p.round }
+func (p *pushProc) ReachedCount() int    { return len(p.active) }
+func (p *pushProc) Transmissions() int64 { return p.sent }

@@ -1,0 +1,80 @@
+package process
+
+import (
+	"cobrawalk/internal/graph"
+	"cobrawalk/internal/rng"
+)
+
+// pushPullProc is the push-pull protocol as a reusable process: every
+// round, every vertex contacts one uniformly random neighbour and the
+// rumour crosses the contact edge in whichever direction informs
+// someone. Karp et al. showed K_n needs only Θ(log n) rounds and
+// Θ(n·loglog n) total messages.
+//
+// The informed set is monotone, so one epoch-stamped set holds the
+// round-start state while a second marks vertices informed during the
+// current round (they must not transmit or absorb until the next round).
+type pushPullProc struct {
+	g        *graph.Graph
+	informed stampSet // informed as of round start
+	fresh    stampSet // informed during the current round
+	newly    []int32  // scratch: this round's fresh vertices
+	count    int
+	round    int
+	sent     int64
+	obs      RoundObserver
+}
+
+func newPushPullProc(g *graph.Graph, cfg Config) (Process, error) {
+	if err := checkGraph(g); err != nil {
+		return nil, err
+	}
+	n := g.N()
+	return &pushPullProc{g: g, informed: newStampSet(n), fresh: newStampSet(n), obs: cfg.Observer}, nil
+}
+
+func (p *pushPullProc) Reset(starts ...int32) error {
+	if err := checkStarts(p.g, starts); err != nil {
+		return err
+	}
+	p.informed.clear()
+	p.count = 0
+	p.round = 0
+	p.sent = 0
+	for _, s := range starts {
+		if p.informed.add(s) {
+			p.count++
+		}
+	}
+	return nil
+}
+
+func (p *pushPullProc) Step(r *rng.Rand) {
+	g := p.g
+	p.fresh.clear()
+	p.newly = p.newly[:0]
+	n := int32(g.N())
+	for v := int32(0); v < n; v++ {
+		u := g.Neighbor(v, r.Intn(g.Degree(v)))
+		switch {
+		case p.informed.has(v) && !p.informed.has(u) && p.fresh.add(u):
+			p.newly = append(p.newly, u)
+		case !p.informed.has(v) && p.informed.has(u) && p.fresh.add(v):
+			p.newly = append(p.newly, v)
+		}
+	}
+	for _, u := range p.newly {
+		p.informed.add(u)
+	}
+	p.count += len(p.newly)
+	p.round++
+	p.sent += int64(n) // every vertex contacts exactly once per round
+	if p.obs != nil {
+		p.obs(RoundStat{Round: p.round, Active: p.count, Reached: p.count, Transmissions: int64(n)})
+	}
+}
+
+func (p *pushPullProc) Done() bool           { return p.count == p.g.N() }
+func (p *pushPullProc) Round() int           { return p.round }
+func (p *pushPullProc) ReachedCount() int    { return p.count }
+func (p *pushPullProc) Transmissions() int64 { return p.sent }

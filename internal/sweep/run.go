@@ -6,9 +6,8 @@ import (
 	"sync"
 	"sync/atomic"
 
-	"cobrawalk/internal/baseline"
-	"cobrawalk/internal/core"
 	"cobrawalk/internal/graph"
+	"cobrawalk/internal/process"
 	"cobrawalk/internal/rng"
 	"cobrawalk/internal/sim"
 	"cobrawalk/internal/spectral"
@@ -264,82 +263,41 @@ func runPoint(ctx context.Context, pt Point, trialWorkers int) (Result, error) {
 	return res, nil
 }
 
-// runEnsemble dispatches the point's process. All runs start from vertex
-// 0: the sweep families are vertex-transitive or statistically
-// symmetric, so vertex 0 is representative of the worst-case start.
+// runEnsemble streams the point's ensemble through the process registry:
+// the point's process name selects a Factory, each trial worker owns one
+// reusable Process (constructed once, Reset per trial — no per-trial
+// graph-sized allocations), and adding a process to internal/process
+// makes it sweepable with no change here. All runs start from vertex 0:
+// the sweep families are vertex-transitive or statistically symmetric,
+// so vertex 0 is representative of the worst-case start.
 func runEnsemble(ctx context.Context, g *graph.Graph, pt Point, trialWorkers int) (pointAcc, error) {
-	spec := sim.Spec{Trials: pt.Trials, Seed: pt.Seed, Workers: trialWorkers}
-	procOpts := []core.Option{core.WithBranching(pt.Branching), core.WithMaxRounds(pt.MaxRounds)}
-
-	switch pt.Process {
-	case ProcCobra:
-		// Validate construction once so the per-worker factory cannot fail.
-		if _, err := core.NewCobra(g, procOpts...); err != nil {
-			return pointAcc{}, err
-		}
-		return sim.ReduceWithState(ctx, spec, pointReducer(),
-			func() *core.Cobra {
-				c, err := core.NewCobra(g, procOpts...)
-				if err != nil {
-					panic(err) // unreachable: validated above
-				}
-				return c
-			},
-			func(c *core.Cobra, _ int, r *rng.Rand) (trialOut, error) {
-				out, err := c.Run(0, r)
-				if err != nil {
-					return trialOut{}, err
-				}
-				if !out.Covered {
-					return trialOut{}, fmt.Errorf("cover run hit round cap %d on %s", pt.MaxRounds, g.Name())
-				}
-				return trialOut{rounds: float64(out.CoverTime), transmissions: float64(out.Transmissions)}, nil
-			})
-	case ProcBIPS:
-		if _, err := core.NewBIPS(g, procOpts...); err != nil {
-			return pointAcc{}, err
-		}
-		return sim.ReduceWithState(ctx, spec, pointReducer(),
-			func() *core.BIPS {
-				b, err := core.NewBIPS(g, procOpts...)
-				if err != nil {
-					panic(err) // unreachable: validated above
-				}
-				return b
-			},
-			func(b *core.BIPS, _ int, r *rng.Rand) (trialOut, error) {
-				out, err := b.Run(0, r)
-				if err != nil {
-					return trialOut{}, err
-				}
-				if !out.Infected {
-					return trialOut{}, fmt.Errorf("infection run hit round cap %d on %s", pt.MaxRounds, g.Name())
-				}
-				return trialOut{rounds: float64(out.InfectionTime), transmissions: float64(out.Transmissions)}, nil
-			})
-	default:
-		var run func(*graph.Graph, int32, baseline.Config, *rng.Rand) (baseline.Result, error)
-		switch pt.Process {
-		case ProcPush:
-			run = baseline.Push
-		case ProcPushPull:
-			run = baseline.PushPull
-		case ProcFlood:
-			run = baseline.Flood
-		default:
-			return pointAcc{}, fmt.Errorf("sweep: unknown process %q", pt.Process)
-		}
-		cfg := baseline.Config{MaxRounds: pt.MaxRounds}
-		return sim.Reduce(ctx, spec, pointReducer(),
-			func(_ int, r *rng.Rand) (trialOut, error) {
-				out, err := run(g, 0, cfg, r)
-				if err != nil {
-					return trialOut{}, err
-				}
-				if !out.Covered {
-					return trialOut{}, fmt.Errorf("%s run hit round cap %d on %s", pt.Process, pt.MaxRounds, g.Name())
-				}
-				return trialOut{rounds: float64(out.Rounds), transmissions: float64(out.Transmissions)}, nil
-			})
+	info, err := process.Lookup(pt.Process)
+	if err != nil {
+		return pointAcc{}, err
 	}
+	cfg := process.Config{Branching: pt.Branching}
+	// Validate construction once so the per-worker factory cannot fail.
+	if _, err := info.New(g, cfg); err != nil {
+		return pointAcc{}, err
+	}
+	spec := sim.Spec{Trials: pt.Trials, Seed: pt.Seed, Workers: trialWorkers}
+	start := []int32{0} // hoisted so the per-trial Run call allocates nothing
+	return sim.ReduceWithState(ctx, spec, pointReducer(),
+		func() process.Process {
+			p, err := info.New(g, cfg)
+			if err != nil {
+				panic(err) // unreachable: validated above
+			}
+			return p
+		},
+		func(p process.Process, _ int, r *rng.Rand) (trialOut, error) {
+			out, err := process.Run(p, r, pt.MaxRounds, start...)
+			if err != nil {
+				return trialOut{}, err
+			}
+			if !out.Done {
+				return trialOut{}, fmt.Errorf("%s run hit round cap %d on %s", pt.Process, pt.MaxRounds, g.Name())
+			}
+			return trialOut{rounds: float64(out.Rounds), transmissions: float64(out.Transmissions)}, nil
+		})
 }

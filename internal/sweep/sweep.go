@@ -20,35 +20,30 @@ import (
 	"strings"
 
 	"cobrawalk/internal/core"
+	"cobrawalk/internal/process"
 )
 
-// Process names accepted by Spec.Processes.
+// Process names accepted by Spec.Processes, aliased from the process
+// registry — internal/process is the single source of truth; adding a
+// process there makes it sweepable with no change here.
 const (
-	ProcCobra    = "cobra"     // COBRA cover runs; Rounds = cover time
-	ProcBIPS     = "bips"      // BIPS infection runs; Rounds = infection time
-	ProcPush     = "push"      // push rumour spreading; Rounds = rounds to inform all
-	ProcPushPull = "push-pull" // push-pull rumour spreading
-	ProcFlood    = "flood"     // flooding (deterministic)
+	ProcCobra    = process.Cobra    // COBRA cover runs; Rounds = cover time
+	ProcBIPS     = process.BIPS     // BIPS infection runs; Rounds = infection time
+	ProcPush     = process.Push     // push rumour spreading; Rounds = rounds to inform all
+	ProcPushPull = process.PushPull // push-pull rumour spreading
+	ProcFlood    = process.Flood    // flooding (deterministic)
+	ProcKWalk    = process.KWalk    // k independent random walks; Branching.K = walker count
 )
 
-// Processes returns the supported process names in canonical order.
-func Processes() []string {
-	return []string{ProcCobra, ProcBIPS, ProcPush, ProcPushPull, ProcFlood}
-}
-
-func validProcess(name string) bool {
-	for _, p := range Processes() {
-		if p == name {
-			return true
-		}
-	}
-	return false
-}
+// Processes returns the registered process names in canonical order,
+// delegating to the internal/process registry.
+func Processes() []string { return process.Names() }
 
 // processBranched reports whether the process has a branching factor —
 // the Branchings axis collapses to a single point for those that do not.
 func processBranched(name string) bool {
-	return name == ProcCobra || name == ProcBIPS
+	info, err := process.Lookup(name)
+	return err == nil && info.Branched
 }
 
 // DefaultMaxRounds caps point runs that do not set Spec.MaxRounds.
@@ -131,9 +126,17 @@ func (s Spec) validate() error {
 		}
 	}
 	for _, p := range s.Processes {
-		if !validProcess(p) {
+		info, err := process.Lookup(p)
+		if err != nil {
 			return fmt.Errorf("sweep: unknown process %q (want one of %s)",
 				p, strings.Join(Processes(), ", "))
+		}
+		if info.Branched && !info.AcceptsRho {
+			for _, b := range s.Branchings {
+				if b.Rho != 0 {
+					return fmt.Errorf("sweep: process %q does not accept fractional branching (Rho = %v)", p, b.Rho)
+				}
+			}
 		}
 	}
 	for _, b := range s.Branchings {

@@ -10,6 +10,7 @@ import (
 	"testing"
 
 	"cobrawalk/internal/core"
+	"cobrawalk/internal/process"
 )
 
 // testSpec is a small grid that still exercises collapsed axes: a
@@ -96,6 +97,7 @@ func TestSpecValidation(t *testing.T) {
 		{"no sizes", func(s *Spec) { s.Sizes = nil }, "size"},
 		{"tiny size", func(s *Spec) { s.Sizes = []int{1} }, "size"},
 		{"unknown process", func(s *Spec) { s.Processes = []string{"gossip"} }, "unknown process"},
+		{"kwalk with rho", func(s *Spec) { s.Processes = []string{ProcKWalk} }, "fractional"},
 		{"bad K", func(s *Spec) { s.Branchings = []core.Branching{{K: 0}} }, "K"},
 		{"bad rho", func(s *Spec) { s.Branchings = []core.Branching{{K: 1, Rho: 1.5}} }, "Rho"},
 		{"no trials", func(s *Spec) { s.Trials = 0 }, "trials"},
@@ -194,6 +196,84 @@ func TestRunWorkerCountIndependence(t *testing.T) {
 	}
 	if reportJSON(t, base) != reportJSON(t, parallel) {
 		t.Fatal("report depends on worker counts")
+	}
+}
+
+// TestProcessesDelegateToRegistry pins the single-source-of-truth
+// contract: the sweep's process list is the process registry's, so a
+// process added there is sweepable with no change in this package.
+func TestProcessesDelegateToRegistry(t *testing.T) {
+	if got := Processes(); !reflect.DeepEqual(got, process.Names()) {
+		t.Fatalf("Processes() = %v, registry has %v", got, process.Names())
+	}
+	want := []string{ProcCobra, ProcBIPS, ProcPush, ProcPushPull, ProcFlood, ProcKWalk}
+	if got := Processes(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("canonical order = %v, want %v", got, want)
+	}
+}
+
+// TestAllProcessesWorkerIndependence runs every registered process
+// through the sweep engine and pins that the report is byte-identical
+// across worker counts — the determinism contract extended to the whole
+// process registry.
+func TestAllProcessesWorkerIndependence(t *testing.T) {
+	spec := Spec{
+		Name:       "all-procs",
+		Families:   []string{"rand-reg"},
+		Sizes:      []int{24},
+		Degrees:    []int{3},
+		Processes:  Processes(),
+		Branchings: []core.Branching{{K: 2}},
+		Trials:     5,
+		Seed:       13,
+		MaxRounds:  1 << 14,
+	}
+	base, err := Run(context.Background(), spec, Options{PointWorkers: 1, TrialWorkers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(base.Results) != len(Processes()) {
+		t.Fatalf("got %d results, want one per process (%d)", len(base.Results), len(Processes()))
+	}
+	for _, res := range base.Results {
+		if res.Rounds.N != 5 || res.Rounds.Mean <= 0 || res.Transmissions.Mean <= 0 {
+			t.Fatalf("point %s: degenerate digests %+v", res.ID, res.Rounds)
+		}
+	}
+	parallel, err := Run(context.Background(), spec, Options{PointWorkers: 3, TrialWorkers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reportJSON(t, base) != reportJSON(t, parallel) {
+		t.Fatal("report depends on worker counts")
+	}
+}
+
+// TestKWalkSweepable pins the satellite: kwalk arrives through the
+// registry path with the branching axis as its walker count, and more
+// walkers cover no slower.
+func TestKWalkSweepable(t *testing.T) {
+	spec := Spec{
+		Families:   []string{"cycle"},
+		Sizes:      []int{24},
+		Processes:  []string{ProcKWalk},
+		Branchings: []core.Branching{{K: 1}, {K: 8}},
+		Trials:     10,
+		Seed:       9,
+	}
+	rep, err := Run(context.Background(), spec, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Results) != 2 {
+		t.Fatalf("got %d results, want 2", len(rep.Results))
+	}
+	if rep.Results[0].ID != "kwalk-cycle-n24-k1" || rep.Results[1].ID != "kwalk-cycle-n24-k8" {
+		t.Fatalf("unexpected point IDs %s, %s", rep.Results[0].ID, rep.Results[1].ID)
+	}
+	one, eight := rep.Results[0].Rounds.Mean, rep.Results[1].Rounds.Mean
+	if eight > one {
+		t.Fatalf("8 walkers (%.1f rounds) slower than 1 (%.1f)", eight, one)
 	}
 }
 
