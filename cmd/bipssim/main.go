@@ -22,6 +22,7 @@ import (
 	"math"
 	"os"
 
+	"cobrawalk/internal/buildinfo"
 	"cobrawalk/internal/cli"
 	"cobrawalk/internal/core"
 	"cobrawalk/internal/process"
@@ -71,9 +72,14 @@ func run(args []string, w io.Writer) error {
 		maxRounds = fs.Int("max-rounds", 1<<20, "per-run round cap")
 		fast      = fs.Bool("fast", false, "use the closed-form Bernoulli sampling path")
 		jsonOut   = fs.Bool("json", false, "emit one machine-readable JSON object")
+		version   = fs.Bool("version", false, "print build info and exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *version {
+		fmt.Fprintln(w, buildinfo.Read())
+		return nil
 	}
 
 	g, err := cli.BuildGraph(*graphSpec, rng.NewStream(*seed, 0xb))

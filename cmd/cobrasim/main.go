@@ -22,6 +22,7 @@ import (
 	"math"
 	"os"
 
+	"cobrawalk/internal/buildinfo"
 	"cobrawalk/internal/cli"
 	"cobrawalk/internal/core"
 	"cobrawalk/internal/process"
@@ -70,9 +71,14 @@ func run(args []string, w io.Writer) error {
 		hist      = fs.Bool("hist", false, "print a cover-time histogram")
 		noSpec    = fs.Bool("no-spectral", false, "skip the λ measurement (large graphs)")
 		jsonOut   = fs.Bool("json", false, "emit one machine-readable JSON object")
+		version   = fs.Bool("version", false, "print build info and exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *version {
+		fmt.Fprintln(w, buildinfo.Read())
+		return nil
 	}
 
 	g, err := cli.BuildGraph(*graphSpec, rng.NewStream(*seed, 0x9))

@@ -1,0 +1,119 @@
+// Command cobrawalkd is the long-running simulation service: an HTTP
+// daemon that accepts declarative sweep specs as jobs, runs them
+// asynchronously through the sweep engine on a bounded scheduler, and
+// persists every job under a data directory so a restarted daemon
+// resumes in-flight work byte-identically. All jobs share one graph
+// cache, so repeated topologies skip graph construction.
+//
+// The API lives under /v1 (see internal/server.NewHandler):
+//
+//	POST   /v1/jobs               submit a spec (cmd/sweep -spec format)
+//	GET    /v1/jobs               list jobs
+//	GET    /v1/jobs/{id}          job status + progress
+//	DELETE /v1/jobs/{id}          cancel
+//	GET    /v1/jobs/{id}/results  results.ndjson once done
+//	GET    /v1/processes          process registry
+//	GET    /v1/families           graph family registry
+//	GET    /v1/healthz            liveness, job counts, cache counters
+//	GET    /v1/version            build identity
+//
+// Usage:
+//
+//	cobrawalkd -data runs/daemon
+//	cobrawalkd -data runs/daemon -addr 127.0.0.1:8321 -max-jobs 4
+//	curl -s -X POST -d @sweep.json localhost:8321/v1/jobs
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"cobrawalk/internal/buildinfo"
+	"cobrawalk/internal/server"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "cobrawalkd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out, errw io.Writer) error {
+	fs := flag.NewFlagSet("cobrawalkd", flag.ContinueOnError)
+	fs.SetOutput(errw)
+	var (
+		addr     = fs.String("addr", "127.0.0.1:8321", "listen address")
+		data     = fs.String("data", "", "data directory for jobs and artifacts (required)")
+		maxJobs  = fs.Int("max-jobs", 2, "jobs running concurrently")
+		pointWrk = fs.Int("point-workers", 1, "points run concurrently within a job")
+		workers  = fs.Int("workers", 0, "trial worker goroutines per point (0 = GOMAXPROCS)")
+		cacheCap = fs.Int("graph-cache", 0, "graph cache vertex budget (0 = default)")
+		quiet    = fs.Bool("quiet", false, "suppress job lifecycle logs on stderr")
+		version  = fs.Bool("version", false, "print build info and exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *version {
+		fmt.Fprintln(out, buildinfo.Read())
+		return nil
+	}
+	if *data == "" {
+		return errors.New("-data is required (job state persists there across restarts)")
+	}
+
+	logf := func(format string, a ...any) { fmt.Fprintf(errw, "cobrawalkd: "+format+"\n", a...) }
+	cfg := server.Config{
+		Dir:           *data,
+		MaxConcurrent: *maxJobs,
+		PointWorkers:  *pointWrk,
+		TrialWorkers:  *workers,
+		CacheBudget:   *cacheCap,
+		Logf:          logf,
+	}
+	if *quiet {
+		cfg.Logf = nil
+		logf = func(string, ...any) {}
+	}
+	m, err := server.NewManager(cfg)
+	if err != nil {
+		return err
+	}
+	defer m.Close()
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	srv := &http.Server{Handler: server.NewHandler(m)}
+	logf("%s", buildinfo.Read())
+	logf("listening on http://%s (data %s, %d job slots)", ln.Addr(), *data, *maxJobs)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+		// Graceful stop: close the listener, cancel in-flight jobs (their
+		// persisted queued/running states stay resumable) and exit.
+		logf("shutting down; unfinished jobs resume on next start")
+		shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		srv.Shutdown(shutCtx)
+		return nil
+	}
+}

@@ -20,6 +20,7 @@ import (
 	"os/signal"
 	"strings"
 
+	"cobrawalk/internal/buildinfo"
 	"cobrawalk/internal/expt"
 )
 
@@ -40,9 +41,14 @@ func run(args []string, w io.Writer) error {
 		workers = fs.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
 		format  = fs.String("format", "text", "table output: text | csv | json")
 		jsonOut = fs.Bool("json", false, "shorthand for -format json")
+		version = fs.Bool("version", false, "print build info and exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *version {
+		fmt.Fprintln(w, buildinfo.Read())
+		return nil
 	}
 
 	if *list {

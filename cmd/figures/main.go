@@ -22,6 +22,7 @@ import (
 	"os"
 	"path/filepath"
 
+	"cobrawalk/internal/buildinfo"
 	"cobrawalk/internal/core"
 	"cobrawalk/internal/graph"
 	"cobrawalk/internal/plot"
@@ -40,12 +41,17 @@ func main() {
 func run(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("figures", flag.ContinueOnError)
 	var (
-		outDir = fs.String("out", ".", "output directory for SVG files")
-		scale  = fs.String("scale", "quick", "smoke | quick (sizes and trials)")
-		seed   = fs.Uint64("seed", 7, "master RNG seed")
+		outDir  = fs.String("out", ".", "output directory for SVG files")
+		scale   = fs.String("scale", "quick", "smoke | quick (sizes and trials)")
+		seed    = fs.Uint64("seed", 7, "master RNG seed")
+		version = fs.Bool("version", false, "print build info and exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *version {
+		fmt.Fprintln(w, buildinfo.Read())
+		return nil
 	}
 	quick := *scale != "smoke"
 	if err := os.MkdirAll(*outDir, 0o755); err != nil {

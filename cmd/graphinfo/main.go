@@ -16,6 +16,7 @@ import (
 	"io"
 	"os"
 
+	"cobrawalk/internal/buildinfo"
 	"cobrawalk/internal/cli"
 	"cobrawalk/internal/graph"
 	"cobrawalk/internal/rng"
@@ -36,9 +37,14 @@ func run(args []string, w io.Writer) error {
 		seed      = fs.Uint64("seed", 1, "seed for random families")
 		spectrum  = fs.Bool("spectrum", false, "print the full spectrum (dense solver, small graphs)")
 		writePath = fs.String("write", "", "write the graph in edge-list format to this file")
+		version   = fs.Bool("version", false, "print build info and exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *version {
+		fmt.Fprintln(w, buildinfo.Read())
+		return nil
 	}
 
 	g, err := cli.BuildGraph(*graphSpec, rng.NewStream(*seed, 0x61))

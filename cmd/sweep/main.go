@@ -34,8 +34,10 @@ import (
 	"strconv"
 	"strings"
 
+	"cobrawalk/internal/buildinfo"
 	"cobrawalk/internal/cli"
 	"cobrawalk/internal/expt"
+	"cobrawalk/internal/graphcache"
 	"cobrawalk/internal/process"
 	"cobrawalk/internal/sweep"
 )
@@ -67,15 +69,21 @@ func run(args []string, out, errw io.Writer) error {
 		resume   = fs.Bool("resume", false, "skip points whose records already exist in -out")
 		workers  = fs.Int("workers", 0, "trial worker goroutines per point (0 = GOMAXPROCS)")
 		pointWrk = fs.Int("point-workers", 1, "points run concurrently")
+		cacheCap = fs.Int("graph-cache", 0, "graph cache vertex budget (0 = default, negative = disable)")
 
 		format     = fs.String("format", "text", "summary output: text | csv | json")
 		quiet      = fs.Bool("quiet", false, "suppress per-point progress on stderr")
 		listPoints = fs.Bool("list-points", false, "print the expanded point list and exit")
 		listFams   = fs.Bool("list-families", false, "print the family registry and exit")
 		listProcs  = fs.Bool("list-processes", false, "print the process registry and exit")
+		version    = fs.Bool("version", false, "print build info and exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *version {
+		fmt.Fprintln(out, buildinfo.Read())
+		return nil
 	}
 
 	if *listFams {
@@ -167,6 +175,11 @@ func run(args []string, out, errw io.Writer) error {
 		PointWorkers: *pointWrk,
 		TrialWorkers: *workers,
 	}
+	if *cacheCap >= 0 {
+		// Points sharing a topology share a GraphSeed, so the cache
+		// serves one build to the whole process × branching fan-out.
+		opts.GraphCache = graphcache.New(*cacheCap)
+	}
 	if !*quiet {
 		done := 0
 		opts.PointDone = func(res sweep.Result, resumed bool) {
@@ -207,6 +220,11 @@ func run(args []string, out, errw io.Writer) error {
 	}
 	if rep.Resumed > 0 {
 		tbl.AddNote("resumed: %d of %d points loaded from %s", rep.Resumed, len(rep.Results), *outDir)
+	}
+	if opts.GraphCache != nil {
+		if st := opts.GraphCache.Stats(); st.Hits > 0 {
+			tbl.AddNote("graph cache: %d built, %d reused", st.Misses, st.Hits)
+		}
 	}
 	return tbl.Emit(out, expt.Params{Format: fm})
 }

@@ -130,3 +130,33 @@ func TestSpecFileAndResume(t *testing.T) {
 		t.Fatal("unknown spec field should fail")
 	}
 }
+
+func TestVersionFlag(t *testing.T) {
+	out, err := runQuiet(t, "-version")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "cobrawalk") || !strings.Contains(out, "go1") {
+		t.Fatalf("-version output %q, want module and toolchain", out)
+	}
+}
+
+// TestGraphCacheNote: a multi-process sweep on one topology reports the
+// cache reuse, and -graph-cache -1 disables the cache (no note).
+func TestGraphCacheNote(t *testing.T) {
+	args := []string{"-families", "complete", "-sizes", "16", "-processes", "cobra,push,flood", "-trials", "2"}
+	out, err := runQuiet(t, args...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "graph cache: 1 built, 2 reused") {
+		t.Fatalf("summary missing cache note:\n%s", out)
+	}
+	out, err = runQuiet(t, append(args, "-graph-cache", "-1")...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(out, "graph cache") {
+		t.Fatalf("disabled cache still reported:\n%s", out)
+	}
+}

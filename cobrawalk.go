@@ -4,8 +4,10 @@ import (
 	"context"
 
 	"cobrawalk/internal/baseline"
+	"cobrawalk/internal/buildinfo"
 	"cobrawalk/internal/core"
 	"cobrawalk/internal/graph"
+	"cobrawalk/internal/graphcache"
 	"cobrawalk/internal/process"
 	"cobrawalk/internal/rng"
 	"cobrawalk/internal/spectral"
@@ -307,3 +309,34 @@ var (
 	// by cmd/sweep's -branchings flag.
 	ParseBranchings = sweep.ParseBranchings
 )
+
+// Graph caching: a GraphCache shares built graphs across sweep points,
+// jobs and whole runs (LRU by a vertex-count budget, single-flighted
+// builds). Hand one to SweepOptions.GraphCache — points that share a
+// topology also share a GraphSeed, so one build serves the whole
+// process × branching fan-out. The cobrawalkd daemon keeps one cache
+// across every job it serves.
+type (
+	// GraphCache is a concurrency-safe LRU cache of built graphs.
+	GraphCache = graphcache.Cache
+	// GraphCacheKey identifies one buildable graph: topology axes + seed.
+	GraphCacheKey = graphcache.Key
+	// GraphCacheStats is a snapshot of hit/miss/eviction counters.
+	GraphCacheStats = graphcache.Stats
+)
+
+// NewGraphCache returns an empty graph cache holding at most
+// budgetVertices total vertices (<= 0 means the default budget).
+var NewGraphCache = graphcache.New
+
+// BuildInfo is the build identity of the running binary (module,
+// version, VCS revision, toolchain), as served on the daemon's
+// /v1/version and printed by every command's -version flag.
+type BuildInfo = buildinfo.Info
+
+// ReadBuildInfo reports the build identity of the running binary.
+var ReadBuildInfo = buildinfo.Read
+
+// RunProcessContext drives a Process like RunProcess but aborts
+// mid-trial, promptly, when ctx is cancelled.
+var RunProcessContext = process.RunContext

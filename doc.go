@@ -39,7 +39,11 @@
 //     a grid over family × size × degree × process × branching, RunSweep
 //     executes its deterministic points across a worker pool, and
 //     artifact directories make interrupted sweeps resume byte-identically
-//     (see also cmd/sweep).
+//     (see also cmd/sweep);
+//   - a concurrency-safe graph cache (GraphCache): LRU by vertex budget
+//     with single-flighted builds, shared across sweep points and — in
+//     the cobrawalkd daemon — across jobs, so repeated topologies skip
+//     graph construction without affecting a single result byte.
 //
 // # Quick start
 //
@@ -50,10 +54,11 @@
 //	proc, err := cobrawalk.NewCobra(g)      // k = 2 by default
 //	res, err := proc.Run(0, r)              // res.CoverTime, res.Transmissions
 //
-// The runnable programs under cmd/ (cobrasim, bipssim, graphinfo,
-// experiments, figures) and the examples/ directory exercise this API end
-// to end; the experiment suite E1-E15 reproduces every quantitative claim
-// in the paper. README.md covers installation and the command-line tools,
-// DESIGN.md the architecture, and EXPERIMENTS.md the per-experiment
-// tables and the paper claim each one reproduces.
+// The runnable programs under cmd/ (cobrasim, bipssim, sweep, graphinfo,
+// experiments, figures, and the cobrawalkd HTTP simulation service) and
+// the examples/ directory exercise this API end to end; the experiment
+// suite E1-E15 reproduces every quantitative claim in the paper.
+// README.md covers installation and the command-line tools, DESIGN.md
+// the architecture (§10 for the service layer), and EXPERIMENTS.md the
+// per-experiment tables and the paper claim each one reproduces.
 package cobrawalk

@@ -1,0 +1,70 @@
+// Package buildinfo reports what binary is running: module version, VCS
+// revision and toolchain, read from the build metadata the go toolchain
+// embeds (runtime/debug.ReadBuildInfo). Every cmd/* binary exposes it
+// via -version and the daemon serves it on /v1/version, so a deployed
+// fleet can always be asked exactly what code produced a result.
+package buildinfo
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+)
+
+// Info is the build identity of the running binary. Fields degrade to
+// "unknown"/empty when the binary was built without module or VCS
+// metadata (e.g. go test binaries), never to an error.
+type Info struct {
+	// Module is the main module path ("cobrawalk").
+	Module string `json:"module"`
+	// Version is the module version, "(devel)" for source builds.
+	Version string `json:"version"`
+	// Revision is the VCS commit hash, when embedded.
+	Revision string `json:"revision,omitempty"`
+	// Dirty reports uncommitted changes at build time.
+	Dirty bool `json:"dirty,omitempty"`
+	// GoVersion is the toolchain that built the binary.
+	GoVersion string `json:"go_version"`
+}
+
+// Read extracts the build identity from the embedded build metadata.
+func Read() Info {
+	info := Info{Module: "cobrawalk", Version: "unknown", GoVersion: runtime.Version()}
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return info
+	}
+	if bi.Main.Path != "" {
+		info.Module = bi.Main.Path
+	}
+	if bi.Main.Version != "" {
+		info.Version = bi.Main.Version
+	}
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			info.Revision = s.Value
+		case "vcs.modified":
+			info.Dirty = s.Value == "true"
+		}
+	}
+	return info
+}
+
+// String renders the one-line form the -version flags print:
+// "cobrawalk (devel) go1.24.0" plus " rev abcdef123456 (dirty)" when a
+// VCS revision is embedded.
+func (i Info) String() string {
+	s := fmt.Sprintf("%s %s %s", i.Module, i.Version, i.GoVersion)
+	if i.Revision != "" {
+		rev := i.Revision
+		if len(rev) > 12 {
+			rev = rev[:12]
+		}
+		s += " rev " + rev
+		if i.Dirty {
+			s += " (dirty)"
+		}
+	}
+	return s
+}

@@ -1,0 +1,33 @@
+package buildinfo
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestReadNeverFails(t *testing.T) {
+	info := Read()
+	if info.Module == "" || info.Version == "" || info.GoVersion == "" {
+		t.Fatalf("Read() = %+v, want every core field populated", info)
+	}
+	// In a test binary the main module is this module.
+	if info.Module != "cobrawalk" {
+		t.Fatalf("module = %q, want cobrawalk", info.Module)
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	i := Info{Module: "cobrawalk", Version: "(devel)", GoVersion: "go1.24.0"}
+	if got := i.String(); got != "cobrawalk (devel) go1.24.0" {
+		t.Fatalf("String() = %q", got)
+	}
+	i.Revision = "0123456789abcdef0123"
+	i.Dirty = true
+	got := i.String()
+	if !strings.Contains(got, "rev 0123456789ab") || !strings.Contains(got, "(dirty)") {
+		t.Fatalf("String() = %q, want truncated revision and dirty marker", got)
+	}
+	if strings.Contains(got, "0123456789abc") {
+		t.Fatalf("String() = %q, revision not truncated to 12 chars", got)
+	}
+}

@@ -1,0 +1,196 @@
+// Package graphcache is a concurrency-safe cache of built graphs, shared
+// across sweep points, jobs and server restarts of the serving layer.
+// Graph construction dominates the cost of small-ensemble points (a
+// random-regular graph build is O(n·d) with retries; the spectral λ
+// measurement on top of it is O(n·d·iters)), so a long-running daemon
+// that sees many sweeps over the same topologies amortises that cost by
+// keying each built graph on exactly the inputs that determine it:
+// family, size, degree and the graph seed.
+//
+// The cache is LRU by a vertex-count budget rather than an entry count:
+// one 2^20-vertex expander should displace many 2^10 toys. Concurrent
+// requests for the same key are single-flighted — one goroutine builds,
+// the rest wait for the result — which is the common shape when a sweep
+// fans one topology out across process × branching points.
+//
+// Graphs are immutable after construction (CSR form, see internal/graph),
+// so a cached *graph.Graph is safely shared by any number of concurrent
+// readers, and an entry evicted while still in use stays valid for the
+// holders — eviction only drops the cache's reference.
+package graphcache
+
+import (
+	"container/list"
+	"fmt"
+	"sync"
+
+	"cobrawalk/internal/graph"
+)
+
+// Key identifies one buildable graph: the topology axes of a sweep point
+// plus the seed its generator draws from. Two points with equal Keys are
+// guaranteed the same graph, so sharing the built value never changes a
+// result (the determinism contract of DESIGN.md §7).
+type Key struct {
+	Family string `json:"family"`
+	Size   int    `json:"size"`
+	Degree int    `json:"degree,omitempty"`
+	Seed   uint64 `json:"seed"`
+}
+
+func (k Key) String() string {
+	s := fmt.Sprintf("%s-n%d", k.Family, k.Size)
+	if k.Degree > 0 {
+		s += fmt.Sprintf("-d%d", k.Degree)
+	}
+	return fmt.Sprintf("%s-s%d", s, k.Seed)
+}
+
+// Stats is a point-in-time snapshot of the cache counters, surfaced on
+// the daemon's /v1/healthz and in cmd/sweep's summary notes.
+type Stats struct {
+	// Hits counts GetOrBuild calls served without running build —
+	// including waiters that joined an in-flight build.
+	Hits uint64 `json:"hits"`
+	// Misses counts GetOrBuild calls that started a build.
+	Misses uint64 `json:"misses"`
+	// Evictions counts entries dropped to fit the vertex budget.
+	Evictions uint64 `json:"evictions"`
+	// Entries and Vertices describe current residency.
+	Entries  int `json:"entries"`
+	Vertices int `json:"vertices"`
+	// Budget is the configured vertex-count capacity.
+	Budget int `json:"budget"`
+}
+
+// DefaultBudget is the vertex budget used when New is given a
+// non-positive one: 2^22 vertices ≈ a few hundred MB of CSR adjacency at
+// the degrees the sweeps use.
+const DefaultBudget = 1 << 22
+
+// Cache is a single-flighted LRU graph cache. The zero value is not
+// usable; construct with New. All methods are safe for concurrent use.
+type Cache struct {
+	mu      sync.Mutex
+	budget  int
+	entries map[Key]*entry
+	lru     *list.List // resident entries, front = most recently used
+
+	hits, misses, evictions uint64
+	vertices                int
+}
+
+// entry is one cache slot. ready is closed once the build finished (g or
+// err set); elem is non-nil only while the entry is resident in the LRU —
+// in-flight builds are in entries but not in lru, so they can be joined
+// but never evicted.
+type entry struct {
+	key   Key
+	ready chan struct{}
+	g     *graph.Graph
+	err   error
+	elem  *list.Element
+}
+
+// New returns an empty cache holding at most budgetVertices total
+// vertices (<= 0 means DefaultBudget). The budget is soft by exactly one
+// entry: the most recently built graph is always retained, even when it
+// alone exceeds the budget, so a working set of one never thrashes.
+func New(budgetVertices int) *Cache {
+	if budgetVertices <= 0 {
+		budgetVertices = DefaultBudget
+	}
+	return &Cache{
+		budget:  budgetVertices,
+		entries: make(map[Key]*entry),
+		lru:     list.New(),
+	}
+}
+
+// GetOrBuild returns the graph for key, building it with build on a
+// miss. Concurrent calls for the same key share one build: the first
+// caller runs build, the others block until it finishes and receive the
+// same graph (or the same error). Errors are not cached — the next call
+// for the key retries the build.
+func (c *Cache) GetOrBuild(key Key, build func() (*graph.Graph, error)) (*graph.Graph, error) {
+	c.mu.Lock()
+	if e, ok := c.entries[key]; ok {
+		c.hits++
+		c.mu.Unlock()
+		<-e.ready
+		if e.err != nil {
+			return nil, e.err
+		}
+		c.touch(e)
+		return e.g, nil
+	}
+	e := &entry{key: key, ready: make(chan struct{})}
+	c.entries[key] = e
+	c.misses++
+	c.mu.Unlock()
+
+	g, err := build()
+
+	c.mu.Lock()
+	if err != nil {
+		e.err = fmt.Errorf("graphcache: building %s: %w", key, err)
+		delete(c.entries, key) // do not cache failures
+	} else {
+		e.g = g
+		e.elem = c.lru.PushFront(e)
+		c.vertices += g.N()
+		c.evictLocked()
+	}
+	c.mu.Unlock()
+	close(e.ready) // publishes e.g / e.err to waiters
+	if e.err != nil {
+		return nil, e.err
+	}
+	return g, nil
+}
+
+// touch moves a resident entry to the LRU front. The entry may have been
+// evicted while the caller waited on ready; its graph stays valid, only
+// the recency bump is skipped.
+func (c *Cache) touch(e *entry) {
+	c.mu.Lock()
+	if e.elem != nil {
+		c.lru.MoveToFront(e.elem)
+	}
+	c.mu.Unlock()
+}
+
+// evictLocked drops least-recently-used entries until the vertex budget
+// holds, always keeping at least the freshest entry. Callers hold c.mu.
+func (c *Cache) evictLocked() {
+	for c.vertices > c.budget && c.lru.Len() > 1 {
+		back := c.lru.Back()
+		e := back.Value.(*entry)
+		c.lru.Remove(back)
+		e.elem = nil
+		delete(c.entries, e.key)
+		c.vertices -= e.g.N()
+		c.evictions++
+	}
+}
+
+// Len returns the number of resident graphs.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lru.Len()
+}
+
+// Stats returns a snapshot of the cache counters.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return Stats{
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Evictions: c.evictions,
+		Entries:   c.lru.Len(),
+		Vertices:  c.vertices,
+		Budget:    c.budget,
+	}
+}

@@ -1,0 +1,215 @@
+package graphcache
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"cobrawalk/internal/graph"
+)
+
+func completeBuilder(n int, builds *atomic.Int64) func() (*graph.Graph, error) {
+	return func() (*graph.Graph, error) {
+		if builds != nil {
+			builds.Add(1)
+		}
+		return graph.Complete(n)
+	}
+}
+
+func TestHitMissAccounting(t *testing.T) {
+	c := New(1 << 20)
+	var builds atomic.Int64
+	key := Key{Family: "complete", Size: 16, Seed: 7}
+
+	g1, err := c.GetOrBuild(key, completeBuilder(16, &builds))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := c.GetOrBuild(key, completeBuilder(16, &builds))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g1 != g2 {
+		t.Fatal("second get did not return the cached graph")
+	}
+	if builds.Load() != 1 {
+		t.Fatalf("build ran %d times, want 1", builds.Load())
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Evictions != 0 {
+		t.Fatalf("stats = %+v, want 1 hit / 1 miss / 0 evictions", st)
+	}
+	if st.Entries != 1 || st.Vertices != 16 || st.Budget != 1<<20 {
+		t.Fatalf("residency = %+v, want 1 entry of 16 vertices", st)
+	}
+
+	// A different seed is a different graph, even on the same topology.
+	other := key
+	other.Seed = 8
+	if _, err := c.GetOrBuild(other, completeBuilder(16, &builds)); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Stats(); got.Misses != 2 || got.Entries != 2 {
+		t.Fatalf("distinct seeds should not share entries: %+v", got)
+	}
+}
+
+func TestEvictionByVertexBudget(t *testing.T) {
+	c := New(100) // fits two 40-vertex graphs, not three
+	for _, n := range []int{40, 41, 42} {
+		if _, err := c.GetOrBuild(Key{Family: "complete", Size: n, Seed: 1},
+			completeBuilder(n, nil)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := c.Stats()
+	if st.Evictions != 1 || st.Entries != 2 || st.Vertices != 41+42 {
+		t.Fatalf("stats = %+v, want the n=40 entry evicted", st)
+	}
+	// The evicted (least recently used) entry is n=40: re-getting it is a
+	// miss, while n=42 is still a hit.
+	var builds atomic.Int64
+	if _, err := c.GetOrBuild(Key{Family: "complete", Size: 42, Seed: 1},
+		completeBuilder(42, &builds)); err != nil {
+		t.Fatal(err)
+	}
+	if builds.Load() != 0 {
+		t.Fatal("n=42 should still be resident")
+	}
+	if _, err := c.GetOrBuild(Key{Family: "complete", Size: 40, Seed: 1},
+		completeBuilder(40, &builds)); err != nil {
+		t.Fatal(err)
+	}
+	if builds.Load() != 1 {
+		t.Fatal("n=40 should have been evicted and rebuilt")
+	}
+}
+
+func TestLRUOrderRespectsUse(t *testing.T) {
+	c := New(100)
+	a := Key{Family: "complete", Size: 40, Seed: 1}
+	b := Key{Family: "complete", Size: 41, Seed: 1}
+	for _, k := range []Key{a, b} {
+		if _, err := c.GetOrBuild(k, completeBuilder(k.Size, nil)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Touch a so b becomes least recently used, then overflow.
+	if _, err := c.GetOrBuild(a, completeBuilder(a.Size, nil)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.GetOrBuild(Key{Family: "complete", Size: 42, Seed: 1},
+		completeBuilder(42, nil)); err != nil {
+		t.Fatal(err)
+	}
+	var builds atomic.Int64
+	if _, err := c.GetOrBuild(a, completeBuilder(a.Size, &builds)); err != nil {
+		t.Fatal(err)
+	}
+	if builds.Load() != 0 {
+		t.Fatal("recently used entry was evicted before the LRU one")
+	}
+	if _, err := c.GetOrBuild(b, completeBuilder(b.Size, &builds)); err != nil {
+		t.Fatal(err)
+	}
+	if builds.Load() != 1 {
+		t.Fatal("least recently used entry should have been the eviction victim")
+	}
+}
+
+// TestOversizedEntryIsRetained pins the soft-budget rule: a graph larger
+// than the whole budget still caches (alone) instead of thrashing.
+func TestOversizedEntryIsRetained(t *testing.T) {
+	c := New(10)
+	var builds atomic.Int64
+	key := Key{Family: "complete", Size: 64, Seed: 1}
+	for i := 0; i < 2; i++ {
+		if _, err := c.GetOrBuild(key, completeBuilder(64, &builds)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if builds.Load() != 1 {
+		t.Fatalf("oversized entry rebuilt %d times, want cached after 1", builds.Load())
+	}
+}
+
+func TestBuildErrorsAreNotCached(t *testing.T) {
+	c := New(0)
+	key := Key{Family: "broken", Size: 8, Seed: 1}
+	boom := errors.New("boom")
+	if _, err := c.GetOrBuild(key, func() (*graph.Graph, error) { return nil, boom }); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want wrapped boom", err)
+	}
+	// The failure is not cached: the next call retries and can succeed.
+	g, err := c.GetOrBuild(key, completeBuilder(8, nil))
+	if err != nil || g == nil {
+		t.Fatalf("retry after failed build: %v", err)
+	}
+	if st := c.Stats(); st.Misses != 2 || st.Entries != 1 {
+		t.Fatalf("stats after retry = %+v, want 2 misses / 1 entry", st)
+	}
+}
+
+// TestSingleFlight hammers one key from many goroutines (run with -race):
+// exactly one build may run, everyone gets the same graph, and the
+// waiters all count as hits.
+func TestSingleFlight(t *testing.T) {
+	c := New(0)
+	key := Key{Family: "complete", Size: 32, Seed: 3}
+	const goroutines = 64
+
+	var builds atomic.Int64
+	release := make(chan struct{})
+	build := func() (*graph.Graph, error) {
+		builds.Add(1)
+		<-release // hold the build open until every goroutine has joined
+		return graph.Complete(32)
+	}
+
+	var (
+		wg      sync.WaitGroup
+		started sync.WaitGroup
+		got     [goroutines]*graph.Graph
+		errs    [goroutines]error
+	)
+	started.Add(goroutines)
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			started.Done()
+			got[i], errs[i] = c.GetOrBuild(key, build)
+		}(i)
+	}
+	started.Wait()
+	close(release)
+	wg.Wait()
+
+	if builds.Load() != 1 {
+		t.Fatalf("%d builds ran, want 1 (single-flight)", builds.Load())
+	}
+	for i := 1; i < goroutines; i++ {
+		if errs[i] != nil {
+			t.Fatal(errs[i])
+		}
+		if got[i] != got[0] {
+			t.Fatal("waiters received different graphs")
+		}
+	}
+	st := c.Stats()
+	if st.Misses != 1 || st.Hits != goroutines-1 {
+		t.Fatalf("stats = %+v, want 1 miss and %d hits", st, goroutines-1)
+	}
+}
+
+func TestKeyString(t *testing.T) {
+	k := Key{Family: "rand-reg", Size: 4096, Degree: 8, Seed: 7}
+	if got, want := k.String(), "rand-reg-n4096-d8-s7"; got != want {
+		t.Fatalf("String() = %q, want %q", got, want)
+	}
+	if got, want := (Key{Family: "complete", Size: 64, Seed: 1}).String(), "complete-n64-s1"; got != want {
+		t.Fatalf("String() = %q, want %q", got, want)
+	}
+}

@@ -13,6 +13,7 @@
 package process
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -124,6 +125,39 @@ func Run(p Process, r *rng.Rand, maxRounds int, starts ...int32) (Result, error)
 		return Result{}, err
 	}
 	for !p.Done() && p.Round() < maxRounds {
+		p.Step(r)
+	}
+	return Result{Rounds: p.Round(), Done: p.Done(), Transmissions: p.Transmissions()}, nil
+}
+
+// cancelCheckInterval bounds how many rounds a driven run executes
+// between context checks in RunContext: slow single trials (a lone
+// random walk on a large cycle runs Θ(n²) cheap rounds) notice a
+// cancellation within this many rounds, while the per-round overhead of
+// ctx.Err() stays off the fast path.
+const cancelCheckInterval = 64
+
+// RunContext is Run with prompt cancellation: it checks ctx every
+// cancelCheckInterval rounds and aborts the run with ctx.Err() mid-trial
+// instead of running to completion. A nil ctx behaves like Run. The
+// returned Result reflects the partial run when the error is non-nil;
+// the process remains usable (Reset discards the partial state).
+func RunContext(ctx context.Context, p Process, r *rng.Rand, maxRounds int, starts ...int32) (Result, error) {
+	if ctx == nil {
+		return Run(p, r, maxRounds, starts...)
+	}
+	if maxRounds <= 0 {
+		maxRounds = DefaultMaxRounds
+	}
+	if err := p.Reset(starts...); err != nil {
+		return Result{}, err
+	}
+	for !p.Done() && p.Round() < maxRounds {
+		if p.Round()%cancelCheckInterval == 0 {
+			if err := ctx.Err(); err != nil {
+				return Result{Rounds: p.Round(), Done: false, Transmissions: p.Transmissions()}, err
+			}
+		}
 		p.Step(r)
 	}
 	return Result{Rounds: p.Round(), Done: p.Done(), Transmissions: p.Transmissions()}, nil

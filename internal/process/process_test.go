@@ -1,6 +1,7 @@
 package process
 
 import (
+	"context"
 	"reflect"
 	"strings"
 	"testing"
@@ -326,5 +327,73 @@ func TestBranchingFlowsThrough(t *testing.T) {
 	p.Step(rng.New(17))
 	if p.Transmissions() != 1 {
 		t.Fatalf("cobra k=1 first round sent %d messages, want 1", p.Transmissions())
+	}
+}
+
+// TestRunContextCancellation pins the prompt-cancellation contract: a
+// context cancelled mid-trial aborts the run within cancelCheckInterval
+// rounds instead of running to completion, a pre-cancelled context never
+// steps, and a nil context behaves exactly like Run.
+func TestRunContextCancellation(t *testing.T) {
+	// A single walker on a large cycle needs Θ(n²) rounds to cover — a
+	// long trial for cancellation to interrupt.
+	g := mk(t)(graph.Cycle(512))
+	p, err := New(KWalk, g, Config{Branching: Branching{K: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	pre, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := RunContext(pre, p, rng.New(1), 0, 0)
+	if err == nil {
+		t.Fatal("pre-cancelled context should abort the run")
+	}
+	if res.Rounds != 0 || res.Done {
+		t.Fatalf("pre-cancelled run reported %+v, want no progress", res)
+	}
+
+	// Cancel from a round observer once the run is under way: the run
+	// must stop within one check interval of the cancellation round.
+	ctx, cancel2 := context.WithCancel(context.Background())
+	defer cancel2()
+	var cancelledAt int
+	obs := func(st RoundStat) {
+		if st.Round == 100 {
+			cancelledAt = st.Round
+			cancel2()
+		}
+	}
+	q, err := New(KWalk, g, Config{Branching: Branching{K: 1}, Observer: obs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err = RunContext(ctx, q, rng.New(2), 0, 0)
+	if err == nil {
+		t.Fatal("cancellation mid-run should surface as an error")
+	}
+	if cancelledAt == 0 {
+		t.Fatal("observer never fired at round 100 — trial too short for the test")
+	}
+	if res.Done {
+		t.Fatal("cancelled run claims completion")
+	}
+	if res.Rounds < cancelledAt || res.Rounds > cancelledAt+cancelCheckInterval {
+		t.Fatalf("run stopped at round %d, want within %d rounds of cancellation at %d",
+			res.Rounds, cancelCheckInterval, cancelledAt)
+	}
+
+	// nil context: identical to Run on the same seed.
+	fresh, err := New(KWalk, g, Config{Branching: Branching{K: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := Run(fresh, rng.New(3), 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := RunContext(nil, fresh, rng.New(3), 0, 0)
+	if err != nil || got != want {
+		t.Fatalf("RunContext(nil) = %+v, %v; Run = %+v", got, err, want)
 	}
 }

@@ -1,0 +1,141 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+
+	"cobrawalk/internal/buildinfo"
+	"cobrawalk/internal/process"
+	"cobrawalk/internal/sweep"
+)
+
+// NewHandler exposes a Manager over HTTP. The API (all JSON):
+//
+//	POST   /v1/jobs              submit a sweep spec (the cmd/sweep -spec
+//	                             format, verbatim) → 202 + job status
+//	GET    /v1/jobs              list jobs in creation order
+//	GET    /v1/jobs/{id}         one job's live status
+//	DELETE /v1/jobs/{id}         request cancellation
+//	GET    /v1/jobs/{id}/results stream results.ndjson once done
+//	GET    /v1/processes         the process registry
+//	GET    /v1/families          the graph family registry
+//	GET    /v1/healthz           liveness + job counts + cache counters
+//	GET    /v1/version           build identity of the binary
+//
+// Errors are {"error": "..."} with a conventional status code: 400 for
+// bad specs, 404 for unknown jobs, 409 for lifecycle conflicts (results
+// before done, cancel after terminal).
+func NewHandler(m *Manager) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		dec := json.NewDecoder(io.LimitReader(r.Body, 1<<20))
+		dec.DisallowUnknownFields()
+		var spec sweep.Spec
+		if err := dec.Decode(&spec); err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("parsing spec: %w", err))
+			return
+		}
+		st, err := m.Submit(spec)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		writeJSON(w, http.StatusAccepted, st)
+	})
+	mux.HandleFunc("GET /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{"jobs": m.List()})
+	})
+	mux.HandleFunc("GET /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		st, ok := m.Get(r.PathValue("id"))
+		if !ok {
+			writeError(w, http.StatusNotFound, fmt.Errorf("no job %s", r.PathValue("id")))
+			return
+		}
+		writeJSON(w, http.StatusOK, st)
+	})
+	mux.HandleFunc("DELETE /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		st, err := m.Cancel(r.PathValue("id"))
+		if err != nil {
+			writeError(w, statusFor(err), err)
+			return
+		}
+		writeJSON(w, http.StatusAccepted, st)
+	})
+	mux.HandleFunc("GET /v1/jobs/{id}/results", func(w http.ResponseWriter, r *http.Request) {
+		path, err := m.ResultsPath(r.PathValue("id"))
+		if err != nil {
+			writeError(w, statusFor(err), err)
+			return
+		}
+		f, err := os.Open(path)
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, fmt.Errorf("opening results: %w", err))
+			return
+		}
+		defer f.Close()
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		io.Copy(w, f)
+	})
+	mux.HandleFunc("GET /v1/processes", func(w http.ResponseWriter, r *http.Request) {
+		type proc struct {
+			Name       string `json:"name"`
+			Branched   bool   `json:"branched"`
+			AcceptsRho bool   `json:"accepts_rho"`
+			Summary    string `json:"summary"`
+		}
+		var out []proc
+		for _, info := range process.All() {
+			out = append(out, proc{info.Name, info.Branched, info.AcceptsRho, info.Summary})
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"processes": out})
+	})
+	mux.HandleFunc("GET /v1/families", func(w http.ResponseWriter, r *http.Request) {
+		type fam struct {
+			Name    string `json:"name"`
+			Degreed bool   `json:"degreed"`
+		}
+		var out []fam
+		for _, f := range sweep.Families() {
+			out = append(out, fam{f.Name, f.Degreed})
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"families": out})
+	})
+	mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{
+			"status":         "ok",
+			"uptime_seconds": int64(m.Uptime().Seconds()),
+			"jobs":           m.Counts(),
+			"cache":          m.CacheStats(),
+		})
+	})
+	mux.HandleFunc("GET /v1/version", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, buildinfo.Read())
+	})
+	return mux
+}
+
+// statusFor maps manager errors onto HTTP codes by their shape: unknown
+// job → 404, lifecycle conflicts → 409.
+func statusFor(err error) int {
+	msg := err.Error()
+	if strings.Contains(msg, "no job") {
+		return http.StatusNotFound
+	}
+	return http.StatusConflict
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}

@@ -1,0 +1,485 @@
+// Package server is the serving layer behind cmd/cobrawalkd: a job
+// manager that runs declarative sweeps (internal/sweep) asynchronously
+// on a bounded scheduler, persists every job under a data directory so a
+// restarted daemon resumes in-flight work byte-identically, and an HTTP
+// API (see NewHandler) exposing the job lifecycle.
+//
+// A job is one sweep spec. Its lifecycle is
+//
+//	queued → running → done | failed | cancelled
+//
+// with at most Config.MaxConcurrent jobs running at once. Each job owns
+// a sweep artifact directory (manifest + per-point records +
+// results.ndjson), which is both the API's result payload and the
+// resume log: on restart the manager re-enqueues every non-terminal job
+// with sweep resume semantics, so completed points are never recomputed
+// and the final artifacts match an uninterrupted run byte for byte.
+// All jobs share one graph cache (internal/graphcache), so repeated
+// topologies across jobs skip the dominant graph-construction cost.
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"cobrawalk/internal/graphcache"
+	"cobrawalk/internal/sweep"
+)
+
+// State is a job lifecycle state.
+type State string
+
+const (
+	StateQueued    State = "queued"
+	StateRunning   State = "running"
+	StateDone      State = "done"
+	StateFailed    State = "failed"
+	StateCancelled State = "cancelled"
+)
+
+// Terminal reports whether the state is final.
+func (s State) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCancelled
+}
+
+// Record is the persisted job metadata (job.json in the job directory).
+// The sweep results themselves live in the job's artifact directory; the
+// record is only bookkeeping, so its bytes carry no determinism
+// guarantee (timestamps differ between a run and its resume — the
+// artifacts do not).
+type Record struct {
+	ID    string     `json:"id"`
+	Spec  sweep.Spec `json:"spec"`
+	State State      `json:"state"`
+	// Error holds the failure message for StateFailed.
+	Error string `json:"error,omitempty"`
+	// Points is the expanded grid size.
+	Points   int        `json:"points"`
+	Created  time.Time  `json:"created"`
+	Started  *time.Time `json:"started,omitempty"`
+	Finished *time.Time `json:"finished,omitempty"`
+}
+
+// Status is a live snapshot of a job: the record plus progress counters.
+type Status struct {
+	Record
+	// PointsDone counts completed points (resumed ones included).
+	PointsDone int `json:"points_done"`
+	// PointsResumed counts points loaded from artifacts rather than
+	// computed — non-zero after a daemon restart mid-job.
+	PointsResumed int `json:"points_resumed,omitempty"`
+}
+
+// job is the manager's in-memory view of one job. rec and userCancel are
+// guarded by Manager.mu; the counters are atomics because the sweep's
+// PointDone callback updates them from worker goroutines.
+type job struct {
+	rec        Record
+	dir        string
+	cancel     context.CancelFunc
+	ctx        context.Context
+	userCancel bool
+	done       atomic.Int64
+	resumed    atomic.Int64
+}
+
+func (j *job) artifactsDir() string { return filepath.Join(j.dir, artifactsDirName) }
+
+const (
+	jobsDirName      = "jobs"
+	jobFileName      = "job.json"
+	artifactsDirName = "artifacts"
+)
+
+// Config configures a Manager. Only Dir is required.
+type Config struct {
+	// Dir is the data directory: one subdirectory per job under
+	// Dir/jobs, holding job.json plus the sweep artifacts.
+	Dir string
+	// MaxConcurrent bounds how many jobs run at once (default 1). Queued
+	// jobs start in submission order as slots free up.
+	MaxConcurrent int
+	// PointWorkers and TrialWorkers are passed to every job's sweep run
+	// (defaults: 1 point worker, GOMAXPROCS trial workers). Scheduling
+	// knobs only — they never affect results.
+	PointWorkers int
+	TrialWorkers int
+	// CacheBudget is the shared graph cache's vertex budget
+	// (0 = graphcache.DefaultBudget).
+	CacheBudget int
+	// Logf, when non-nil, receives one line per job transition.
+	Logf func(format string, args ...any)
+}
+
+// Manager owns the job set: submission, the bounded scheduler,
+// persistence and restart recovery. Construct with NewManager; always
+// Close to stop in-flight work before discarding.
+type Manager struct {
+	cfg    Config
+	cache  *graphcache.Cache
+	ctx    context.Context
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+	sem    chan struct{} // scheduler slots: len == running jobs
+	start  time.Time
+
+	mu     sync.Mutex
+	jobs   map[string]*job
+	order  []string // job IDs in creation order
+	nextID int
+}
+
+// NewManager opens (or creates) the data directory and recovers its job
+// set: terminal jobs load as history, and every queued or running job is
+// re-enqueued with resume semantics — completed points load from their
+// artifacts instead of recomputing.
+func NewManager(cfg Config) (*Manager, error) {
+	if cfg.Dir == "" {
+		return nil, errors.New("server: Config.Dir is required")
+	}
+	if cfg.MaxConcurrent <= 0 {
+		cfg.MaxConcurrent = 1
+	}
+	if cfg.PointWorkers <= 0 {
+		cfg.PointWorkers = 1
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	if err := os.MkdirAll(filepath.Join(cfg.Dir, jobsDirName), 0o755); err != nil {
+		return nil, fmt.Errorf("server: creating data dir: %w", err)
+	}
+	m := &Manager{
+		cfg:    cfg,
+		cache:  graphcache.New(cfg.CacheBudget),
+		sem:    make(chan struct{}, cfg.MaxConcurrent),
+		start:  time.Now(),
+		jobs:   make(map[string]*job),
+		nextID: 1,
+	}
+	m.ctx, m.cancel = context.WithCancel(context.Background())
+	if err := m.restore(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// restore loads every persisted job and re-enqueues the non-terminal
+// ones in ID order (submission order of the previous process).
+func (m *Manager) restore() error {
+	jobsDir := filepath.Join(m.cfg.Dir, jobsDirName)
+	entries, err := os.ReadDir(jobsDir)
+	if err != nil {
+		return fmt.Errorf("server: scanning %s: %w", jobsDir, err)
+	}
+	var ids []string
+	for _, e := range entries {
+		if e.IsDir() {
+			ids = append(ids, e.Name())
+		}
+	}
+	sort.Slice(ids, func(a, b int) bool { return jobSeq(ids[a]) < jobSeq(ids[b]) })
+	for _, id := range ids {
+		if jobSeq(id) == 0 {
+			m.cfg.Logf("ignoring foreign directory %s in %s", id, jobsDir)
+			continue
+		}
+		// Every parseable job ID advances the counter — including ones
+		// skipped below — so a new submission can never reuse a skipped
+		// directory's ID and overwrite whatever the operator should see.
+		if seq := jobSeq(id); seq >= m.nextID {
+			m.nextID = seq + 1
+		}
+		dir := filepath.Join(jobsDir, id)
+		var rec Record
+		if err := readJSONFile(filepath.Join(dir, jobFileName), &rec); err != nil {
+			// Availability over completeness: one unreadable record must
+			// not keep every healthy job (and the daemon) down. The
+			// directory is left untouched for the operator to inspect.
+			m.cfg.Logf("skipping job %s: unreadable record: %v", id, err)
+			continue
+		}
+		if rec.ID != id {
+			m.cfg.Logf("skipping job %s: its record names %q", id, rec.ID)
+			continue
+		}
+		j := &job{rec: rec, dir: dir}
+		j.ctx, j.cancel = context.WithCancel(m.ctx)
+		m.jobs[id] = j
+		m.order = append(m.order, id)
+		if !rec.State.Terminal() {
+			// The previous process died mid-job (or before starting it):
+			// back to the queue; completed points resume from artifacts.
+			j.rec.State = StateQueued
+			m.cfg.Logf("job %s: recovered (%d points, resuming)", id, rec.Points)
+			m.enqueue(j)
+		}
+	}
+	return nil
+}
+
+// jobSeq parses the numeric sequence out of a job ID ("j0012" → 12),
+// returning 0 for foreign directory names so they sort first and never
+// advance the ID counter.
+func jobSeq(id string) int {
+	if len(id) < 2 || id[0] != 'j' {
+		return 0
+	}
+	n, err := strconv.Atoi(id[1:])
+	if err != nil || n < 0 {
+		return 0
+	}
+	return n
+}
+
+// Submit validates spec, persists a new queued job and schedules it.
+// The job is registered in memory only after its record is safely on
+// disk, so a failed persist leaves no phantom job (and no job directory
+// for restore to trip on — an allocated ID is simply skipped).
+func (m *Manager) Submit(spec sweep.Spec) (Status, error) {
+	pts, err := spec.Points()
+	if err != nil {
+		return Status{}, err
+	}
+
+	m.mu.Lock()
+	if m.ctx.Err() != nil {
+		m.mu.Unlock()
+		return Status{}, errors.New("server: manager is shut down")
+	}
+	id := fmt.Sprintf("j%04d", m.nextID)
+	m.nextID++
+	m.mu.Unlock()
+
+	j := &job{
+		rec: Record{
+			ID:      id,
+			Spec:    spec,
+			State:   StateQueued,
+			Points:  len(pts),
+			Created: time.Now().UTC(),
+		},
+		dir: filepath.Join(m.cfg.Dir, jobsDirName, id),
+	}
+	j.ctx, j.cancel = context.WithCancel(m.ctx)
+	if err := os.MkdirAll(j.dir, 0o755); err != nil {
+		return Status{}, fmt.Errorf("server: creating job dir: %w", err)
+	}
+	if err := m.persist(j); err != nil {
+		os.Remove(j.dir) // best-effort: leave no half-created job behind
+		return Status{}, err
+	}
+
+	m.mu.Lock()
+	m.jobs[id] = j
+	m.order = append(m.order, id)
+	m.mu.Unlock()
+	m.cfg.Logf("job %s: queued (%d points)", id, len(pts))
+	m.enqueue(j)
+	return m.snapshot(j), nil
+}
+
+// enqueue schedules j: wait for a scheduler slot, run the sweep, settle
+// the terminal state. Cancellation while queued settles immediately.
+func (m *Manager) enqueue(j *job) {
+	m.wg.Add(1)
+	go func() {
+		defer m.wg.Done()
+		select {
+		case <-j.ctx.Done():
+			m.settle(j, j.ctx.Err()) // cancelled (or shut down) while queued
+			return
+		case m.sem <- struct{}{}:
+		}
+		defer func() { <-m.sem }()
+		if err := j.ctx.Err(); err != nil {
+			m.settle(j, err)
+			return
+		}
+
+		now := time.Now().UTC()
+		m.mu.Lock()
+		j.rec.State = StateRunning
+		j.rec.Started = &now
+		m.mu.Unlock()
+		if err := m.persist(j); err != nil {
+			m.settle(j, err)
+			return
+		}
+		m.cfg.Logf("job %s: running", j.rec.ID)
+
+		_, err := sweep.Run(j.ctx, j.rec.Spec, sweep.Options{
+			Dir:          j.artifactsDir(),
+			Resume:       true, // no-op on a fresh dir; resumes after a crash
+			PointWorkers: m.cfg.PointWorkers,
+			TrialWorkers: m.cfg.TrialWorkers,
+			GraphCache:   m.cache,
+			PointDone: func(_ sweep.Result, resumed bool) {
+				j.done.Add(1)
+				if resumed {
+					j.resumed.Add(1)
+				}
+			},
+		})
+		m.settle(j, err)
+	}()
+}
+
+// settle records a job's terminal state: done when the sweep ran to
+// completion (err == nil proves that — a late cancel that raced the
+// finish must not hide finished results), cancelled when the user
+// asked, or — when the manager itself is shutting down — no transition
+// at all, so the persisted queued/running state survives for the next
+// process to resume.
+func (m *Manager) settle(j *job, err error) {
+	m.mu.Lock()
+	switch {
+	case err == nil:
+		j.rec.State = StateDone
+		j.rec.Error = ""
+	case j.userCancel:
+		j.rec.State = StateCancelled
+		j.rec.Error = ""
+	case m.ctx.Err() != nil:
+		// Shutdown, not an outcome: leave the persisted state alone.
+		m.mu.Unlock()
+		m.cfg.Logf("job %s: interrupted by shutdown", j.rec.ID)
+		return
+	default:
+		j.rec.State = StateFailed
+		j.rec.Error = err.Error()
+	}
+	now := time.Now().UTC()
+	j.rec.Finished = &now
+	state, msg := j.rec.State, j.rec.Error
+	m.mu.Unlock()
+
+	if err := m.persist(j); err != nil {
+		m.cfg.Logf("job %s: persisting terminal state: %v", j.rec.ID, err)
+	}
+	if msg != "" {
+		m.cfg.Logf("job %s: %s: %s", j.rec.ID, state, msg)
+	} else {
+		m.cfg.Logf("job %s: %s", j.rec.ID, state)
+	}
+}
+
+// persist writes the job record atomically.
+func (m *Manager) persist(j *job) error {
+	m.mu.Lock()
+	rec := j.rec
+	m.mu.Unlock()
+	return writeJSONFile(filepath.Join(j.dir, jobFileName), rec)
+}
+
+// snapshot assembles a Status under the lock.
+func (m *Manager) snapshot(j *job) Status {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return Status{
+		Record:        j.rec,
+		PointsDone:    int(j.done.Load()),
+		PointsResumed: int(j.resumed.Load()),
+	}
+}
+
+// Get returns the live status of one job.
+func (m *Manager) Get(id string) (Status, bool) {
+	m.mu.Lock()
+	j, ok := m.jobs[id]
+	m.mu.Unlock()
+	if !ok {
+		return Status{}, false
+	}
+	return m.snapshot(j), true
+}
+
+// List returns every job's status in creation order.
+func (m *Manager) List() []Status {
+	m.mu.Lock()
+	jobs := make([]*job, 0, len(m.order))
+	for _, id := range m.order {
+		jobs = append(jobs, m.jobs[id])
+	}
+	m.mu.Unlock()
+	out := make([]Status, len(jobs))
+	for i, j := range jobs {
+		out[i] = m.snapshot(j)
+	}
+	return out
+}
+
+// Cancel requests cancellation of a queued or running job. The state
+// moves to cancelled once in-flight work has stopped; cancelling a
+// terminal job is an error.
+func (m *Manager) Cancel(id string) (Status, error) {
+	m.mu.Lock()
+	j, ok := m.jobs[id]
+	if !ok {
+		m.mu.Unlock()
+		return Status{}, fmt.Errorf("server: no job %s", id)
+	}
+	if j.rec.State.Terminal() {
+		state := j.rec.State
+		m.mu.Unlock()
+		return Status{}, fmt.Errorf("server: job %s already %s", id, state)
+	}
+	j.userCancel = true
+	m.mu.Unlock()
+	j.cancel()
+	m.cfg.Logf("job %s: cancellation requested", id)
+	return m.snapshot(j), nil
+}
+
+// ResultsPath returns the job's results.ndjson path once the job is
+// done; before that it reports the current state in the error.
+func (m *Manager) ResultsPath(id string) (string, error) {
+	m.mu.Lock()
+	j, ok := m.jobs[id]
+	var state State
+	if ok {
+		state = j.rec.State
+	}
+	m.mu.Unlock()
+	if !ok {
+		return "", fmt.Errorf("server: no job %s", id)
+	}
+	if state != StateDone {
+		return "", fmt.Errorf("server: job %s is %s, results are available once done", id, state)
+	}
+	return filepath.Join(j.artifactsDir(), "results.ndjson"), nil
+}
+
+// CacheStats snapshots the shared graph cache counters.
+func (m *Manager) CacheStats() graphcache.Stats { return m.cache.Stats() }
+
+// Counts returns the number of jobs in each state.
+func (m *Manager) Counts() map[State]int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make(map[State]int)
+	for _, j := range m.jobs {
+		out[j.rec.State]++
+	}
+	return out
+}
+
+// Uptime reports how long the manager has been running.
+func (m *Manager) Uptime() time.Duration { return time.Since(m.start) }
+
+// Close stops the manager: in-flight sweeps cancel promptly and their
+// persisted queued/running states are left intact, so a new Manager on
+// the same directory resumes them. Close blocks until every job
+// goroutine has returned.
+func (m *Manager) Close() {
+	m.cancel()
+	m.wg.Wait()
+}

@@ -1,0 +1,41 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// writeJSONFile persists v as indented JSON via temp-file + rename, so a
+// crash mid-write never leaves a partial record for restore to trip on.
+func writeJSONFile(path string, v any) error {
+	blob, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return fmt.Errorf("server: encoding %s: %w", path, err)
+	}
+	blob = append(blob, '\n')
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, blob, 0o644); err != nil {
+		return fmt.Errorf("server: writing %s: %w", tmp, err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("server: committing %s: %w", path, err)
+	}
+	return nil
+}
+
+// readJSONFile loads path into v, rejecting unknown fields so a layout
+// drift fails loudly instead of resuming a half-understood job.
+func readJSONFile(path string, v any) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	dec := json.NewDecoder(f)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("parsing %s: %w", path, err)
+	}
+	return nil
+}

@@ -26,7 +26,8 @@ const (
 
 	// manifestVersion guards the artifact layout; bump on incompatible
 	// changes so stale dirs fail loudly instead of resuming wrongly.
-	manifestVersion = 1
+	// v2: points carry graph_seed (graphs keyed on topology, not point).
+	manifestVersion = 2
 )
 
 // manifest pins a sweep to its artifact directory.
@@ -100,6 +101,10 @@ func (a *artifacts) load(pt Point) (Result, bool, error) {
 	if res.ID != pt.ID || res.Index != pt.Index {
 		return Result{}, false, fmt.Errorf("sweep: point record %s names %s[%d], expected %s[%d]",
 			path, res.ID, res.Index, pt.ID, pt.Index)
+	}
+	if res.GraphSeed != pt.GraphSeed {
+		return Result{}, false, fmt.Errorf("sweep: point record %s was computed with graph seed %d, expected %d (stale artifact layout? delete it to recompute)",
+			path, res.GraphSeed, pt.GraphSeed)
 	}
 	return res, true, nil
 }

@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 
 	"cobrawalk/internal/graph"
+	"cobrawalk/internal/graphcache"
 	"cobrawalk/internal/process"
 	"cobrawalk/internal/rng"
 	"cobrawalk/internal/sim"
@@ -41,6 +42,12 @@ type Options struct {
 	// resumed points first, in expansion order, then live points as
 	// they finish. Calls are serialised.
 	PointDone func(res Result, resumed bool)
+	// GraphCache, when non-nil, serves graph builds across points (and,
+	// for a long-lived cache, across runs): points sharing a topology and
+	// GraphSeed reuse one built graph instead of rebuilding it. Like
+	// every Options field it cannot affect results — a cached graph is
+	// byte-for-byte the graph a rebuild would produce.
+	GraphCache *graphcache.Cache
 }
 
 // Result is one completed point: the point identity plus the realised
@@ -159,7 +166,7 @@ func Run(ctx context.Context, spec Spec, opts Options) (*Report, error) {
 					return
 				}
 				i := todo[k]
-				res, err := runPoint(cctx, pts[i], opts.TrialWorkers)
+				res, err := runPoint(cctx, pts[i], opts.TrialWorkers, opts.GraphCache)
 				if err != nil {
 					fail(fmt.Errorf("sweep: point %s: %w", pts[i].ID, err))
 					return
@@ -227,15 +234,27 @@ func pointReducer() sim.Reducer[trialOut, pointAcc] {
 	}
 }
 
-// runPoint builds the point's graph deterministically from the point
-// seed and streams its ensemble. It depends on nothing but pt and the
-// trial worker count (which cannot affect the result).
-func runPoint(ctx context.Context, pt Point, trialWorkers int) (Result, error) {
+// runPoint builds the point's graph deterministically from the point's
+// GraphSeed and streams its ensemble. It depends on nothing but pt and
+// the trial worker count and cache (which cannot affect the result: the
+// graph is a pure function of family/size/degree/GraphSeed, so a cache
+// hit returns exactly the graph a rebuild would).
+func runPoint(ctx context.Context, pt Point, trialWorkers int, cache *graphcache.Cache) (Result, error) {
 	fam, err := LookupFamily(pt.Family)
 	if err != nil {
 		return Result{}, err
 	}
-	g, err := fam.Build(pt.Size, pt.Degree, rng.NewStream(pt.Seed, graphStream))
+	build := func() (*graph.Graph, error) {
+		return fam.Build(pt.Size, pt.Degree, rng.NewStream(pt.GraphSeed, graphStream))
+	}
+	var g *graph.Graph
+	if cache != nil {
+		g, err = cache.GetOrBuild(graphcache.Key{
+			Family: pt.Family, Size: pt.Size, Degree: pt.Degree, Seed: pt.GraphSeed,
+		}, build)
+	} else {
+		g, err = build()
+	}
 	if err != nil {
 		return Result{}, fmt.Errorf("building graph: %w", err)
 	}
@@ -291,7 +310,7 @@ func runEnsemble(ctx context.Context, g *graph.Graph, pt Point, trialWorkers int
 			return p
 		},
 		func(p process.Process, _ int, r *rng.Rand) (trialOut, error) {
-			out, err := process.Run(p, r, pt.MaxRounds, start...)
+			out, err := process.RunContext(ctx, p, r, pt.MaxRounds, start...)
 			if err != nil {
 				return trialOut{}, err
 			}

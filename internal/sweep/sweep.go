@@ -174,6 +174,13 @@ type Point struct {
 	Trials    int    `json:"trials"`
 	Seed      uint64 `json:"seed"`
 	MaxRounds int    `json:"max_rounds"`
+	// GraphSeed drives graph construction. It is derived from the spec
+	// seed and the topology identity (family/size/degree) only — not the
+	// process or branching — so every point on the same topology runs on
+	// the same graph. That makes cross-process comparisons paired (same
+	// realised expander, lower variance) and lets a graph cache serve one
+	// build to the whole process × branching fan-out.
+	GraphSeed uint64 `json:"graph_seed"`
 	// MeasureLambda carries the spec's λ switch.
 	MeasureLambda bool `json:"measure_lambda,omitempty"`
 }
@@ -194,8 +201,20 @@ func (p Point) id() string {
 	return sb.String()
 }
 
+// topologyID renders the graph-defining axes only ("rand-reg-n4096-d8")
+// — the domain GraphSeed derives from and the graph cache keys on. It is
+// a strict prefix-free namespace apart from point IDs (those lead with a
+// process name, never a family name).
+func (p Point) topologyID() string {
+	if p.Degree > 0 {
+		return fmt.Sprintf("%s-n%d-d%d", p.Family, p.Size, p.Degree)
+	}
+	return fmt.Sprintf("%s-n%d", p.Family, p.Size)
+}
+
 // pointSeed derives a point's master seed from the sweep seed and the
 // point identity, so results survive grid edits that reorder points.
+// The same derivation over topologyID yields GraphSeed.
 func pointSeed(sweepSeed uint64, id string) uint64 {
 	h := fnv.New64a()
 	h.Write([]byte(id))
@@ -242,6 +261,7 @@ func (s Spec) Points() ([]Point, error) {
 						}
 						pt.ID = pt.id()
 						pt.Seed = pointSeed(s.Seed, pt.ID)
+						pt.GraphSeed = pointSeed(s.Seed, pt.topologyID())
 						if seen[pt.ID] {
 							return nil, fmt.Errorf("sweep: duplicate point %s (repeated axis value?)", pt.ID)
 						}

@@ -3,13 +3,16 @@ package sweep
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"os"
 	"path/filepath"
 	"reflect"
 	"strings"
 	"testing"
+	"time"
 
 	"cobrawalk/internal/core"
+	"cobrawalk/internal/graphcache"
 	"cobrawalk/internal/process"
 )
 
@@ -507,5 +510,126 @@ func TestRunPointErrorNamesPoint(t *testing.T) {
 	_, err := Run(context.Background(), spec, Options{})
 	if err == nil || !strings.Contains(err.Error(), "cobra-complete-n16") {
 		t.Fatalf("err = %v, want point ID context", err)
+	}
+}
+
+// TestGraphSeedSharedAcrossProcesses pins the topology-seed contract:
+// every point on the same family/size/degree carries the same GraphSeed
+// (so process comparisons are paired on one realised graph and a cache
+// can serve the whole fan-out), while distinct topologies differ.
+func TestGraphSeedSharedAcrossProcesses(t *testing.T) {
+	pts, err := testSpec().Points()
+	if err != nil {
+		t.Fatal(err)
+	}
+	byTopology := make(map[string]uint64)
+	seeds := make(map[uint64]bool)
+	for _, pt := range pts {
+		topo := pt.topologyID()
+		if pt.GraphSeed == 0 {
+			t.Fatalf("point %s has zero graph seed", pt.ID)
+		}
+		if prev, ok := byTopology[topo]; ok {
+			if prev != pt.GraphSeed {
+				t.Fatalf("topology %s has two graph seeds: %d and %d", topo, prev, pt.GraphSeed)
+			}
+			continue
+		}
+		if seeds[pt.GraphSeed] {
+			t.Fatalf("distinct topologies share graph seed %d", pt.GraphSeed)
+		}
+		seeds[pt.GraphSeed] = true
+		byTopology[topo] = pt.GraphSeed
+	}
+	// testSpec: rand-reg × 2 degrees × 2 sizes + complete × 2 sizes = 6.
+	if len(byTopology) != 6 {
+		t.Fatalf("got %d topologies, want 6", len(byTopology))
+	}
+}
+
+// TestGraphCacheEffective pins the acceptance criterion: with a shared
+// cache, one sweep builds each topology once (misses == topologies,
+// hits == points − topologies), a re-run of the same point set is all
+// hits, and the report is byte-identical to an uncached run.
+func TestGraphCacheEffective(t *testing.T) {
+	spec := testSpec()
+	pts, err := spec.Points()
+	if err != nil {
+		t.Fatal(err)
+	}
+	topologies := make(map[string]bool)
+	for _, pt := range pts {
+		topologies[pt.topologyID()] = true
+	}
+
+	uncached, err := Run(context.Background(), spec, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cache := graphcache.New(0)
+	cached, err := Run(context.Background(), spec, Options{GraphCache: cache, PointWorkers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reportJSON(t, uncached) != reportJSON(t, cached) {
+		t.Fatal("cache changed the results")
+	}
+	st := cache.Stats()
+	if int(st.Misses) != len(topologies) {
+		t.Fatalf("first run built %d graphs, want one per topology (%d)", st.Misses, len(topologies))
+	}
+	if int(st.Hits) != len(pts)-len(topologies) {
+		t.Fatalf("first run hit %d times, want %d", st.Hits, len(pts)-len(topologies))
+	}
+
+	// Re-running the same point set rebuilds nothing.
+	again, err := Run(context.Background(), spec, Options{GraphCache: cache, PointWorkers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reportJSON(t, cached) != reportJSON(t, again) {
+		t.Fatal("re-run with warm cache changed the results")
+	}
+	st2 := cache.Stats()
+	if st2.Misses != st.Misses {
+		t.Fatalf("warm re-run rebuilt graphs: %d misses, want still %d", st2.Misses, st.Misses)
+	}
+	if int(st2.Hits) != int(st.Hits)+len(pts) {
+		t.Fatalf("warm re-run hit %d times total, want %d", st2.Hits, int(st.Hits)+len(pts))
+	}
+}
+
+// TestRunCancellationIsPrompt submits a grid whose single point would run
+// a very long trial and cancels immediately: Run must return the
+// cancellation error without waiting for the trial to finish.
+func TestRunCancellationIsPrompt(t *testing.T) {
+	// kwalk K=1 on a 2^20-cycle covers in Θ(n²) ≈ 10^12 rounds per
+	// trial; with a 2^40 round cap the single trial would run for hours
+	// uncancelled, so only mid-trial cancellation can end this promptly.
+	spec := Spec{
+		Families:   []string{"cycle"},
+		Sizes:      []int{1 << 20},
+		Processes:  []string{ProcKWalk},
+		Branchings: []core.Branching{{K: 1}},
+		Trials:     4,
+		Seed:       3,
+		MaxRounds:  1 << 40,
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	start := time.Now()
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		cancel()
+	}()
+	_, err := Run(ctx, spec, Options{})
+	if err == nil {
+		t.Fatal("cancelled run should fail")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled in the chain", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("cancellation took %v — trial did not stop promptly", elapsed)
 	}
 }
