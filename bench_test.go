@@ -303,36 +303,40 @@ func BenchmarkE11TailDecay(b *testing.B) {
 // --- micro-benchmarks of the hot paths ---
 
 // BenchmarkProcessStep: the unified process layer's hot loop — one full
-// trial (Reset + Step to completion from vertex 0, default branching)
-// per op for every registered process on a 2^14-vertex random-regular
-// graph. allocs/op is the buffer-reuse pin: a warmed Process must run
-// whole trials with zero graph-sized allocations (AllocsPerRun-style
-// zero is asserted in internal/process tests; here the benchmark
-// reports it so regressions show up in the series). The committed
-// baseline lives in BENCH_process.json.
+// collected trial (Reset + Begin + Step to completion from vertex 0,
+// default branching) per op for every registered process on a
+// 2^14-vertex random-regular graph, with a metrics Collector attached.
+// allocs/op is the buffer-reuse pin: a warmed Process+Collector pair
+// must run whole trials with zero graph-sized allocations
+// (AllocsPerRun-style zero is asserted in internal/process tests; here
+// the benchmark reports it so regressions show up in the series). The
+// committed baseline lives in BENCH_process.json.
 func BenchmarkProcessStep(b *testing.B) {
 	g := buildRandomRegular(b, 1<<14, 8)
 	starts := []int32{0}
 	for _, info := range process.All() {
 		b.Run(info.Name, func(b *testing.B) {
-			p, err := info.New(g, process.Config{})
+			col := process.NewCollector(g.N())
+			// Reserve the full round cap so series growth cannot charge a
+			// long-tailed trial (kwalk runs Θ(n log n) rounds) with an
+			// amortised reallocation mid-measurement.
+			col.Reserve(1 << 20)
+			p, err := info.New(g, process.Config{Observer: col.Observe})
 			if err != nil {
 				b.Fatal(err)
 			}
 			r := rng.New(1)
 			trial := func() int {
-				if err := p.Reset(starts...); err != nil {
+				res, err := process.RunCollect(nil, p, col, r, 1<<20, starts...)
+				if err != nil {
 					b.Fatal(err)
 				}
-				for !p.Done() && p.Round() < 1<<20 {
-					p.Step(r)
-				}
-				if !p.Done() {
+				if !res.Done {
 					b.Fatal("trial hit the round cap")
 				}
-				return p.Round()
+				return res.Rounds
 			}
-			trial() // warm the buffers so steady-state allocation is measured
+			trial() // warm the process buffers so steady-state allocation is measured
 			var rounds int64
 			b.ReportAllocs()
 			b.ResetTimer()
@@ -341,6 +345,80 @@ func BenchmarkProcessStep(b *testing.B) {
 			}
 			b.ReportMetric(float64(rounds)/float64(b.N), "rounds/op")
 		})
+	}
+}
+
+// BenchmarkTrajectoryEnsemble: the trajectory pipeline end to end — a
+// 256-trial BIPS ensemble on a 2^12-vertex expander, each trial's
+// reached and active series folded through reusable collectors into two
+// mergeable TrajectoryDigests, then summarised into per-round
+// p10/p50/p90 bands. This is the hot path of a trajectory-enabled sweep
+// point and of the data behind /v1/jobs/{id}/trajectories. The committed
+// baseline lives in BENCH_trajectory.json.
+func BenchmarkTrajectoryEnsemble(b *testing.B) {
+	g := buildRandomRegular(b, 1<<12, 8)
+	type state struct {
+		p   process.Process
+		col *process.Collector
+	}
+	type acc struct {
+		coverage, frontier *stats.TrajectoryDigest
+	}
+	red := sim.Reducer[*process.Collector, acc]{
+		New: func() acc {
+			return acc{coverage: stats.NewTrajectoryDigest(), frontier: stats.NewTrajectoryDigest()}
+		},
+		Fold: func(a acc, _ int, col *process.Collector) acc {
+			a.coverage.AddTrial(col.Reached())
+			a.frontier.AddTrial(col.Active())
+			return a
+		},
+		Merge: func(into, from acc) (acc, error) {
+			if err := into.coverage.Merge(from.coverage); err != nil {
+				return acc{}, err
+			}
+			if err := into.frontier.Merge(from.frontier); err != nil {
+				return acc{}, err
+			}
+			return into, nil
+		},
+	}
+	spec := sim.Spec{Trials: 256, Seed: 1}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		total, err := sim.ReduceWithState(context.Background(), spec, red,
+			func() state {
+				col := process.NewCollector(g.N())
+				p, err := process.New(process.BIPS, g, process.Config{Observer: col.Observe})
+				if err != nil {
+					panic(err)
+				}
+				return state{p: p, col: col}
+			},
+			func(st state, _ int, r *rng.Rand) (*process.Collector, error) {
+				res, err := process.RunCollect(nil, st.p, st.col, r, 1<<20, 0)
+				if err != nil {
+					return nil, err
+				}
+				if !res.Done {
+					return nil, fmt.Errorf("uninfected trial")
+				}
+				return st.col, nil
+			})
+		if err != nil {
+			b.Fatal(err)
+		}
+		s, err := total.coverage.Summary()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if s.N[0] != spec.Trials || s.Mean[0] != 1 {
+			b.Fatalf("degenerate ensemble: %v trials at start, mean %v", s.N[0], s.Mean[0])
+		}
+		if i == 0 {
+			b.ReportMetric(float64(total.coverage.Columns()), "columns")
+		}
 	}
 }
 

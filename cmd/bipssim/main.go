@@ -118,44 +118,40 @@ func run(args []string, w io.Writer) error {
 		},
 		Merge: func(into, from *agg) (*agg, error) { return into.merge(from) },
 	}
-	// Each worker owns one reusable BIPS process plus a |A_t| trajectory
-	// buffer refilled per trial through the RoundObserver hook — the
-	// per-round sizes feed the Lemmas 2-4 phase decomposition without any
-	// per-trial allocation.
+	// Each worker owns one reusable BIPS process with a metrics Collector
+	// attached — the collector's |A_t| series (start state included)
+	// feeds the Lemmas 2-4 phase decomposition without any per-trial
+	// allocation.
 	type bipsState struct {
-		p     process.Process
-		sizes []int
+		p   process.Process
+		col *process.Collector
 	}
 	sources := []int32{int32(*source)}
 	total, err := sim.ReduceWithState(context.Background(),
 		sim.Spec{Trials: *trials, Seed: *seed, Workers: *workers},
 		red,
 		func() *bipsState {
-			st := &bipsState{}
+			col := process.NewCollector(g.N())
 			cfg := process.Config{
 				Branching:    branch,
 				FastSampling: *fast,
-				Observer: func(rs process.RoundStat) {
-					st.sizes = append(st.sizes, rs.Active)
-				},
+				Observer:     col.Observe,
 			}
 			p, err := process.New(process.BIPS, g, cfg)
 			if err != nil {
 				panic(err) // unreachable: validated above
 			}
-			st.p = p
-			return st
+			return &bipsState{p: p, col: col}
 		},
 		func(st *bipsState, trial int, r *rng.Rand) (outcome, error) {
-			st.sizes = append(st.sizes[:0], 1) // |A_0| = {source}
-			out, err := process.Run(st.p, r, *maxRounds, sources...)
+			out, err := process.RunCollect(nil, st.p, st.col, r, *maxRounds, sources...)
 			if err != nil {
 				return outcome{}, err
 			}
 			if !out.Done {
 				return outcome{}, fmt.Errorf("trial hit the %d-round cap", *maxRounds)
 			}
-			ph := core.DetectPhases(st.sizes, g.N(), smallTarget)
+			ph := core.DetectPhases(st.col.Active(), g.N(), smallTarget)
 			p1, p2, p3 := ph.PhaseLengths()
 			return outcome{float64(out.Rounds), float64(p1), float64(p2), float64(p3)}, nil
 		})

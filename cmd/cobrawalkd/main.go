@@ -12,8 +12,12 @@
 //	GET    /v1/jobs/{id}          job status + progress
 //	DELETE /v1/jobs/{id}          cancel
 //	GET    /v1/jobs/{id}/results  results.ndjson once done
+//	GET    /v1/jobs/{id}/trajectories
+//	                              NDJSON per-round quantile bands
 //	GET    /v1/processes          process registry
 //	GET    /v1/families           graph family registry
+//	GET    /v1/metrics            sweep metric registry
+//	GET    /v1/cachestats         graph cache hit/miss/eviction counters
 //	GET    /v1/healthz            liveness, job counts, cache counters
 //	GET    /v1/version            build identity
 //
@@ -109,8 +113,12 @@ func run(args []string, out, errw io.Writer) error {
 		return err
 	case <-ctx.Done():
 		// Graceful stop: close the listener, cancel in-flight jobs (their
-		// persisted queued/running states stay resumable) and exit.
-		logf("shutting down; unfinished jobs resume on next start")
+		// persisted queued/running states stay resumable) and exit. The
+		// cache counters summarise how much graph construction this
+		// process's lifetime amortised.
+		st := m.CacheStats()
+		logf("shutting down; unfinished jobs resume on next start (graph cache: %d hits, %d misses, %d evictions)",
+			st.Hits, st.Misses, st.Evictions)
 		shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()
 		srv.Shutdown(shutCtx)

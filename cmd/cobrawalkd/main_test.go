@@ -92,6 +92,17 @@ func TestBootServeShutdown(t *testing.T) {
 		t.Fatalf("healthz: %d %s", resp.StatusCode, blob)
 	}
 
+	resp, err = http.Get(base + "/v1/cachestats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(blob), `"hits"`) ||
+		!strings.Contains(string(blob), `"evictions"`) {
+		t.Fatalf("cachestats: %d %s", resp.StatusCode, blob)
+	}
+
 	p, err := os.FindProcess(os.Getpid())
 	if err != nil {
 		t.Fatal(err)
@@ -109,5 +120,9 @@ func TestBootServeShutdown(t *testing.T) {
 	}
 	if !strings.Contains(logs.String(), "shutting down") {
 		t.Fatalf("no shutdown log; logs:\n%s", logs.String())
+	}
+	// The shutdown line summarises the graph cache counters.
+	if !regexp.MustCompile(`graph cache: \d+ hits, \d+ misses, \d+ evictions`).MatchString(logs.String()) {
+		t.Fatalf("shutdown log lacks cache counters; logs:\n%s", logs.String())
 	}
 }

@@ -26,6 +26,7 @@ import (
 	"cobrawalk/internal/core"
 	"cobrawalk/internal/graph"
 	"cobrawalk/internal/plot"
+	"cobrawalk/internal/process"
 	"cobrawalk/internal/rng"
 	"cobrawalk/internal/spectral"
 	"cobrawalk/internal/stats"
@@ -223,7 +224,9 @@ func figureCoverVsGap(quick bool, seed uint64) (*plot.Plot, error) {
 }
 
 // figureTrajectory shows |A_t| for a few BIPS runs with the Lemma 2-4
-// thresholds visible as horizontal reference lines.
+// thresholds visible as horizontal reference lines. The curves come from
+// the metrics layer: a Collector attached to the registry's bips process
+// records the per-round active series of each run.
 func figureTrajectory(quick bool, seed uint64) (*plot.Plot, error) {
 	n := 1024
 	if quick {
@@ -234,7 +237,8 @@ func figureTrajectory(quick bool, seed uint64) (*plot.Plot, error) {
 	if err != nil {
 		return nil, err
 	}
-	b, err := core.NewBIPS(g, core.WithMaxRounds(1<<16))
+	col := process.NewCollector(g.N())
+	b, err := process.New(process.BIPS, g, process.Config{Observer: col.Observe})
 	if err != nil {
 		return nil, err
 	}
@@ -247,16 +251,17 @@ func figureTrajectory(quick bool, seed uint64) (*plot.Plot, error) {
 	r := rng.NewStream(seed, 0xf33)
 	maxLen := 0
 	for run := 0; run < 3; run++ {
-		res, err := b.Run(0, r)
+		res, err := process.RunCollect(nil, b, col, r, 1<<16, 0)
 		if err != nil {
 			return nil, err
 		}
-		if !res.Infected {
+		if !res.Done {
 			return nil, fmt.Errorf("uninfected run")
 		}
-		xs := make([]float64, len(res.Sizes))
-		ys := make([]float64, len(res.Sizes))
-		for t, s := range res.Sizes {
+		sizes := col.Active()
+		xs := make([]float64, len(sizes))
+		ys := make([]float64, len(sizes))
+		for t, s := range sizes {
 			xs[t] = float64(t)
 			ys[t] = float64(s)
 		}

@@ -7,13 +7,19 @@
 //
 //	graphinfo -graph rand-reg:4096:8
 //	graphinfo -graph petersen -spectrum
+//	graphinfo -graph rand-reg:1024:8 -json
 //	graphinfo -graph torus:32x32 -write /tmp/torus.edges
+//
+// -json emits one machine-readable JSON object instead of text, matching
+// the other simulation commands.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"os"
 
 	"cobrawalk/internal/buildinfo"
@@ -37,6 +43,7 @@ func run(args []string, w io.Writer) error {
 		seed      = fs.Uint64("seed", 1, "seed for random families")
 		spectrum  = fs.Bool("spectrum", false, "print the full spectrum (dense solver, small graphs)")
 		writePath = fs.String("write", "", "write the graph in edge-list format to this file")
+		jsonOut   = fs.Bool("json", false, "emit one machine-readable JSON object")
 		version   = fs.Bool("version", false, "print build info and exit")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -55,6 +62,47 @@ func run(args []string, w io.Writer) error {
 	if err != nil {
 		return err
 	}
+
+	if *jsonOut {
+		// Zero-gap graphs (any bipartite family has λ_max = 1) make the
+		// theorem time scale and the mixing bound +Inf, which
+		// encoding/json rejects — render non-finite values as null.
+		obj := map[string]any{
+			"graph":        g.Name(),
+			"n":            rep.N,
+			"m":            rep.M,
+			"degree":       rep.Degree,
+			"min_degree":   g.MinDegree(),
+			"max_degree":   g.MaxDegree(),
+			"connected":    rep.Connected,
+			"bipartite":    rep.Bipartite,
+			"lambda2":      finiteOrNil(rep.Lambda2),
+			"lambda_n":     finiteOrNil(rep.LambdaN),
+			"lambda_max":   finiteOrNil(rep.LambdaMax),
+			"gap":          finiteOrNil(rep.Gap),
+			"theorem_t":    finiteOrNil(rep.TheoremT()),
+			"mixing_ub":    finiteOrNil(rep.MixingTimeUB),
+			"cheeger_lo":   finiteOrNil(rep.CheegerLo),
+			"cheeger_hi":   finiteOrNil(rep.CheegerHi),
+			"gap_constant": finiteOrNil(gapConditionConstant(rep)),
+		}
+		if *spectrum {
+			eig, err := spectral.DenseSpectrum(g)
+			if err != nil {
+				return fmt.Errorf("spectrum: %w", err)
+			}
+			obj["spectrum"] = eig
+		}
+		blob, err := json.Marshal(obj)
+		if err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s\n", blob); err != nil {
+			return err
+		}
+		return writeEdgeList(w, g, *writePath, true)
+	}
+
 	fmt.Fprintf(w, "graph:      %s\n", g)
 	fmt.Fprintf(w, "vertices:   %d\n", rep.N)
 	fmt.Fprintf(w, "edges:      %d\n", rep.M)
@@ -84,18 +132,37 @@ func run(args []string, w io.Writer) error {
 			fmt.Fprintf(w, "  λ%-4d %+.8f\n", i+1, l)
 		}
 	}
-	if *writePath != "" {
-		f, err := os.Create(*writePath)
-		if err != nil {
-			return err
-		}
-		defer f.Close()
-		if err := graph.Write(f, g); err != nil {
-			return err
-		}
-		fmt.Fprintf(w, "wrote edge list to %s\n", *writePath)
+	return writeEdgeList(w, g, *writePath, false)
+}
+
+// writeEdgeList writes the graph in edge-list format when a path was
+// given; quiet suppresses the confirmation line (-json keeps stdout one
+// object).
+func writeEdgeList(w io.Writer, g *graph.Graph, path string, quiet bool) error {
+	if path == "" {
+		return nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := graph.Write(f, g); err != nil {
+		return err
+	}
+	if !quiet {
+		fmt.Fprintf(w, "wrote edge list to %s\n", path)
 	}
 	return nil
+}
+
+// finiteOrNil renders non-finite report fields as JSON null —
+// encoding/json rejects NaN and ±Inf outright.
+func finiteOrNil(x float64) any {
+	if math.IsNaN(x) || math.IsInf(x, 0) {
+		return nil
+	}
+	return x
 }
 
 // gapConditionConstant returns the largest constant c such that the

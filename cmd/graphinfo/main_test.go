@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
@@ -66,5 +67,79 @@ func TestRunErrors(t *testing.T) {
 	}
 	if err := run([]string{"-graph", "rand-reg:2000:3", "-spectrum"}, &buf); err == nil {
 		t.Fatal("dense spectrum beyond limit should fail")
+	}
+}
+
+// TestRunJSON pins the -json satellite: one parseable object holding the
+// structural and spectral report, matching the text path's numbers.
+func TestRunJSON(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-graph", "petersen", "-json"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	var rec struct {
+		Graph     string  `json:"graph"`
+		N         int     `json:"n"`
+		M         int     `json:"m"`
+		Degree    int     `json:"degree"`
+		Connected bool    `json:"connected"`
+		Bipartite bool    `json:"bipartite"`
+		LambdaMax float64 `json:"lambda_max"`
+		Gap       float64 `json:"gap"`
+		TheoremT  float64 `json:"theorem_t"`
+		Spectrum  []float64
+	}
+	if err := json.Unmarshal(out.Bytes(), &rec); err != nil {
+		t.Fatalf("unparseable -json output %q: %v", out.String(), err)
+	}
+	// Petersen: 10 vertices, 15 edges, 3-regular, λ_max = |λn| = 2/3.
+	if rec.N != 10 || rec.M != 15 || rec.Degree != 3 || !rec.Connected || rec.Bipartite {
+		t.Fatalf("petersen report = %+v", rec)
+	}
+	if rec.LambdaMax < 0.66 || rec.LambdaMax > 0.67 || rec.Gap <= 0 || rec.TheoremT <= 0 {
+		t.Fatalf("spectral fields = %+v", rec)
+	}
+	if strings.Count(out.String(), "\n") != 1 {
+		t.Fatalf("-json should emit exactly one line, got %q", out.String())
+	}
+
+	// -spectrum folds the dense spectrum into the object.
+	out.Reset()
+	if err := run([]string{"-graph", "petersen", "-json", "-spectrum"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	var withSpec struct {
+		Spectrum []float64 `json:"spectrum"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &withSpec); err != nil {
+		t.Fatal(err)
+	}
+	if len(withSpec.Spectrum) != 10 {
+		t.Fatalf("spectrum has %d eigenvalues, want 10", len(withSpec.Spectrum))
+	}
+}
+
+// TestRunJSONZeroGap pins -json on bipartite graphs: λ_max = 1 makes
+// the theorem time scale +Inf, which must surface as JSON null, not an
+// encoding error.
+func TestRunJSONZeroGap(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-graph", "cycle:16", "-json"}, &out); err != nil {
+		t.Fatalf("-json on an even cycle failed: %v", err)
+	}
+	var rec struct {
+		Bipartite bool     `json:"bipartite"`
+		Gap       *float64 `json:"gap"`
+		TheoremT  *float64 `json:"theorem_t"`
+		MixingUB  *float64 `json:"mixing_ub"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &rec); err != nil {
+		t.Fatalf("unparseable output %q: %v", out.String(), err)
+	}
+	if !rec.Bipartite || rec.Gap == nil || *rec.Gap > 1e-9 {
+		t.Fatalf("C16 report = %+v, want bipartite with zero gap", rec)
+	}
+	if rec.TheoremT != nil || rec.MixingUB != nil {
+		t.Fatalf("non-finite fields should be null, got T=%v mix=%v", rec.TheoremT, rec.MixingUB)
 	}
 }

@@ -10,6 +10,11 @@
 //
 // The process axis accepts every name in the internal/process registry
 // (see -list-processes); for kwalk the branching K is the walker count.
+// The -metrics flag selects what each point records from the metric
+// registry (see -list-metrics): scalar summaries (rounds, transmissions,
+// peak-active, half-coverage) and/or trajectory quantile bands (coverage,
+// frontier) persisted on the point records — the paper's phase plots as
+// sweepable artifacts.
 //
 // Usage:
 //
@@ -18,7 +23,8 @@
 //	      -processes cobra,push,flood -branchings 2,1+0.5 \
 //	      -out runs/compare -format csv
 //	sweep -families rand-reg -sizes 4096 -degrees 8 \
-//	      -processes cobra,kwalk -branchings 1,2,4 -trials 50
+//	      -processes cobra,bips -metrics rounds,coverage,frontier \
+//	      -trials 100 -out runs/phases
 //	sweep -spec sweep.json -out runs/night -resume
 //	sweep -families complete -sizes 256 -list-points
 package main
@@ -26,6 +32,7 @@ package main
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -39,6 +46,7 @@ import (
 	"cobrawalk/internal/expt"
 	"cobrawalk/internal/graphcache"
 	"cobrawalk/internal/process"
+	"cobrawalk/internal/stats"
 	"cobrawalk/internal/sweep"
 )
 
@@ -60,6 +68,7 @@ func run(args []string, out, errw io.Writer) error {
 		degrees    = fs.String("degrees", "", "comma-separated degrees for degreed families")
 		processes  = fs.String("processes", "cobra", "comma-separated processes ("+cli.ProcessList()+")")
 		branchings = fs.String("branchings", "", "comma-separated branchings, each K or K+RHO (default 2)")
+		metrics    = fs.String("metrics", "", "comma-separated metrics (see -list-metrics; default rounds,transmissions)")
 		trials     = fs.Int("trials", 30, "trials per point")
 		seed       = fs.Uint64("seed", 1, "sweep master seed")
 		maxRounds  = fs.Int("max-rounds", 0, "per-trial round cap (0 = default)")
@@ -71,12 +80,13 @@ func run(args []string, out, errw io.Writer) error {
 		pointWrk = fs.Int("point-workers", 1, "points run concurrently")
 		cacheCap = fs.Int("graph-cache", 0, "graph cache vertex budget (0 = default, negative = disable)")
 
-		format     = fs.String("format", "text", "summary output: text | csv | json")
-		quiet      = fs.Bool("quiet", false, "suppress per-point progress on stderr")
-		listPoints = fs.Bool("list-points", false, "print the expanded point list and exit")
-		listFams   = fs.Bool("list-families", false, "print the family registry and exit")
-		listProcs  = fs.Bool("list-processes", false, "print the process registry and exit")
-		version    = fs.Bool("version", false, "print build info and exit")
+		format      = fs.String("format", "text", "summary output: text | csv | json")
+		quiet       = fs.Bool("quiet", false, "suppress per-point progress on stderr")
+		listPoints  = fs.Bool("list-points", false, "print the expanded point list and exit")
+		listFams    = fs.Bool("list-families", false, "print the family registry and exit")
+		listProcs   = fs.Bool("list-processes", false, "print the process registry and exit")
+		listMetrics = fs.Bool("list-metrics", false, "print the metric registry and exit")
+		version     = fs.Bool("version", false, "print build info and exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -107,6 +117,16 @@ func run(args []string, out, errw io.Writer) error {
 				axis += ")"
 			}
 			fmt.Fprintf(out, "%-10s %-18s %s\n", info.Name, axis, info.Summary)
+		}
+		return nil
+	}
+	if *listMetrics {
+		for _, m := range sweep.Metrics() {
+			kind := "scalar"
+			if m.Trajectory {
+				kind = "trajectory"
+			}
+			fmt.Fprintf(out, "%-14s %-10s %s\n", m.Name, kind, m.Summary)
 		}
 		return nil
 	}
@@ -146,6 +166,9 @@ func run(args []string, out, errw io.Writer) error {
 			return fmt.Errorf("-degrees: %w", err)
 		}
 		if spec.Branchings, err = sweep.ParseBranchings(*branchings); err != nil {
+			return err
+		}
+		if spec.Metrics, err = sweep.ParseMetrics(*metrics); err != nil {
 			return err
 		}
 	}
@@ -188,7 +211,11 @@ func run(args []string, out, errw io.Writer) error {
 			if resumed {
 				tag = "  (resumed)"
 			}
-			fmt.Fprintf(errw, "[%d/%d] %s  mean=%.2f%s\n", done, len(pts), res.ID, res.Rounds.Mean, tag)
+			mean := "-"
+			if res.HasMetric(sweep.MetricRounds) {
+				mean = fmt.Sprintf("%.2f", res.Metric(sweep.MetricRounds).Mean)
+			}
+			fmt.Fprintf(errw, "[%d/%d] %s  mean=%s%s\n", done, len(pts), res.ID, mean, tag)
 		}
 	}
 
@@ -203,15 +230,47 @@ func run(args []string, out, errw io.Writer) error {
 		"id", "family", "n", "d", "process", "branch", "trials",
 		"mean", "±95%", "p50", "p95", "max", "mean-msgs")
 	for _, r := range rep.Results {
-		ci, err := r.Rounds.CI(0.95)
-		if err != nil {
-			return err
+		rounds, hw, msgs := "-", "-", "-"
+		p50, p95, maxv := "-", "-", "-"
+		trialsCol := strconv.Itoa(r.Trials)
+		if r.HasMetric(sweep.MetricRounds) {
+			s := r.Metric(sweep.MetricRounds)
+			trialsCol = strconv.Itoa(s.N)
+			rounds = fmt.Sprintf("%.2f", s.Mean)
+			p50 = fmt.Sprintf("%.1f", s.P50)
+			p95 = fmt.Sprintf("%.1f", s.P95)
+			maxv = fmt.Sprintf("%.0f", s.Max)
+			// N = 1 ensembles have no standard error; show the mean with
+			// a blank half-width rather than failing the whole summary.
+			if ci, err := s.CI(0.95); err == nil {
+				hw = fmt.Sprintf("%.2f", ci.Hi-s.Mean)
+			} else if !errors.Is(err, stats.ErrInsufficient) {
+				return err
+			}
+		}
+		if r.HasMetric(sweep.MetricTransmissions) {
+			msgs = fmt.Sprintf("%.0f", r.Metric(sweep.MetricTransmissions).Mean)
 		}
 		tbl.AddRow(r.ID, r.Family, strconv.Itoa(r.GraphN), strconv.Itoa(r.GraphDegree),
-			r.Process, branchLabel(r.Point), strconv.Itoa(r.Rounds.N),
-			fmt.Sprintf("%.2f", r.Rounds.Mean), fmt.Sprintf("%.2f", ci.Hi-r.Rounds.Mean),
-			fmt.Sprintf("%.1f", r.Rounds.P50), fmt.Sprintf("%.1f", r.Rounds.P95),
-			fmt.Sprintf("%.0f", r.Rounds.Max), fmt.Sprintf("%.0f", r.Transmissions.Mean))
+			r.Process, branchLabel(r.Point), trialsCol,
+			rounds, hw, p50, p95, maxv, msgs)
+	}
+	// Scalar metrics beyond the canonical table columns surface as notes;
+	// trajectory metrics summarise their band shape (full bands live in
+	// the artifacts and the daemon's /v1/jobs/{id}/trajectories stream).
+	for _, m := range rep.Spec.Metrics {
+		if m == sweep.MetricRounds || m == sweep.MetricTransmissions {
+			continue
+		}
+		for _, r := range rep.Results {
+			if s, ok := r.Trajectory(m); ok {
+				tbl.AddNote("%-32s %s: %d round columns, final p50 %.0f (n=%d survivors at last column)",
+					r.ID, m, len(s.Rounds), s.P50[len(s.P50)-1], s.N[len(s.N)-1])
+			} else if r.HasMetric(m) {
+				s := r.Metric(m)
+				tbl.AddNote("%-32s %s: mean %.2f  p50 %.1f  p95 %.1f  max %.0f", r.ID, m, s.Mean, s.P50, s.P95, s.Max)
+			}
+		}
 	}
 	if rep.Spec.MeasureLambda {
 		for _, r := range rep.Results {

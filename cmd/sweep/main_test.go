@@ -160,3 +160,71 @@ func TestGraphCacheNote(t *testing.T) {
 		t.Fatalf("disabled cache still reported:\n%s", out)
 	}
 }
+
+// TestMetricsFlag pins the -metrics/-list-metrics surface: the registry
+// lists, a trajectory-enabled run persists trajectory blocks, and the
+// text summary surfaces the extra metrics as notes.
+func TestMetricsFlag(t *testing.T) {
+	out, err := runQuiet(t, "-list-metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range []string{"rounds", "transmissions", "peak-active", "half-coverage", "coverage", "frontier", "trajectory"} {
+		if !strings.Contains(out, m) {
+			t.Fatalf("metric listing missing %s:\n%s", m, out)
+		}
+	}
+
+	dir := t.TempDir()
+	out, err = runQuiet(t, "-families", "complete", "-sizes", "16", "-trials", "4",
+		"-metrics", "rounds,transmissions,peak-active,coverage", "-out", dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "peak-active: mean") || !strings.Contains(out, "coverage: ") {
+		t.Fatalf("summary lacks extra-metric notes:\n%s", out)
+	}
+	blob, err := os.ReadFile(filepath.Join(dir, "results.ndjson"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rec struct {
+		Metrics      map[string]json.RawMessage `json:"metrics"`
+		Trajectories map[string]struct {
+			Rounds []int `json:"rounds"`
+		} `json:"trajectories"`
+	}
+	if err := json.Unmarshal(blob, &rec); err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range []string{"rounds", "transmissions", "peak-active"} {
+		if _, ok := rec.Metrics[m]; !ok {
+			t.Fatalf("record lacks scalar metric %s: %s", m, blob)
+		}
+	}
+	if traj, ok := rec.Trajectories["coverage"]; !ok || len(traj.Rounds) == 0 {
+		t.Fatalf("record lacks coverage trajectory: %s", blob)
+	}
+
+	// Unknown metric is rejected up front.
+	if _, err := runQuiet(t, "-families", "complete", "-sizes", "16", "-metrics", "latency"); err == nil ||
+		!strings.Contains(err.Error(), "unknown metric") {
+		t.Fatalf("unknown metric: %v", err)
+	}
+}
+
+// TestSingleTrialCIDash pins the DigestSummary.CI hardening at the CLI:
+// a one-trial sweep renders a dash for the half-width instead of failing
+// or printing NaN.
+func TestSingleTrialCIDash(t *testing.T) {
+	out, err := runQuiet(t, "-families", "complete", "-sizes", "16", "-trials", "1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(out, "NaN") {
+		t.Fatalf("single-trial summary prints NaN:\n%s", out)
+	}
+	if !strings.Contains(out, "cobra-complete-n16-k2") {
+		t.Fatalf("single-trial summary missing the point row:\n%s", out)
+	}
+}

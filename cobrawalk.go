@@ -233,6 +233,33 @@ var (
 	RunProcess = process.Run
 )
 
+// The metrics layer: a MetricsCollector rides a process's RoundObserver
+// hook and accumulates one trial's scalars (rounds, transmissions, peak
+// active set, half-coverage round) and per-round series (reached, newly
+// reached, active) into reusable buffers; a TrajectoryDigest folds those
+// series across a Monte-Carlo ensemble into mergeable per-round quantile
+// bands. This is the pipeline behind sweep trajectory metrics, the
+// daemon's /v1/jobs/{id}/trajectories stream and the paper's phase plots.
+type (
+	// MetricsCollector accumulates per-trial metrics via Observe.
+	MetricsCollector = process.Collector
+	// TrajectoryDigest aggregates per-round trajectories across trials.
+	TrajectoryDigest = stats.TrajectoryDigest
+	// TrajectorySummary is a snapshot: per-round n/mean/p10/p50/p90.
+	TrajectorySummary = stats.TrajectorySummary
+)
+
+var (
+	// NewMetricsCollector returns a collector for an n-vertex graph;
+	// attach its Observe method as ProcessConfig.Observer.
+	NewMetricsCollector = process.NewCollector
+	// RunProcessCollect drives one collected run: Reset, Collector.Begin,
+	// then Step until done, the round cap, or ctx cancellation.
+	RunProcessCollect = process.RunCollect
+	// NewTrajectoryDigest returns an empty trajectory digest.
+	NewTrajectoryDigest = stats.NewTrajectoryDigest
+)
+
 // Baseline protocols for comparison experiments (the paper's §1
 // context). These are one-shot convenience wrappers over the process
 // layer; ensemble callers should construct a Process once and reuse it.
@@ -308,6 +335,24 @@ var (
 	// ParseBranchings parses the "K" / "K+RHO" comma-list grammar used
 	// by cmd/sweep's -branchings flag.
 	ParseBranchings = sweep.ParseBranchings
+	// SweepMetrics returns the sweep metric registry in canonical order.
+	SweepMetrics = sweep.Metrics
+	// SweepMetricNames returns the registered metric names.
+	SweepMetricNames = sweep.MetricNames
+	// ParseMetrics parses the comma-list grammar of cmd/sweep's -metrics
+	// flag against the metric registry.
+	ParseMetrics = sweep.ParseMetrics
+)
+
+// Canonical sweep metric names (see the registry in internal/sweep):
+// scalar summaries per trial plus trajectory quantile bands per round.
+const (
+	SweepMetricRounds        = sweep.MetricRounds
+	SweepMetricTransmissions = sweep.MetricTransmissions
+	SweepMetricPeakActive    = sweep.MetricPeakActive
+	SweepMetricHalfCoverage  = sweep.MetricHalfCoverage
+	SweepMetricCoverage      = sweep.MetricCoverage
+	SweepMetricFrontier      = sweep.MetricFrontier
 )
 
 // Graph caching: a GraphCache shares built graphs across sweep points,

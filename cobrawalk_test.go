@@ -307,15 +307,53 @@ func TestFacadeSweep(t *testing.T) {
 		t.Fatalf("got %d results, want 2", len(rep.Results))
 	}
 	for _, res := range rep.Results {
-		if res.Rounds.N != 4 || res.Rounds.Mean <= 0 {
-			t.Fatalf("point %s: %+v", res.ID, res.Rounds)
+		s := res.Metric(cobrawalk.SweepMetricRounds)
+		if s.N != 4 || s.Mean <= 0 {
+			t.Fatalf("point %s: %+v", res.ID, s)
 		}
 	}
-	if len(cobrawalk.SweepFamilies()) == 0 || len(cobrawalk.SweepProcesses()) == 0 {
+	if len(cobrawalk.SweepFamilies()) == 0 || len(cobrawalk.SweepProcesses()) == 0 || len(cobrawalk.SweepMetrics()) == 0 {
 		t.Fatal("empty sweep registries")
 	}
 	brs, err := cobrawalk.ParseBranchings("1+0.25")
 	if err != nil || len(brs) != 1 || brs[0].Rho != 0.25 {
 		t.Fatalf("ParseBranchings: %v, %v", brs, err)
+	}
+	ms, err := cobrawalk.ParseMetrics("rounds,coverage")
+	if err != nil || len(ms) != 2 {
+		t.Fatalf("ParseMetrics: %v, %v", ms, err)
+	}
+}
+
+// TestFacadeMetricsCollector drives a collected run through the facade
+// exports end to end: collector, trajectory digest, quantile bands.
+func TestFacadeMetricsCollector(t *testing.T) {
+	g, err := cobrawalk.RandomRegularConnected(64, 4, cobrawalk.NewRand(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	col := cobrawalk.NewMetricsCollector(g.N())
+	p, err := cobrawalk.NewProcess("bips", g, cobrawalk.ProcessConfig{Observer: col.Observe})
+	if err != nil {
+		t.Fatal(err)
+	}
+	td := cobrawalk.NewTrajectoryDigest()
+	r := cobrawalk.NewRand(7)
+	for i := 0; i < 5; i++ {
+		res, err := cobrawalk.RunProcessCollect(context.Background(), p, col, r, 0, 0)
+		if err != nil || !res.Done {
+			t.Fatalf("collected run: %+v %v", res, err)
+		}
+		td.AddTrial(col.Active())
+	}
+	s, err := td.Summary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if td.N() != 5 || len(s.Rounds) < 2 || s.Mean[0] != 1 {
+		t.Fatalf("degenerate trajectory summary %+v", s)
+	}
+	if s.P50[0] < 0.97 || s.P50[0] > 1.03 { // sketch quantiles are 1%-accurate
+		t.Fatalf("start-column p50 = %v, want ≈ 1", s.P50[0])
 	}
 }

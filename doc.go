@@ -35,10 +35,17 @@
 //   - batch and streaming statistics: summaries, confidence intervals,
 //     scaling-law fits, Welford streams, quantile sketches, histograms
 //     (re-exported here as Stream, QuantileSketch, Digest, Histogram);
+//   - a pluggable metrics layer: a MetricsCollector rides any process's
+//     round-observer hook and records per-trial scalars plus per-round
+//     series in reusable zero-alloc buffers, and a TrajectoryDigest
+//     folds those series across an ensemble into mergeable per-round
+//     p10/p50/p90 quantile bands — the paper's phase plots as data;
 //   - a declarative, resumable parameter-sweep engine: a SweepSpec names
-//     a grid over family × size × degree × process × branching, RunSweep
-//     executes its deterministic points across a worker pool, and
-//     artifact directories make interrupted sweeps resume byte-identically
+//     a grid over family × size × degree × process × branching plus a
+//     metric set (rounds, transmissions, peak-active, half-coverage,
+//     and the coverage/frontier trajectory bands), RunSweep executes
+//     its deterministic points across a worker pool, and artifact
+//     directories make interrupted sweeps resume byte-identically
 //     (see also cmd/sweep);
 //   - a concurrency-safe graph cache (GraphCache): LRU by vertex budget
 //     with single-flighted builds, shared across sweep points and — in
@@ -59,6 +66,7 @@
 // the examples/ directory exercise this API end to end; the experiment
 // suite E1-E15 reproduces every quantitative claim in the paper.
 // README.md covers installation and the command-line tools, DESIGN.md
-// the architecture (§10 for the service layer), and EXPERIMENTS.md the
-// per-experiment tables and the paper claim each one reproduces.
+// the architecture (§10 for the service layer, §11 for the metrics
+// layer), and EXPERIMENTS.md the per-experiment tables, the paper
+// claim each one reproduces, and the paper-figure → metric mapping.
 package cobrawalk

@@ -38,8 +38,9 @@ func main() {
 	fmt.Printf("%-8s %8s %8s %8s %8s %8s\n", "branch", "E[k]", "mean", "p50", "p95", "max")
 	for _, res := range rep.Results {
 		b := res.Branching
+		s := res.Metric(cobrawalk.SweepMetricRounds)
 		fmt.Printf("%-8s %8.1f %8.2f %8.1f %8.1f %8.0f\n",
-			b, b.Expected(), res.Rounds.Mean, res.Rounds.P50, res.Rounds.P95, res.Rounds.Max)
+			b, b.Expected(), s.Mean, s.P50, s.P95, s.Max)
 	}
 	fmt.Println("\nTheorem 3: expected branching 1+ρ already gives O(log n) cover —")
 	fmt.Println("watch the k=1+ρ0.50 row sit far below k=1 (a plain random walk).")

@@ -92,11 +92,11 @@ func runE1(ctx context.Context, w io.Writer, p Params) error {
 			if res.Lambda > lambdas[label] {
 				lambdas[label] = res.Lambda
 			}
-			ci, err := res.Rounds.CI(0.95)
+			s := res.Metric(sweep.MetricRounds)
+			ci, err := s.CI(0.95)
 			if err != nil {
 				return err
 			}
-			s := res.Rounds
 			tbl.AddRow(label, d(res.GraphN), d(res.GraphDegree), f4(res.Lambda), d(s.N),
 				f2(s.Mean), f2(ci.Hi-s.Mean), f1(s.P95), f1(s.Max),
 				f2(s.Mean/math.Log2(float64(res.GraphN))))

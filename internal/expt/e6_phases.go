@@ -7,6 +7,7 @@ import (
 	"math"
 
 	"cobrawalk/internal/core"
+	"cobrawalk/internal/process"
 	"cobrawalk/internal/rng"
 	"cobrawalk/internal/sim"
 	"cobrawalk/internal/stats"
@@ -17,6 +18,11 @@ import (
 // to 9n/10), Lemma 4 (finish). Each phase's round count is measured on
 // random 8-regular expanders over doubling n and fitted against log n —
 // all three lemmas predict O(log n) rounds per phase at constant gap.
+//
+// The trajectories come from the metrics layer: each trial worker owns a
+// registry bips process with a Collector attached, whose per-round |A_t|
+// series feeds core.DetectPhases; trials stream through sim.Reduce, so
+// the ensemble runs in constant memory at any trial count.
 func e6Experiment() Experiment {
 	return Experiment{
 		ID:    "E6",
@@ -38,6 +44,27 @@ func runE6(ctx context.Context, w io.Writer, p Params) error {
 
 	tbl := NewTable("E6: BIPS phase round counts on rand-8-reg (means over trials)",
 		"n", "m=⌈4·log2 n⌉", "phase1 (1→m)", "phase2 (m→.9n)", "phase3 (.9n→n)", "total")
+	type phases struct{ p1, p2, p3, total float64 }
+	red := sim.Reducer[phases, [4]stats.Stream]{
+		New: func() [4]stats.Stream { return [4]stats.Stream{} },
+		Fold: func(acc [4]stats.Stream, _ int, v phases) [4]stats.Stream {
+			acc[0].Add(v.p1)
+			acc[1].Add(v.p2)
+			acc[2].Add(v.p3)
+			acc[3].Add(v.total)
+			return acc
+		},
+		Merge: func(into, from [4]stats.Stream) ([4]stats.Stream, error) {
+			for i := range into {
+				into[i].Merge(from[i])
+			}
+			return into, nil
+		},
+	}
+	type bipsState struct {
+		p   process.Process
+		col *process.Collector
+	}
 	var ns, p1s, p2s, p3s []float64
 	for _, n := range sizes {
 		g, err := fam.build(n, gr)
@@ -45,41 +72,39 @@ func runE6(ctx context.Context, w io.Writer, p Params) error {
 			return err
 		}
 		smallTarget := int(math.Ceil(4 * math.Log2(float64(g.N()))))
-		type phases struct{ p1, p2, p3, total float64 }
-		if _, err := core.NewBIPS(g); err != nil {
+		if _, err := process.New(process.BIPS, g, process.Config{}); err != nil {
 			return err
 		}
-		res, err := sim.RunWithState(ctx,
+		acc, err := sim.ReduceWithState(ctx,
 			sim.Spec{Trials: trials, Seed: p.Seed ^ 0xe6, Workers: p.Workers},
-			func() *core.BIPS {
-				b, err := core.NewBIPS(g, core.WithMaxRounds(1<<16))
+			red,
+			func() *bipsState {
+				col := process.NewCollector(g.N())
+				b, err := process.New(process.BIPS, g, process.Config{Observer: col.Observe})
 				if err != nil {
 					panic(err) // unreachable: validated above
 				}
-				return b
+				return &bipsState{p: b, col: col}
 			},
-			func(b *core.BIPS, trial int, r *rng.Rand) (phases, error) {
-				out, err := b.Run(0, r)
+			func(st *bipsState, trial int, r *rng.Rand) (phases, error) {
+				out, err := process.RunCollect(ctx, st.p, st.col, r, 1<<16, 0)
 				if err != nil {
 					return phases{}, err
 				}
-				if !out.Infected {
+				if !out.Done {
 					return phases{}, fmt.Errorf("uninfected run on %s", g.Name())
 				}
-				pt := core.DetectPhases(out.Sizes, g.N(), smallTarget)
+				pt := core.DetectPhases(st.col.Active(), g.N(), smallTarget)
 				a, bb, c := pt.PhaseLengths()
 				if a < 0 || bb < 0 || c < 0 {
 					return phases{}, fmt.Errorf("phase detection failed: %+v", pt)
 				}
-				return phases{float64(a), float64(bb), float64(c), float64(out.InfectionTime)}, nil
+				return phases{float64(a), float64(bb), float64(c), float64(out.Rounds)}, nil
 			})
 		if err != nil {
 			return err
 		}
-		m1 := stats.Mean(sim.Floats(res, func(x phases) float64 { return x.p1 }))
-		m2 := stats.Mean(sim.Floats(res, func(x phases) float64 { return x.p2 }))
-		m3 := stats.Mean(sim.Floats(res, func(x phases) float64 { return x.p3 }))
-		mt := stats.Mean(sim.Floats(res, func(x phases) float64 { return x.total }))
+		m1, m2, m3, mt := acc[0].Mean(), acc[1].Mean(), acc[2].Mean(), acc[3].Mean()
 		tbl.AddRow(d(g.N()), d(smallTarget), f2(m1), f2(m2), f2(m3), f2(mt))
 		ns = append(ns, float64(g.N()))
 		p1s = append(p1s, m1)

@@ -66,7 +66,7 @@ func runE8(ctx context.Context, w io.Writer, p Params) error {
 		}
 		for _, res := range rep.Results {
 			fn := float64(res.GraphN)
-			s := res.Rounds
+			s := res.Metric(sweep.MetricRounds)
 			tbl.AddRow(familyLabel(res.Point), d(res.GraphN), f2(s.Mean), f1(s.P95),
 				f2(s.Mean/math.Log2(fn)), f4(s.Mean/math.Sqrt(fn)))
 			ns = append(ns, fn)

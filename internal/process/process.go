@@ -118,13 +118,26 @@ type Result struct {
 // reached (maxRounds <= 0 means DefaultMaxRounds). The process remains
 // usable for further runs.
 func Run(p Process, r *rng.Rand, maxRounds int, starts ...int32) (Result, error) {
-	if maxRounds <= 0 {
-		maxRounds = DefaultMaxRounds
-	}
 	if err := p.Reset(starts...); err != nil {
 		return Result{}, err
 	}
+	return drive(nil, p, r, maxRounds)
+}
+
+// drive steps an already-Reset process to completion (or the round cap,
+// or — with a non-nil ctx — a cancellation noticed within
+// cancelCheckInterval rounds). It is the one stepping loop behind Run,
+// RunContext and RunCollect.
+func drive(ctx context.Context, p Process, r *rng.Rand, maxRounds int) (Result, error) {
+	if maxRounds <= 0 {
+		maxRounds = DefaultMaxRounds
+	}
 	for !p.Done() && p.Round() < maxRounds {
+		if ctx != nil && p.Round()%cancelCheckInterval == 0 {
+			if err := ctx.Err(); err != nil {
+				return Result{Rounds: p.Round(), Done: false, Transmissions: p.Transmissions()}, err
+			}
+		}
 		p.Step(r)
 	}
 	return Result{Rounds: p.Round(), Done: p.Done(), Transmissions: p.Transmissions()}, nil
@@ -143,24 +156,10 @@ const cancelCheckInterval = 64
 // returned Result reflects the partial run when the error is non-nil;
 // the process remains usable (Reset discards the partial state).
 func RunContext(ctx context.Context, p Process, r *rng.Rand, maxRounds int, starts ...int32) (Result, error) {
-	if ctx == nil {
-		return Run(p, r, maxRounds, starts...)
-	}
-	if maxRounds <= 0 {
-		maxRounds = DefaultMaxRounds
-	}
 	if err := p.Reset(starts...); err != nil {
 		return Result{}, err
 	}
-	for !p.Done() && p.Round() < maxRounds {
-		if p.Round()%cancelCheckInterval == 0 {
-			if err := ctx.Err(); err != nil {
-				return Result{Rounds: p.Round(), Done: false, Transmissions: p.Transmissions()}, err
-			}
-		}
-		p.Step(r)
-	}
-	return Result{Rounds: p.Round(), Done: p.Done(), Transmissions: p.Transmissions()}, nil
+	return drive(ctx, p, r, maxRounds)
 }
 
 // checkGraph validates a graph at construction time: processes are

@@ -35,6 +35,12 @@ type Info struct {
 	// AcceptsRho reports whether fractional branching (Rho > 0) is
 	// meaningful. False for kwalk, whose K is a walker count.
 	AcceptsRho bool
+	// Monotone reports whether the process's reached count never
+	// decreases over a run. True for the informed/visited processes;
+	// false for bips, whose reached count is the currently infected set
+	// |A_t| and can dip when vertices recover. Trajectory consumers use
+	// this to decide which invariants a reached series satisfies.
+	Monotone bool
 	// Summary is a one-line description for listings and flag help.
 	Summary string
 	// New constructs a Process on a graph.
@@ -58,32 +64,32 @@ func register(info Info) {
 
 func init() {
 	register(Info{
-		Name: Cobra, Branched: true, AcceptsRho: true,
+		Name: Cobra, Branched: true, AcceptsRho: true, Monotone: true,
 		Summary: "coalescing-branching random walk (cover runs)",
 		New:     newCobraProc,
 	})
 	register(Info{
-		Name: BIPS, Branched: true, AcceptsRho: true,
+		Name: BIPS, Branched: true, AcceptsRho: true, Monotone: false,
 		Summary: "biased infection with persistent source (dual epidemic)",
 		New:     newBipsProc,
 	})
 	register(Info{
-		Name: Push, Branched: false,
+		Name: Push, Branched: false, Monotone: true,
 		Summary: "push rumour spreading (informed vertices push forever)",
 		New:     newPushProc,
 	})
 	register(Info{
-		Name: PushPull, Branched: false,
+		Name: PushPull, Branched: false, Monotone: true,
 		Summary: "push-pull rumour spreading (every vertex contacts each round)",
 		New:     newPushPullProc,
 	})
 	register(Info{
-		Name: Flood, Branched: false,
+		Name: Flood, Branched: false, Monotone: true,
 		Summary: "flooding (deterministic; rounds = start eccentricity)",
 		New:     newFloodProc,
 	})
 	register(Info{
-		Name: KWalk, Branched: true, AcceptsRho: false,
+		Name: KWalk, Branched: true, AcceptsRho: false, Monotone: true,
 		Summary: "K independent random walks from the start set",
 		New:     newKWalkProc,
 	})

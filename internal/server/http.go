@@ -4,14 +4,27 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"maps"
 	"net/http"
 	"os"
+	"slices"
 	"strings"
 
 	"cobrawalk/internal/buildinfo"
 	"cobrawalk/internal/process"
+	"cobrawalk/internal/stats"
 	"cobrawalk/internal/sweep"
 )
+
+// trajectoryBand is one line of the /v1/jobs/{id}/trajectories NDJSON
+// stream: a point's trajectory metric with its per-round quantile bands,
+// lifted verbatim from the job's persisted sweep records so the served
+// bands match the cmd/sweep artifacts for the same spec byte for byte.
+type trajectoryBand struct {
+	ID     string `json:"id"`
+	Metric string `json:"metric"`
+	stats.TrajectorySummary
+}
 
 // NewHandler exposes a Manager over HTTP. The API (all JSON):
 //
@@ -21,8 +34,15 @@ import (
 //	GET    /v1/jobs/{id}         one job's live status
 //	DELETE /v1/jobs/{id}         request cancellation
 //	GET    /v1/jobs/{id}/results stream results.ndjson once done
+//	GET    /v1/jobs/{id}/trajectories
+//	                             stream NDJSON per-round quantile bands
+//	                             (one line per point × trajectory metric:
+//	                             rounds, n, mean, p10/p50/p90), derived
+//	                             from the same artifacts as /results
 //	GET    /v1/processes         the process registry
 //	GET    /v1/families          the graph family registry
+//	GET    /v1/metrics           the sweep metric registry
+//	GET    /v1/cachestats        the shared graph cache counters
 //	GET    /v1/healthz           liveness + job counts + cache counters
 //	GET    /v1/version           build identity of the binary
 //
@@ -80,6 +100,33 @@ func NewHandler(m *Manager) http.Handler {
 		w.Header().Set("Content-Type", "application/x-ndjson")
 		io.Copy(w, f)
 	})
+	mux.HandleFunc("GET /v1/jobs/{id}/trajectories", func(w http.ResponseWriter, r *http.Request) {
+		path, err := m.ResultsPath(r.PathValue("id"))
+		if err != nil {
+			writeError(w, statusFor(err), err)
+			return
+		}
+		f, err := os.Open(path)
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, fmt.Errorf("opening results: %w", err))
+			return
+		}
+		defer f.Close()
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		enc := json.NewEncoder(w)
+		dec := json.NewDecoder(f)
+		for dec.More() {
+			var res sweep.Result
+			if err := dec.Decode(&res); err != nil {
+				// Headers are already out; truncate the stream rather
+				// than emitting a half-band.
+				return
+			}
+			for _, name := range slices.Sorted(maps.Keys(res.Trajectories)) {
+				enc.Encode(trajectoryBand{ID: res.ID, Metric: name, TrajectorySummary: res.Trajectories[name]})
+			}
+		}
+	})
 	mux.HandleFunc("GET /v1/processes", func(w http.ResponseWriter, r *http.Request) {
 		type proc struct {
 			Name       string `json:"name"`
@@ -103,6 +150,21 @@ func NewHandler(m *Manager) http.Handler {
 			out = append(out, fam{f.Name, f.Degreed})
 		}
 		writeJSON(w, http.StatusOK, map[string]any{"families": out})
+	})
+	mux.HandleFunc("GET /v1/metrics", func(w http.ResponseWriter, r *http.Request) {
+		type metric struct {
+			Name       string `json:"name"`
+			Trajectory bool   `json:"trajectory"`
+			Summary    string `json:"summary"`
+		}
+		var out []metric
+		for _, m := range sweep.Metrics() {
+			out = append(out, metric{m.Name, m.Trajectory, m.Summary})
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"metrics": out})
+	})
+	mux.HandleFunc("GET /v1/cachestats", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, m.CacheStats())
 	})
 	mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]any{

@@ -541,3 +541,187 @@ func TestRestoreToleratesDamage(t *testing.T) {
 		t.Fatalf("damaged record was touched: %q, %v", blob, err)
 	}
 }
+
+// trajectorySpec is smokeSpec with trajectory metrics enabled, on the
+// two core paper processes.
+func trajectorySpec() sweep.Spec {
+	s := smokeSpec()
+	s.Name = "traj"
+	s.Processes = []string{"cobra", "bips"}
+	s.Metrics = []string{"rounds", "transmissions", "coverage", "frontier"}
+	return s
+}
+
+// TestTrajectoriesEndpointGolden is the acceptance pin for the serving
+// layer: GET /v1/jobs/{id}/trajectories streams per-round quantile bands
+// that match the cmd/sweep artifacts for the same spec — every band line
+// equals the trajectory block of the corresponding persisted record.
+func TestTrajectoriesEndpointGolden(t *testing.T) {
+	spec := trajectorySpec()
+	wantResults := referenceNDJSON(t, spec)
+
+	m := newTestManager(t, t.TempDir(), Config{})
+	ts := httptest.NewServer(NewHandler(m))
+	defer ts.Close()
+
+	specBlob, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st Status
+	if code := httpJSON(t, http.MethodPost, ts.URL+"/v1/jobs", specBlob, &st); code != http.StatusAccepted {
+		t.Fatalf("POST /v1/jobs: status %d", code)
+	}
+
+	final := pollUntil(t, ts.URL, st.ID, terminal)
+	if final.State != StateDone {
+		t.Fatalf("job finished as %+v", final)
+	}
+
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + st.ID + "/trajectories")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("trajectories content type %q", ct)
+	}
+	type band struct {
+		ID     string    `json:"id"`
+		Metric string    `json:"metric"`
+		Rounds []int     `json:"rounds"`
+		N      []int     `json:"n"`
+		Mean   []float64 `json:"mean"`
+		P10    []float64 `json:"p10"`
+		P50    []float64 `json:"p50"`
+		P90    []float64 `json:"p90"`
+	}
+	var bands []band
+	dec := json.NewDecoder(resp.Body)
+	for dec.More() {
+		var b band
+		if err := dec.Decode(&b); err != nil {
+			t.Fatal(err)
+		}
+		bands = append(bands, b)
+	}
+	// 2 points × 2 trajectory metrics, metric names sorted per point.
+	if len(bands) != 4 {
+		t.Fatalf("got %d band lines, want 4", len(bands))
+	}
+
+	// Golden: the bands must equal the trajectory blocks of the sweep
+	// engine's own artifacts for the same spec.
+	var wantBands []band
+	rdec := json.NewDecoder(bytes.NewReader(wantResults))
+	for rdec.More() {
+		var res sweep.Result
+		if err := rdec.Decode(&res); err != nil {
+			t.Fatal(err)
+		}
+		for _, metric := range []string{"coverage", "frontier"} {
+			traj, ok := res.Trajectory(metric)
+			if !ok {
+				t.Fatalf("reference record %s lacks %s", res.ID, metric)
+			}
+			wantBands = append(wantBands, band{
+				ID: res.ID, Metric: metric,
+				Rounds: traj.Rounds, N: traj.N, Mean: traj.Mean,
+				P10: traj.P10, P50: traj.P50, P90: traj.P90,
+			})
+		}
+	}
+	if len(bands) != len(wantBands) {
+		t.Fatalf("band count %d vs reference %d", len(bands), len(wantBands))
+	}
+	for i := range bands {
+		got, _ := json.Marshal(bands[i])
+		want, _ := json.Marshal(wantBands[i])
+		if !bytes.Equal(got, want) {
+			t.Fatalf("band %d differs:\nserver: %s\nsweep:  %s", i, got, want)
+		}
+	}
+
+	// Sanity on the shape itself: bands are quantile-ordered per round
+	// and the start column saw every trial.
+	for _, b := range bands {
+		if b.N[0] != spec.Trials {
+			t.Fatalf("band %s/%s start column n = %d, want %d", b.ID, b.Metric, b.N[0], spec.Trials)
+		}
+		for k := range b.Rounds {
+			if b.P10[k] > b.P50[k] || b.P50[k] > b.P90[k] {
+				t.Fatalf("band %s/%s column %d not ordered: %v %v %v",
+					b.ID, b.Metric, k, b.P10[k], b.P50[k], b.P90[k])
+			}
+		}
+	}
+
+	// A job without trajectory metrics streams an empty body, not an error.
+	leanBlob, _ := json.Marshal(smokeSpec())
+	var lean Status
+	httpJSON(t, http.MethodPost, ts.URL+"/v1/jobs", leanBlob, &lean)
+	pollUntil(t, ts.URL, lean.ID, terminal)
+	resp2, err := http.Get(ts.URL + "/v1/jobs/" + lean.ID + "/trajectories")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	if body, _ := io.ReadAll(resp2.Body); resp2.StatusCode != http.StatusOK || len(body) != 0 {
+		t.Fatalf("trajectory-less job: status %d body %q, want 200 with empty body", resp2.StatusCode, body)
+	}
+
+	// Unknown job → 404.
+	var errResp map[string]string
+	if code := httpJSON(t, http.MethodGet, ts.URL+"/v1/jobs/j9999/trajectories", nil, &errResp); code != http.StatusNotFound {
+		t.Fatalf("unknown job trajectories: status %d", code)
+	}
+}
+
+// TestMetricsAndCacheStatsEndpoints pins the two new registry/observability
+// endpoints: /v1/metrics lists the sweep metric registry and
+// /v1/cachestats serves the shared graph cache counters.
+func TestMetricsAndCacheStatsEndpoints(t *testing.T) {
+	m := newTestManager(t, t.TempDir(), Config{})
+	ts := httptest.NewServer(NewHandler(m))
+	defer ts.Close()
+
+	var metrics struct {
+		Metrics []struct {
+			Name       string `json:"name"`
+			Trajectory bool   `json:"trajectory"`
+			Summary    string `json:"summary"`
+		} `json:"metrics"`
+	}
+	httpJSON(t, http.MethodGet, ts.URL+"/v1/metrics", nil, &metrics)
+	if len(metrics.Metrics) != len(sweep.MetricNames()) {
+		t.Fatalf("metric registry over HTTP = %+v", metrics)
+	}
+	if metrics.Metrics[0].Name != "rounds" || metrics.Metrics[0].Trajectory {
+		t.Fatalf("first metric = %+v, want scalar rounds", metrics.Metrics[0])
+	}
+
+	var stBefore struct {
+		Hits   uint64 `json:"hits"`
+		Misses uint64 `json:"misses"`
+		Budget int    `json:"budget"`
+	}
+	httpJSON(t, http.MethodGet, ts.URL+"/v1/cachestats", nil, &stBefore)
+	if stBefore.Hits != 0 || stBefore.Misses != 0 || stBefore.Budget <= 0 {
+		t.Fatalf("fresh cache stats = %+v", stBefore)
+	}
+
+	specBlob, _ := json.Marshal(smokeSpec())
+	var st Status
+	httpJSON(t, http.MethodPost, ts.URL+"/v1/jobs", specBlob, &st)
+	pollUntil(t, ts.URL, st.ID, terminal)
+
+	var stAfter struct {
+		Hits   uint64 `json:"hits"`
+		Misses uint64 `json:"misses"`
+	}
+	httpJSON(t, http.MethodGet, ts.URL+"/v1/cachestats", nil, &stAfter)
+	// 2 points, 1 topology: one build, one hit.
+	if stAfter.Misses != 1 || stAfter.Hits != 1 {
+		t.Fatalf("cache stats after job = %+v, want 1 miss / 1 hit", stAfter)
+	}
+}

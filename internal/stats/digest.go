@@ -84,10 +84,15 @@ func (d *Digest) Summary() (DigestSummary, error) {
 
 // CI returns the normal-approximation confidence interval for the mean
 // at the given level — Stream.CI reconstructed from the snapshot, for
-// consumers that only hold the serialised summary (sweep records).
+// consumers that only hold the serialised summary (sweep records). A
+// single observation has no standard error, so N < 2 returns
+// ErrInsufficient (ErrEmpty for N == 0) instead of degenerate bounds.
 func (s DigestSummary) CI(level float64) (Interval, error) {
 	if s.N == 0 {
 		return Interval{}, ErrEmpty
+	}
+	if s.N < 2 {
+		return Interval{}, ErrInsufficient
 	}
 	if level <= 0 || level >= 1 {
 		return Interval{}, errBadLevel(level)

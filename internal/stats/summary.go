@@ -27,6 +27,11 @@ import (
 // ErrEmpty is returned when an operation requires at least one sample.
 var ErrEmpty = errors.New("stats: empty sample")
 
+// ErrInsufficient is returned when an operation requires at least two
+// samples — a one-trial ensemble has no standard error, so interval
+// estimates refuse loudly instead of reporting NaN or zero-width bounds.
+var ErrInsufficient = errors.New("stats: need at least 2 observations")
+
 // Summary holds the descriptive statistics of a sample.
 type Summary struct {
 	N        int

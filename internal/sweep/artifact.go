@@ -27,7 +27,9 @@ const (
 	// manifestVersion guards the artifact layout; bump on incompatible
 	// changes so stale dirs fail loudly instead of resuming wrongly.
 	// v2: points carry graph_seed (graphs keyed on topology, not point).
-	manifestVersion = 2
+	// v3: pluggable metrics — specs carry a metric set, records hold
+	// per-metric summaries plus optional trajectory blocks.
+	manifestVersion = 3
 )
 
 // manifest pins a sweep to its artifact directory.
@@ -106,6 +108,10 @@ func (a *artifacts) load(pt Point) (Result, bool, error) {
 		return Result{}, false, fmt.Errorf("sweep: point record %s was computed with graph seed %d, expected %d (stale artifact layout? delete it to recompute)",
 			path, res.GraphSeed, pt.GraphSeed)
 	}
+	if err := res.checkMetrics(pt.Metrics); err != nil {
+		return Result{}, false, fmt.Errorf("sweep: point record %s: %w (delete it to recompute)", path, err)
+	}
+	res.Point.Metrics = pt.Metrics // not serialised; restore for in-memory consumers
 	return res, true, nil
 }
 

@@ -1,0 +1,157 @@
+package sweep
+
+import (
+	"fmt"
+	"strings"
+
+	"cobrawalk/internal/process"
+)
+
+// Canonical metric names accepted by Spec.Metrics. The metric registry
+// below is the single source of truth: adding a metric means adding one
+// entry there, and the spec validation, the per-trial collection, the
+// record schema and the CLI listings all pick it up.
+const (
+	// MetricRounds is the process's time metric per trial: cover time for
+	// cobra, infection time for bips, rounds to inform all for the
+	// baselines.
+	MetricRounds = "rounds"
+	// MetricTransmissions counts messages sent per trial.
+	MetricTransmissions = "transmissions"
+	// MetricPeakActive is the largest driving-set size per trial — the
+	// peak COBRA frontier |C_t|, the peak infected set |A_t| for bips.
+	MetricPeakActive = "peak-active"
+	// MetricHalfCoverage is the first round at which the reached count
+	// passes n/2 — the paper's growth-phase/finish-phase boundary signal.
+	MetricHalfCoverage = "half-coverage"
+	// MetricCoverage is a trajectory metric: the per-round reached-count
+	// curve, digested into quantile bands over the ensemble.
+	MetricCoverage = "coverage"
+	// MetricFrontier is a trajectory metric: the per-round driving-set
+	// curve (|C_t| for cobra, |A_t| for bips — the paper's phase plots).
+	MetricFrontier = "frontier"
+)
+
+// MetricInfo is one metric registry entry.
+type MetricInfo struct {
+	// Name is the canonical metric name (flag- and JSON-safe).
+	Name string
+	// Trajectory reports whether the metric is a per-round series
+	// digested into a trajectory block, rather than a per-trial scalar
+	// digested into a summary.
+	Trajectory bool
+	// Collects reports whether the metric needs a process.Collector
+	// attached to each trial. Rounds and transmissions come free from
+	// the driven run's Result; everything else observes rounds.
+	Collects bool
+	// Summary is a one-line description for listings and flag help.
+	Summary string
+
+	// scalar extracts a per-trial scalar (Trajectory == false). The
+	// collector is nil unless Collects.
+	scalar func(res process.Result, c *process.Collector) float64
+	// series returns the per-round series to digest (Trajectory == true).
+	// The returned slice is owned by the collector and must be consumed
+	// before the next trial.
+	series func(c *process.Collector) []int
+}
+
+// metricRegistry holds the entries in canonical order.
+var metricRegistry = []MetricInfo{
+	{
+		Name: MetricRounds, Summary: "per-trial completion time in rounds",
+		scalar: func(res process.Result, _ *process.Collector) float64 { return float64(res.Rounds) },
+	},
+	{
+		Name: MetricTransmissions, Summary: "per-trial messages sent",
+		scalar: func(res process.Result, _ *process.Collector) float64 { return float64(res.Transmissions) },
+	},
+	{
+		Name: MetricPeakActive, Collects: true, Summary: "per-trial peak driving-set size (|C_t| / |A_t|)",
+		scalar: func(_ process.Result, c *process.Collector) float64 { return float64(c.PeakActive()) },
+	},
+	{
+		Name: MetricHalfCoverage, Collects: true, Summary: "per-trial first round past n/2 reached",
+		scalar: func(_ process.Result, c *process.Collector) float64 { return float64(c.HalfCoverageRound()) },
+	},
+	{
+		Name: MetricCoverage, Trajectory: true, Collects: true,
+		Summary: "trajectory: per-round reached count, quantile-banded over the ensemble",
+		series:  func(c *process.Collector) []int { return c.Reached() },
+	},
+	{
+		Name: MetricFrontier, Trajectory: true, Collects: true,
+		Summary: "trajectory: per-round driving-set size, quantile-banded over the ensemble",
+		series:  func(c *process.Collector) []int { return c.Active() },
+	},
+}
+
+// Metrics returns the metric registry entries in canonical order.
+func Metrics() []MetricInfo {
+	return append([]MetricInfo(nil), metricRegistry...)
+}
+
+// MetricNames returns the registered metric names in canonical order.
+func MetricNames() []string {
+	out := make([]string, len(metricRegistry))
+	for i, m := range metricRegistry {
+		out[i] = m.Name
+	}
+	return out
+}
+
+// LookupMetric returns the registry entry for name.
+func LookupMetric(name string) (MetricInfo, error) {
+	for _, m := range metricRegistry {
+		if m.Name == name {
+			return m, nil
+		}
+	}
+	return MetricInfo{}, fmt.Errorf("sweep: unknown metric %q (want one of %s)",
+		name, strings.Join(MetricNames(), ", "))
+}
+
+// DefaultMetrics is the metric set used when a spec names none — the
+// pre-metrics-layer record shape.
+func DefaultMetrics() []string {
+	return []string{MetricRounds, MetricTransmissions}
+}
+
+// ParseMetrics parses the cmd/sweep -metrics grammar: a comma-separated
+// list of registry names. Empty input means nil (spec defaults apply).
+func ParseMetrics(s string) ([]string, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	var out []string
+	for _, item := range strings.Split(s, ",") {
+		item = strings.TrimSpace(item)
+		if item == "" {
+			continue
+		}
+		if _, err := LookupMetric(item); err != nil {
+			return nil, err
+		}
+		out = append(out, item)
+	}
+	return out, nil
+}
+
+// pointMetrics resolves a point's metric names into registry entries,
+// split into scalars and trajectories in spec order, and reports whether
+// any of them needs a collector.
+func pointMetrics(names []string) (scalars, trajs []MetricInfo, collects bool, err error) {
+	for _, name := range names {
+		m, err := LookupMetric(name)
+		if err != nil {
+			return nil, nil, false, err
+		}
+		collects = collects || m.Collects
+		if m.Trajectory {
+			trajs = append(trajs, m)
+		} else {
+			scalars = append(scalars, m)
+		}
+	}
+	return scalars, trajs, collects, nil
+}

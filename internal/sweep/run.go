@@ -51,9 +51,7 @@ type Options struct {
 }
 
 // Result is one completed point: the point identity plus the realised
-// graph and the streamed ensemble digests. Rounds is the process's time
-// metric (cover time for cobra, infection time for bips, rounds to
-// inform all vertices for the baselines); Transmissions counts messages.
+// graph and the streamed ensemble digests, one per requested metric.
 type Result struct {
 	Point
 	// GraphN is the realised vertex count (generators round the target
@@ -63,9 +61,53 @@ type Result struct {
 	// Lambda is λ_max of the realised graph when Spec.MeasureLambda was
 	// set, else 0.
 	Lambda float64 `json:"lambda,omitempty"`
-	// Rounds and Transmissions summarise the per-trial metrics.
-	Rounds        stats.DigestSummary `json:"rounds"`
-	Transmissions stats.DigestSummary `json:"transmissions"`
+	// Metrics holds one ensemble summary per requested scalar metric,
+	// keyed by registry name ("rounds" is the process's time metric:
+	// cover time for cobra, infection time for bips, rounds to inform
+	// all for the baselines; "transmissions" counts messages).
+	Metrics map[string]stats.DigestSummary `json:"metrics"`
+	// Trajectories holds one per-round quantile-band block per requested
+	// trajectory metric, keyed by registry name.
+	Trajectories map[string]stats.TrajectorySummary `json:"trajectories,omitempty"`
+}
+
+// Metric returns the named scalar metric's ensemble summary, zero-valued
+// (N == 0) when the metric was not requested.
+func (r Result) Metric(name string) stats.DigestSummary { return r.Metrics[name] }
+
+// HasMetric reports whether the named scalar metric was recorded.
+func (r Result) HasMetric(name string) bool {
+	_, ok := r.Metrics[name]
+	return ok
+}
+
+// Trajectory returns the named trajectory metric's quantile-band block.
+func (r Result) Trajectory(name string) (stats.TrajectorySummary, bool) {
+	t, ok := r.Trajectories[name]
+	return t, ok
+}
+
+// checkMetrics verifies the result records exactly the wanted metric set
+// — the resume guard against mixing records from sweeps with different
+// metric selections.
+func (r Result) checkMetrics(want []string) error {
+	have := make(map[string]bool, len(r.Metrics)+len(r.Trajectories))
+	for name := range r.Metrics {
+		have[name] = true
+	}
+	for name := range r.Trajectories {
+		have[name] = true
+	}
+	for _, name := range want {
+		if !have[name] {
+			return fmt.Errorf("record lacks metric %q", name)
+		}
+		delete(have, name)
+	}
+	for name := range have {
+		return fmt.Errorf("record holds unexpected metric %q", name)
+	}
+	return nil
 }
 
 // Report is the outcome of a Run.
@@ -197,37 +239,61 @@ func Run(ctx context.Context, spec Spec, opts Options) (*Report, error) {
 	return &Report{Spec: spec, Results: results, Resumed: resumed}, nil
 }
 
-// trialOut is the per-trial metric pair every process reports.
+// trialOut is one trial's raw material for the metric registry: the
+// driven run's result plus the worker's collector (nil when no requested
+// metric observes rounds). The collector's buffers are only valid until
+// the worker's next trial, so Fold must consume them immediately — the
+// sim layer guarantees Fold runs before the worker starts another trial.
 type trialOut struct {
-	rounds        float64
-	transmissions float64
+	res process.Result
+	col *process.Collector
 }
 
-// pointAcc streams a point's ensemble: one digest per metric.
+// pointAcc streams a point's ensemble: one digest per requested scalar
+// metric and one trajectory digest per requested trajectory metric, both
+// in spec order.
 type pointAcc struct {
-	rounds *stats.Digest
-	trans  *stats.Digest
+	scalars []*stats.Digest
+	trajs   []*stats.TrajectoryDigest
 }
 
-// pointReducer folds trialOuts into a pointAcc; merges are associative
-// digest merges, so the ensemble is independent of the trial worker
-// count.
-func pointReducer() sim.Reducer[trialOut, pointAcc] {
+// pointReducer folds trialOuts into a pointAcc through the metric
+// registry. Merges run in the sim layer's fixed shard order, so the
+// ensemble is independent of the trial worker count.
+func pointReducer(scalars, trajs []MetricInfo) sim.Reducer[trialOut, pointAcc] {
 	return sim.Reducer[trialOut, pointAcc]{
 		New: func() pointAcc {
-			return pointAcc{rounds: stats.NewDigest(), trans: stats.NewDigest()}
+			acc := pointAcc{
+				scalars: make([]*stats.Digest, len(scalars)),
+				trajs:   make([]*stats.TrajectoryDigest, len(trajs)),
+			}
+			for i := range acc.scalars {
+				acc.scalars[i] = stats.NewDigest()
+			}
+			for i := range acc.trajs {
+				acc.trajs[i] = stats.NewTrajectoryDigest()
+			}
+			return acc
 		},
 		Fold: func(acc pointAcc, _ int, v trialOut) pointAcc {
-			acc.rounds.Add(v.rounds)
-			acc.trans.Add(v.transmissions)
+			for i, m := range scalars {
+				acc.scalars[i].Add(m.scalar(v.res, v.col))
+			}
+			for i, m := range trajs {
+				acc.trajs[i].AddTrial(m.series(v.col))
+			}
 			return acc
 		},
 		Merge: func(into, from pointAcc) (pointAcc, error) {
-			if err := into.rounds.Merge(from.rounds); err != nil {
-				return pointAcc{}, err
+			for i := range into.scalars {
+				if err := into.scalars[i].Merge(from.scalars[i]); err != nil {
+					return pointAcc{}, err
+				}
 			}
-			if err := into.trans.Merge(from.trans); err != nil {
-				return pointAcc{}, err
+			for i := range into.trajs {
+				if err := into.trajs[i].Merge(from.trajs[i]); err != nil {
+					return pointAcc{}, err
+				}
 			}
 			return into, nil
 		},
@@ -269,54 +335,90 @@ func runPoint(ctx context.Context, pt Point, trialWorkers int, cache *graphcache
 		}
 	}
 
-	acc, err := runEnsemble(ctx, g, pt, trialWorkers)
+	scalars, trajs, collects, err := pointMetrics(pt.Metrics)
 	if err != nil {
 		return Result{}, err
 	}
-	if res.Rounds, err = acc.rounds.Summary(); err != nil {
+	acc, err := runEnsemble(ctx, g, pt, trialWorkers, scalars, trajs, collects)
+	if err != nil {
 		return Result{}, err
 	}
-	if res.Transmissions, err = acc.trans.Summary(); err != nil {
-		return Result{}, err
+	res.Metrics = make(map[string]stats.DigestSummary, len(scalars))
+	for i, m := range scalars {
+		if res.Metrics[m.Name], err = acc.scalars[i].Summary(); err != nil {
+			return Result{}, fmt.Errorf("summarising %s: %w", m.Name, err)
+		}
+	}
+	if len(trajs) > 0 {
+		res.Trajectories = make(map[string]stats.TrajectorySummary, len(trajs))
+		for i, m := range trajs {
+			if res.Trajectories[m.Name], err = acc.trajs[i].Summary(); err != nil {
+				return Result{}, fmt.Errorf("summarising %s: %w", m.Name, err)
+			}
+		}
 	}
 	return res, nil
 }
 
-// runEnsemble streams the point's ensemble through the process registry:
-// the point's process name selects a Factory, each trial worker owns one
-// reusable Process (constructed once, Reset per trial — no per-trial
-// graph-sized allocations), and adding a process to internal/process
-// makes it sweepable with no change here. All runs start from vertex 0:
-// the sweep families are vertex-transitive or statistically symmetric,
-// so vertex 0 is representative of the worst-case start.
-func runEnsemble(ctx context.Context, g *graph.Graph, pt Point, trialWorkers int) (pointAcc, error) {
+// trialState is one trial worker's reusable equipment: a Process
+// (constructed once, Reset per trial) and, when any requested metric
+// observes rounds, a Collector attached as its observer.
+type trialState struct {
+	p   process.Process
+	col *process.Collector
+}
+
+// runEnsemble streams the point's ensemble through the process registry
+// and the metric registry: the point's process name selects a Factory,
+// each trial worker owns one reusable Process plus (when needed) one
+// reusable Collector — no per-trial graph-sized allocations — and the
+// requested metrics decide what each trial folds into the point
+// accumulator. Adding a process to internal/process makes it sweepable,
+// and adding a metric to the registry in metrics.go makes it recordable,
+// with no change here. All runs start from vertex 0: the sweep families
+// are vertex-transitive or statistically symmetric, so vertex 0 is
+// representative of the worst-case start. Attaching a collector never
+// touches the random stream, so the metric set cannot change any drawn
+// trial.
+func runEnsemble(ctx context.Context, g *graph.Graph, pt Point, trialWorkers int, scalars, trajs []MetricInfo, collects bool) (pointAcc, error) {
 	info, err := process.Lookup(pt.Process)
 	if err != nil {
 		return pointAcc{}, err
 	}
-	cfg := process.Config{Branching: pt.Branching}
 	// Validate construction once so the per-worker factory cannot fail.
-	if _, err := info.New(g, cfg); err != nil {
+	if _, err := info.New(g, process.Config{Branching: pt.Branching}); err != nil {
 		return pointAcc{}, err
 	}
 	spec := sim.Spec{Trials: pt.Trials, Seed: pt.Seed, Workers: trialWorkers}
 	start := []int32{0} // hoisted so the per-trial Run call allocates nothing
-	return sim.ReduceWithState(ctx, spec, pointReducer(),
-		func() process.Process {
+	return sim.ReduceWithState(ctx, spec, pointReducer(scalars, trajs),
+		func() trialState {
+			cfg := process.Config{Branching: pt.Branching}
+			var col *process.Collector
+			if collects {
+				col = process.NewCollector(g.N())
+				cfg.Observer = col.Observe
+			}
 			p, err := info.New(g, cfg)
 			if err != nil {
 				panic(err) // unreachable: validated above
 			}
-			return p
+			return trialState{p: p, col: col}
 		},
-		func(p process.Process, _ int, r *rng.Rand) (trialOut, error) {
-			out, err := process.RunContext(ctx, p, r, pt.MaxRounds, start...)
+		func(st trialState, _ int, r *rng.Rand) (trialOut, error) {
+			var out process.Result
+			var err error
+			if st.col != nil {
+				out, err = process.RunCollect(ctx, st.p, st.col, r, pt.MaxRounds, start...)
+			} else {
+				out, err = process.RunContext(ctx, st.p, r, pt.MaxRounds, start...)
+			}
 			if err != nil {
 				return trialOut{}, err
 			}
 			if !out.Done {
 				return trialOut{}, fmt.Errorf("%s run hit round cap %d on %s", pt.Process, pt.MaxRounds, g.Name())
 			}
-			return trialOut{rounds: float64(out.Rounds), transmissions: float64(out.Transmissions)}, nil
+			return trialOut{res: out, col: st.col}, nil
 		})
 }

@@ -1,8 +1,11 @@
 // Package sweep is the declarative parameter-sweep engine: a Spec names
 // the axes of a grid — graph family, size, degree, process, branching —
-// and expands into a deterministic, ID-stamped list of Points; Run
-// schedules the points across a worker pool, each point streaming its
-// Monte-Carlo ensemble through sim.Reduce into constant-memory digests.
+// plus a metric set, and expands into a deterministic, ID-stamped list
+// of Points; Run schedules the points across a worker pool, each point
+// streaming its Monte-Carlo ensemble through sim.Reduce into
+// constant-memory digests, one per requested metric (see metrics.go:
+// scalar summaries like rounds and transmissions, and per-round
+// trajectory quantile bands like coverage and frontier).
 //
 // With an artifact directory, every completed point is persisted as one
 // JSON record plus a manifest that pins the spec, which makes interrupted
@@ -70,6 +73,13 @@ type Spec struct {
 	// Branchings lists branching factors for cobra/bips points
 	// (default: the paper's k = 2).
 	Branchings []core.Branching `json:"branchings,omitempty"`
+	// Metrics lists the metric names to collect per point (see Metrics /
+	// LookupMetric; default: rounds and transmissions). Scalar metrics
+	// add a summary to every record; trajectory metrics add a per-round
+	// quantile-band block. The metric set never affects the random
+	// stream, so two sweeps differing only in Metrics draw identical
+	// trials.
+	Metrics []string `json:"metrics,omitempty"`
 	// Trials is the ensemble size per point (must be >= 1).
 	Trials int `json:"trials"`
 	// Seed is the sweep master seed; every point derives its own seed
@@ -90,6 +100,9 @@ func (s Spec) withDefaults() Spec {
 	}
 	if len(s.Branchings) == 0 {
 		s.Branchings = []core.Branching{core.DefaultBranching}
+	}
+	if len(s.Metrics) == 0 {
+		s.Metrics = DefaultMetrics()
 	}
 	if s.MaxRounds <= 0 {
 		s.MaxRounds = DefaultMaxRounds
@@ -147,6 +160,16 @@ func (s Spec) validate() error {
 			return fmt.Errorf("sweep: branching Rho = %v, need 0 <= Rho < 1", b.Rho)
 		}
 	}
+	seenMetric := make(map[string]bool)
+	for _, m := range s.Metrics {
+		if _, err := LookupMetric(m); err != nil {
+			return err
+		}
+		if seenMetric[m] {
+			return fmt.Errorf("sweep: duplicate metric %q", m)
+		}
+		seenMetric[m] = true
+	}
 	if s.Trials < 1 {
 		return fmt.Errorf("sweep: trials = %d, need >= 1", s.Trials)
 	}
@@ -174,6 +197,13 @@ type Point struct {
 	Trials    int    `json:"trials"`
 	Seed      uint64 `json:"seed"`
 	MaxRounds int    `json:"max_rounds"`
+	// Metrics carries the spec's metric set: what each trial records and
+	// each record summarises. It never feeds the ID or the seeds, so
+	// changing the metric set re-records the same draws. Not serialised:
+	// in a Result the recorded summaries themselves carry the metric
+	// names (and the manifest pins the spec), so the record stays
+	// single-sourced.
+	Metrics []string `json:"-"`
 	// GraphSeed drives graph construction. It is derived from the spec
 	// seed and the topology identity (family/size/degree) only — not the
 	// process or branching — so every point on the same topology runs on
@@ -257,6 +287,7 @@ func (s Spec) Points() ([]Point, error) {
 							Branching:     br,
 							Trials:        s.Trials,
 							MaxRounds:     s.MaxRounds,
+							Metrics:       s.Metrics,
 							MeasureLambda: s.MeasureLambda,
 						}
 						pt.ID = pt.id()

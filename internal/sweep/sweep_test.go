@@ -183,11 +183,12 @@ func TestRunWorkerCountIndependence(t *testing.T) {
 		t.Fatalf("unexpected report shape: %d results, %d resumed", len(base.Results), base.Resumed)
 	}
 	for _, res := range base.Results {
-		if res.Rounds.N != 5 || res.Transmissions.N != 5 {
-			t.Fatalf("point %s: digests saw %d/%d trials, want 5", res.ID, res.Rounds.N, res.Transmissions.N)
+		rounds, trans := res.Metric(MetricRounds), res.Metric(MetricTransmissions)
+		if rounds.N != 5 || trans.N != 5 {
+			t.Fatalf("point %s: digests saw %d/%d trials, want 5", res.ID, rounds.N, trans.N)
 		}
-		if res.Rounds.Mean <= 0 || res.Transmissions.Mean <= 0 {
-			t.Fatalf("point %s: degenerate digests %+v", res.ID, res.Rounds)
+		if rounds.Mean <= 0 || trans.Mean <= 0 {
+			t.Fatalf("point %s: degenerate digests %+v", res.ID, rounds)
 		}
 		if res.GraphN < res.Size {
 			t.Fatalf("point %s: graph_n %d below requested %d", res.ID, res.GraphN, res.Size)
@@ -239,8 +240,8 @@ func TestAllProcessesWorkerIndependence(t *testing.T) {
 		t.Fatalf("got %d results, want one per process (%d)", len(base.Results), len(Processes()))
 	}
 	for _, res := range base.Results {
-		if res.Rounds.N != 5 || res.Rounds.Mean <= 0 || res.Transmissions.Mean <= 0 {
-			t.Fatalf("point %s: degenerate digests %+v", res.ID, res.Rounds)
+		if res.Metric(MetricRounds).N != 5 || res.Metric(MetricRounds).Mean <= 0 || res.Metric(MetricTransmissions).Mean <= 0 {
+			t.Fatalf("point %s: degenerate digests %+v", res.ID, res.Metric(MetricRounds))
 		}
 	}
 	parallel, err := Run(context.Background(), spec, Options{PointWorkers: 3, TrialWorkers: 4})
@@ -274,7 +275,7 @@ func TestKWalkSweepable(t *testing.T) {
 	if rep.Results[0].ID != "kwalk-cycle-n24-k1" || rep.Results[1].ID != "kwalk-cycle-n24-k8" {
 		t.Fatalf("unexpected point IDs %s, %s", rep.Results[0].ID, rep.Results[1].ID)
 	}
-	one, eight := rep.Results[0].Rounds.Mean, rep.Results[1].Rounds.Mean
+	one, eight := rep.Results[0].Metric(MetricRounds).Mean, rep.Results[1].Metric(MetricRounds).Mean
 	if eight > one {
 		t.Fatalf("8 walkers (%.1f rounds) slower than 1 (%.1f)", eight, one)
 	}
@@ -305,8 +306,8 @@ func TestRunBips(t *testing.T) {
 		t.Fatalf("got %d results", len(rep.Results))
 	}
 	for _, res := range rep.Results {
-		if res.Rounds.Mean <= 0 {
-			t.Fatalf("point %s: mean rounds %v", res.ID, res.Rounds.Mean)
+		if res.Metric(MetricRounds).Mean <= 0 {
+			t.Fatalf("point %s: mean rounds %v", res.ID, res.Metric(MetricRounds).Mean)
 		}
 	}
 }
