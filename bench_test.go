@@ -11,6 +11,7 @@ package cobrawalk_test
 import (
 	"context"
 	"fmt"
+	"os"
 	"testing"
 
 	"cobrawalk"
@@ -595,5 +596,49 @@ func BenchmarkRandomRegularGeneration(b *testing.B) {
 		if _, err := graph.RandomRegular(16384, 8, r); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkScaleBaseline is ROADMAP open item 1's n = 10^7 expander
+// baseline: one full collected trial per op for the native cobra and
+// bips engines on a 10^7-vertex random-regular graph of degree 8 —
+// the scale the paper's O(log n) cover-time results become compelling
+// at. Building that graph takes minutes and the CSR alone is ~400 MB,
+// so the benchmark is opt-in: set COBRAWALK_SCALE_BENCH=1 to run it.
+// The committed record lives in BENCH_scale.json.
+func BenchmarkScaleBaseline(b *testing.B) {
+	if os.Getenv("COBRAWALK_SCALE_BENCH") == "" {
+		b.Skip("set COBRAWALK_SCALE_BENCH=1 to run the n=10^7 baseline")
+	}
+	g := buildRandomRegular(b, 10_000_000, 8)
+	starts := []int32{0}
+	for _, name := range []string{process.Cobra, process.BIPS} {
+		b.Run(name, func(b *testing.B) {
+			col := process.NewCollector(g.N())
+			col.Reserve(1 << 12)
+			p, err := process.New(name, g, process.Config{Observer: col.Observe})
+			if err != nil {
+				b.Fatal(err)
+			}
+			r := rng.New(1)
+			trial := func() int {
+				res, err := process.RunCollect(nil, p, col, r, 1<<12, starts...)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !res.Done {
+					b.Fatal("trial hit the round cap")
+				}
+				return res.Rounds
+			}
+			trial()
+			var rounds int64
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				rounds += int64(trial())
+			}
+			b.ReportMetric(float64(rounds)/float64(b.N), "rounds/op")
+		})
 	}
 }

@@ -1,0 +1,163 @@
+// Command benchgate is the benchmark regression gate: it re-measures the
+// BenchmarkProcessStep workload — one full collected trial per op for
+// every registered process on the canonical rand-reg n=2^14 d=8 graph —
+// and compares the result against the committed baseline in
+// BENCH_process.json, failing (exit 1) on regression.
+//
+// Absolute ns/op is meaningless across machines, so by default the gate
+// compares shapes, not speeds: it computes the measured/baseline ratio
+// per process and normalises by the median ratio across all processes.
+// A uniformly slower (or faster) machine moves every ratio together and
+// cancels out; a single process regressing moves only its own ratio and
+// trips the tolerance. Allocations are gated absolutely — the process
+// layer's contract is 0 allocs/op in steady state and any growth is a
+// regression regardless of hardware. Use -raw on the machine that
+// recorded the baseline to gate absolute ns/op instead.
+//
+// Usage:
+//
+//	go run ./cmd/benchgate [-baseline BENCH_process.json] [-tolerance 0.2] [-raw]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"testing"
+
+	"cobrawalk/internal/graph"
+	"cobrawalk/internal/process"
+	"cobrawalk/internal/rng"
+)
+
+type baselineFile struct {
+	Benchmark string          `json:"benchmark"`
+	Graph     string          `json:"graph"`
+	Results   []baselineEntry `json:"results"`
+}
+
+type baselineEntry struct {
+	Process     string  `json:"process"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	baselinePath := flag.String("baseline", "BENCH_process.json", "committed baseline to gate against")
+	tolerance := flag.Float64("tolerance", 0.20, "allowed fractional ns/op slowdown per process")
+	raw := flag.Bool("raw", false, "gate absolute ns/op (baseline machine) instead of median-normalised ratios")
+	flag.Parse()
+
+	blob, err := os.ReadFile(*baselinePath)
+	if err != nil {
+		return err
+	}
+	var base baselineFile
+	if err := json.Unmarshal(blob, &base); err != nil {
+		return fmt.Errorf("parsing %s: %w", *baselinePath, err)
+	}
+	want := make(map[string]baselineEntry, len(base.Results))
+	for _, e := range base.Results {
+		want[e.Process] = e
+	}
+
+	// The exact BenchmarkProcessStep workload: same graph seed, same
+	// collector reservation, same warm-up, same per-op trial.
+	g, err := graph.RandomRegularConnected(1<<14, 8, rng.New(42))
+	if err != nil {
+		return err
+	}
+	starts := []int32{0}
+	type measurement struct {
+		name    string
+		nsPerOp float64
+		allocs  int64
+		ratio   float64
+	}
+	var ms []measurement
+	for _, info := range process.All() {
+		e, ok := want[info.Name]
+		if !ok {
+			return fmt.Errorf("process %s has no baseline entry in %s (regenerate it)", info.Name, *baselinePath)
+		}
+		col := process.NewCollector(g.N())
+		col.Reserve(1 << 20)
+		p, err := info.New(g, process.Config{Observer: col.Observe})
+		if err != nil {
+			return err
+		}
+		r := rng.New(1)
+		trial := func() error {
+			res, err := process.RunCollect(nil, p, col, r, 1<<20, starts...)
+			if err != nil {
+				return err
+			}
+			if !res.Done {
+				return fmt.Errorf("%s: trial hit the round cap", info.Name)
+			}
+			return nil
+		}
+		if err := trial(); err != nil { // warm the buffers: gate steady state
+			return err
+		}
+		var trialErr error
+		res := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N && trialErr == nil; i++ {
+				trialErr = trial()
+			}
+		})
+		if trialErr != nil {
+			return trialErr
+		}
+		ns := float64(res.NsPerOp())
+		ms = append(ms, measurement{
+			name:    info.Name,
+			nsPerOp: ns,
+			allocs:  res.AllocsPerOp(),
+			ratio:   ns / e.NsPerOp,
+		})
+	}
+
+	scale := 1.0
+	if !*raw {
+		ratios := make([]float64, len(ms))
+		for i, m := range ms {
+			ratios[i] = m.ratio
+		}
+		sort.Float64s(ratios)
+		scale = ratios[len(ratios)/2] // median machine-speed factor
+	}
+
+	fail := false
+	fmt.Printf("%-10s %14s %14s %8s %8s  %s\n", "process", "ns/op", "baseline", "ratio", "norm", "verdict")
+	for _, m := range ms {
+		e := want[m.name]
+		norm := m.ratio / scale
+		verdict := "ok"
+		if norm > 1+*tolerance {
+			verdict = fmt.Sprintf("REGRESSION (> +%.0f%%)", *tolerance*100)
+			fail = true
+		}
+		if m.allocs > e.AllocsPerOp {
+			verdict = fmt.Sprintf("ALLOC REGRESSION (%d > %d allocs/op)", m.allocs, e.AllocsPerOp)
+			fail = true
+		}
+		fmt.Printf("%-10s %14.0f %14.0f %8.3f %8.3f  %s\n", m.name, m.nsPerOp, e.NsPerOp, m.ratio, norm, verdict)
+	}
+	if fail {
+		return fmt.Errorf("benchmark regression against %s (machine-speed scale %.3f, tolerance ±%.0f%%)",
+			*baselinePath, scale, *tolerance*100)
+	}
+	fmt.Printf("gate passed (machine-speed scale %.3f, tolerance ±%.0f%%)\n", scale, *tolerance*100)
+	return nil
+}

@@ -228,3 +228,27 @@ func TestSingleTrialCIDash(t *testing.T) {
 		t.Fatalf("single-trial summary missing the point row:\n%s", out)
 	}
 }
+
+// TestSingleTrialNDJSONNullDispersion pins the N < 2 serialisation on the
+// artifact path: a -trials 1 sweep writes metric summaries whose
+// variance/std/se are null — the NDJSON mirror of the summary table's
+// blank ±95% column — rather than degenerate zeros that read as a
+// perfectly concentrated ensemble.
+func TestSingleTrialNDJSONNullDispersion(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := runQuiet(t, "-families", "complete", "-sizes", "16", "-trials", "1", "-out", dir); err != nil {
+		t.Fatal(err)
+	}
+	blob, err := os.ReadFile(filepath.Join(dir, "results.ndjson"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"se":null`, `"std":null`, `"variance":null`} {
+		if !strings.Contains(string(blob), want) {
+			t.Fatalf("single-trial record should carry %s:\n%s", want, blob)
+		}
+	}
+	if strings.Contains(string(blob), `"se":0`) {
+		t.Fatalf("single-trial record still has zero dispersion:\n%s", blob)
+	}
+}

@@ -1,0 +1,33 @@
+package graph
+
+// CSR exposure: the native process engines (internal/process cobra/bips)
+// run their inner loops directly over the packed adjacency arrays instead
+// of going through per-call accessors, and external tooling can persist
+// or rebuild graphs from the raw representation. The representation is
+// documented on Graph: neighbours of v are neighbors[offsets[v]:offsets[v+1]],
+// each adjacency strictly sorted, every undirected edge present in both
+// directions.
+
+// CSR returns the graph's packed adjacency arrays: offsets (length N()+1,
+// monotone, offsets[0] == 0) and neighbors (length 2·M()). The slices are
+// the graph's own storage — callers must treat them as read-only; writing
+// through them corrupts the graph for every holder (cached graphs are
+// shared across goroutines).
+func (g *Graph) CSR() (offsets []int64, neighbors []int32) {
+	return g.offsets, g.neighbors
+}
+
+// FromCSR constructs a graph directly from packed adjacency arrays,
+// validating every structural invariant (monotone offsets, in-range sorted
+// duplicate-free adjacencies, no self-loops, symmetry) before accepting
+// them. The slices are adopted, not copied: the caller must not modify
+// them afterwards. Use Builder/FromAdjacency when the input is an edge
+// list; FromCSR is for deserialisers and tools that already hold the
+// packed form.
+func FromCSR(name string, offsets []int64, neighbors []int32) (*Graph, error) {
+	g := &Graph{name: name, offsets: offsets, neighbors: neighbors}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}

@@ -2,6 +2,7 @@ package graph
 
 import (
 	"bytes"
+	"slices"
 	"strings"
 	"testing"
 )
@@ -48,6 +49,61 @@ func FuzzRead(f *testing.F) {
 		}
 		if h.N() != g.N() || h.M() != g.M() {
 			t.Fatalf("round-trip changed size: (%d,%d) -> (%d,%d)", g.N(), g.M(), h.N(), h.M())
+		}
+	})
+}
+
+// FuzzFromCSR asserts FromCSR either rejects a malformed packed adjacency
+// (non-monotone or mis-sized degree sequences, out-of-range / unsorted /
+// duplicated neighbours, self-loops, asymmetry) or accepts a graph that
+// round-trips: rebuilding the accepted graph edge-by-edge through the
+// Builder must reproduce the exact same packed arrays. The fuzz input
+// encodes per-vertex degree deltas and neighbour ids as signed bytes so
+// negative and oversized values probe every validation clause.
+func FuzzFromCSR(f *testing.F) {
+	f.Add([]byte{2, 2, 2}, []byte{1, 2, 0, 2, 0, 1}) // triangle: accepted
+	f.Add([]byte{1, 1}, []byte{1, 0})                // single edge: accepted
+	f.Add([]byte{0}, []byte{})                       // isolated vertex
+	f.Add([]byte{2, 1}, []byte{1, 1, 0})             // duplicate adjacency
+	f.Add([]byte{1, 1}, []byte{0, 1})                // self-loop
+	f.Add([]byte{1, 1}, []byte{1, 5})                // neighbour out of range
+	f.Add([]byte{1, 1}, []byte{1, 255})              // negative neighbour
+	f.Add([]byte{255, 1}, []byte{1, 0})              // negative degree delta
+	f.Add([]byte{3, 1}, []byte{1, 0})                // offsets overrun neighbours
+	f.Add([]byte{1, 1}, []byte{1, 0, 0})             // trailing neighbours
+	f.Fuzz(func(t *testing.T, degs, nbr []byte) {
+		if len(degs) > 128 {
+			degs = degs[:128]
+		}
+		offsets := make([]int64, len(degs)+1)
+		for i, d := range degs {
+			offsets[i+1] = offsets[i] + int64(int8(d))
+		}
+		neighbors := make([]int32, len(nbr))
+		for i, v := range nbr {
+			neighbors[i] = int32(int8(v))
+		}
+		g, err := FromCSR("fuzz", offsets, neighbors)
+		if err != nil {
+			return // rejected input is fine; panics and corrupt accepts are not
+		}
+		b := NewBuilder(g.N(), g.M())
+		for v := int32(0); int(v) < g.N(); v++ {
+			for _, u := range g.Neighbors(v) {
+				if u > v {
+					b.AddEdge(v, u)
+				}
+			}
+		}
+		h, berr := b.Build("fuzz")
+		if berr != nil {
+			t.Fatalf("accepted CSR graph rejected by Builder: %v", berr)
+		}
+		ho, hn := h.CSR()
+		gOff, gNbr := g.CSR()
+		if !slices.Equal(ho, gOff) || !slices.Equal(hn, gNbr) {
+			t.Fatalf("CSR round-trip mismatch:\n offsets %v -> %v\n neighbors %v -> %v",
+				gOff, ho, gNbr, hn)
 		}
 	})
 }

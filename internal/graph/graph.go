@@ -173,6 +173,12 @@ func (g *Graph) Validate() error {
 		if g.offsets[v] > g.offsets[v+1] {
 			return fmt.Errorf("graph: offsets not monotone at vertex %d", v)
 		}
+		// Bound the upper offset before slicing: a monotone prefix can
+		// still point past the neighbour array (with a decrease only
+		// later), which would otherwise panic instead of erroring.
+		if g.offsets[v+1] > int64(len(g.neighbors)) {
+			return fmt.Errorf("graph: offsets[%d] = %d exceeds arc count %d", v+1, g.offsets[v+1], len(g.neighbors))
+		}
 		adj := g.Neighbors(v)
 		for i, u := range adj {
 			if u < 0 || u >= int32(n) {

@@ -2,11 +2,14 @@ package graphcache
 
 import (
 	"errors"
+	"fmt"
 	"sync"
 	"sync/atomic"
 	"testing"
 
 	"cobrawalk/internal/graph"
+	"cobrawalk/internal/process"
+	"cobrawalk/internal/rng"
 )
 
 func completeBuilder(n int, builds *atomic.Int64) func() (*graph.Graph, error) {
@@ -211,5 +214,91 @@ func TestKeyString(t *testing.T) {
 	}
 	if got, want := (Key{Family: "complete", Size: 64, Seed: 1}).String(), "complete-n64-s1"; got != want {
 		t.Fatalf("String() = %q, want %q", got, want)
+	}
+}
+
+// TestHammerCSRReaders drives the cache the way a busy daemon does —
+// many goroutines churning a small vertex budget over CSR-backed
+// random-regular graphs while running native process engines over the
+// shared adjacency they get back. Cached graphs are immutable CSR and
+// may be held past eviction, so every reader must see a valid, identical
+// structure no matter how the LRU churns; under -race this is the
+// data-race probe for the cache/engine seam. Each goroutine checks the
+// trials it runs are deterministic per (key, seed) so a torn or shared
+// mutable state would also surface as a value mismatch.
+func TestHammerCSRReaders(t *testing.T) {
+	c := New(3 * 96) // room for ~3 of the 5 keys: constant LRU churn
+	keys := make([]Key, 5)
+	for i := range keys {
+		keys[i] = Key{Family: "rand-reg", Size: 96, Degree: 4 + i%2*2, Seed: uint64(i)}
+	}
+	build := func(k Key) func() (*graph.Graph, error) {
+		return func() (*graph.Graph, error) {
+			return graph.RandomRegularConnected(k.Size, k.Degree, rng.New(k.Seed))
+		}
+	}
+	want := make(map[Key]int)
+	for _, k := range keys {
+		g, err := build(k)()
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := process.New(process.Cobra, g, process.Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := process.Run(p, rng.New(k.Seed), 1<<14, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[k] = res.Rounds
+	}
+
+	const goroutines, iters = 16, 40
+	var wg sync.WaitGroup
+	errCh := make(chan error, goroutines)
+	for gi := 0; gi < goroutines; gi++ {
+		wg.Add(1)
+		go func(gi int) {
+			defer wg.Done()
+			for it := 0; it < iters; it++ {
+				k := keys[(gi+it)%len(keys)]
+				g, err := c.GetOrBuild(k, build(k))
+				if err != nil {
+					errCh <- err
+					return
+				}
+				name := process.Cobra
+				if it%2 == 1 {
+					name = process.BIPS
+				}
+				p, err := process.New(name, g, process.Config{})
+				if err != nil {
+					errCh <- err
+					return
+				}
+				res, err := process.Run(p, rng.New(k.Seed), 1<<14, 0)
+				if err != nil {
+					errCh <- err
+					return
+				}
+				if name == process.Cobra && res.Rounds != want[k] {
+					errCh <- fmt.Errorf("key %s: cobra rounds %d, want %d", k, res.Rounds, want[k])
+					return
+				}
+				if !res.Done {
+					errCh <- fmt.Errorf("key %s: %s did not cover within the round cap", k, name)
+					return
+				}
+			}
+		}(gi)
+	}
+	wg.Wait()
+	close(errCh)
+	if err := <-errCh; err != nil {
+		t.Fatal(err)
+	}
+	if st := c.Stats(); st.Evictions == 0 {
+		t.Fatalf("hammer never evicted (stats %+v); budget too large to exercise churn", st)
 	}
 }

@@ -1,0 +1,285 @@
+// Package difftest pins the native cobra/bips engines of internal/process
+// to the reference implementations in internal/core.
+//
+// The native engines (bitset frontiers over the CSR arrays, precomputed
+// bounded samplers) are performance rewrites of the stamp-array processes
+// in internal/core, under one hard contract: driven from identical RNG
+// streams they must be byte-identical to the reference — same reached
+// sets, same transmission counts, same per-round trajectories across
+// every sweep metric. This package holds both halves of that pin: the
+// reference engines re-adapted to the Process interface (the thin
+// adapters that used to *be* the production cobra/bips processes, demoted
+// here to test-only duty), and the lockstep harness that drives a native
+// and a reference engine from cloned generators and diffs everything
+// observable after every round.
+package difftest
+
+import (
+	"errors"
+	"fmt"
+	"slices"
+
+	"cobrawalk/internal/core"
+	"cobrawalk/internal/graph"
+	"cobrawalk/internal/process"
+	"cobrawalk/internal/rng"
+)
+
+// NewCoreCobra adapts core.Cobra — the reference COBRA implementation —
+// to the Process interface. This is the adapter that used to back the
+// "cobra" registry entry before the native engine landed.
+func NewCoreCobra(g *graph.Graph, cfg process.Config) (process.Process, error) {
+	br := cfg.Branching
+	if br == (process.Branching{}) {
+		br = process.DefaultBranching
+	}
+	c, err := core.NewCobra(g, core.WithBranching(br))
+	if err != nil {
+		return nil, err
+	}
+	return &coreCobra{c: c, g: g, obs: cfg.Observer}, nil
+}
+
+type coreCobra struct {
+	c        *core.Cobra
+	g        *graph.Graph
+	obs      process.RoundObserver
+	prevSent int64
+}
+
+func (p *coreCobra) Reset(starts ...int32) error {
+	p.prevSent = 0
+	return p.c.Reset(starts...)
+}
+
+func (p *coreCobra) Step(r *rng.Rand) {
+	p.c.Step(r)
+	if p.obs != nil {
+		sent := p.c.Transmissions()
+		p.obs(process.RoundStat{
+			Round:         p.c.Round(),
+			Active:        p.c.ActiveCount(),
+			Reached:       p.c.VisitedCount(),
+			Transmissions: sent - p.prevSent,
+		})
+		p.prevSent = sent
+	}
+}
+
+func (p *coreCobra) Done() bool           { return p.c.Covered() }
+func (p *coreCobra) Round() int           { return p.c.Round() }
+func (p *coreCobra) ReachedCount() int    { return p.c.VisitedCount() }
+func (p *coreCobra) Transmissions() int64 { return p.c.Transmissions() }
+
+// AppendReached appends the visited set in ascending vertex order.
+func (p *coreCobra) AppendReached(dst []int32) []int32 {
+	for v := int32(0); int(v) < p.g.N(); v++ {
+		if p.c.Visited(v) {
+			dst = append(dst, v)
+		}
+	}
+	return dst
+}
+
+// NewCoreBips adapts core.BIPS — the reference BIPS implementation — to
+// the Process interface. The first start vertex is the persistent source;
+// any further starts seed A_0.
+func NewCoreBips(g *graph.Graph, cfg process.Config) (process.Process, error) {
+	br := cfg.Branching
+	if br == (process.Branching{}) {
+		br = process.DefaultBranching
+	}
+	opts := []core.Option{core.WithBranching(br)}
+	if cfg.FastSampling {
+		opts = append(opts, core.WithFastSampling())
+	}
+	b, err := core.NewBIPS(g, opts...)
+	if err != nil {
+		return nil, err
+	}
+	return &coreBips{b: b, g: g, obs: cfg.Observer}, nil
+}
+
+type coreBips struct {
+	b        *core.BIPS
+	g        *graph.Graph
+	obs      process.RoundObserver
+	prevSent int64
+}
+
+func (p *coreBips) Reset(starts ...int32) error {
+	if len(starts) == 0 {
+		return errors.New("difftest: empty start set")
+	}
+	p.prevSent = 0
+	return p.b.Reset(starts[0], starts[1:]...)
+}
+
+func (p *coreBips) Step(r *rng.Rand) {
+	p.b.Step(r)
+	if p.obs != nil {
+		sent := p.b.Transmissions()
+		p.obs(process.RoundStat{
+			Round:         p.b.Round(),
+			Active:        p.b.InfectedCount(),
+			Reached:       p.b.InfectedCount(),
+			Transmissions: sent - p.prevSent,
+		})
+		p.prevSent = sent
+	}
+}
+
+func (p *coreBips) Done() bool           { return p.b.FullyInfected() }
+func (p *coreBips) Round() int           { return p.b.Round() }
+func (p *coreBips) ReachedCount() int    { return p.b.InfectedCount() }
+func (p *coreBips) Transmissions() int64 { return p.b.Transmissions() }
+
+// AppendReached appends A_t in ascending vertex order.
+func (p *coreBips) AppendReached(dst []int32) []int32 {
+	for v := int32(0); int(v) < p.g.N(); v++ {
+		if p.b.Infected(v) {
+			dst = append(dst, v)
+		}
+	}
+	return dst
+}
+
+// Reference returns the reference-implementation factory for a native
+// process name, or nil if the name has no reference twin.
+func Reference(name string) process.Factory {
+	switch name {
+	case process.Cobra:
+		return NewCoreCobra
+	case process.BIPS:
+		return NewCoreBips
+	default:
+		return nil
+	}
+}
+
+// Mismatch describes the first divergence a lockstep run found. The
+// zero-value-pointer (nil) means the run was byte-identical.
+type Mismatch struct {
+	Round int
+	Field string
+	Want  string // reference engine's value
+	Got   string // native engine's value
+}
+
+func (m *Mismatch) Error() string {
+	return fmt.Sprintf("difftest: round %d: %s: native %s != reference %s", m.Round, m.Field, m.Got, m.Want)
+}
+
+// Lockstep drives a native and a reference engine from identically seeded
+// generators and compares everything observable after every round: Round,
+// Done, ReachedCount, Transmissions, the RoundStat streams delivered to
+// the observers, the generators' own states (a consumption skew that
+// happens not to change this round's outputs still fails), and — on Done
+// or the round cap — the full reached sets. It returns nil when the
+// engines were byte-identical for the whole run, or the first divergence.
+//
+// Both engines are constructed fresh from their factories so the harness
+// also covers construction-time defaults, and each is driven twice from
+// the same seed to pin Reset reusability.
+func Lockstep(g *graph.Graph, cfg process.Config, native, reference process.Factory,
+	seed uint64, maxRounds int, starts ...int32) error {
+	if maxRounds <= 0 {
+		maxRounds = process.DefaultMaxRounds
+	}
+
+	var natStats, refStats []process.RoundStat
+	natCfg, refCfg := cfg, cfg
+	natCfg.Observer = func(rs process.RoundStat) { natStats = append(natStats, rs) }
+	refCfg.Observer = func(rs process.RoundStat) { refStats = append(refStats, rs) }
+
+	nat, err := native(g, natCfg)
+	if err != nil {
+		return fmt.Errorf("difftest: constructing native engine: %w", err)
+	}
+	ref, err := reference(g, refCfg)
+	if err != nil {
+		return fmt.Errorf("difftest: constructing reference engine: %w", err)
+	}
+
+	for rerun := 0; rerun < 2; rerun++ {
+		natStats, refStats = natStats[:0], refStats[:0]
+		natRNG, refRNG := rng.New(seed), rng.New(seed)
+		if err := nat.Reset(starts...); err != nil {
+			return fmt.Errorf("difftest: native Reset: %w", err)
+		}
+		if err := ref.Reset(starts...); err != nil {
+			return fmt.Errorf("difftest: reference Reset: %w", err)
+		}
+		if err := compareRound(nat, ref, natStats, refStats, natRNG, refRNG); err != nil {
+			return err
+		}
+		for !ref.Done() && ref.Round() < maxRounds {
+			nat.Step(natRNG)
+			ref.Step(refRNG)
+			if err := compareRound(nat, ref, natStats, refStats, natRNG, refRNG); err != nil {
+				return err
+			}
+		}
+		if err := compareReached(nat, ref); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// compareRound diffs every per-round observable of the two engines.
+func compareRound(nat, ref process.Process, natStats, refStats []process.RoundStat, natRNG, refRNG *rng.Rand) error {
+	round := ref.Round()
+	if got, want := nat.Round(), ref.Round(); got != want {
+		return &Mismatch{round, "Round", itoa(want), itoa(got)}
+	}
+	if got, want := nat.Done(), ref.Done(); got != want {
+		return &Mismatch{round, "Done", fmt.Sprint(want), fmt.Sprint(got)}
+	}
+	if got, want := nat.ReachedCount(), ref.ReachedCount(); got != want {
+		return &Mismatch{round, "ReachedCount", itoa(want), itoa(got)}
+	}
+	if got, want := nat.Transmissions(), ref.Transmissions(); got != want {
+		return &Mismatch{round, "Transmissions", fmt.Sprint(want), fmt.Sprint(got)}
+	}
+	if got, want := len(natStats), len(refStats); got != want {
+		return &Mismatch{round, "observed rounds", itoa(want), itoa(got)}
+	}
+	for i := range refStats {
+		if natStats[i] != refStats[i] {
+			return &Mismatch{round, fmt.Sprintf("RoundStat[%d]", i),
+				fmt.Sprintf("%+v", refStats[i]), fmt.Sprintf("%+v", natStats[i])}
+		}
+	}
+	if got, want := natRNG.State(), refRNG.State(); got != want {
+		return &Mismatch{round, "generator state",
+			fmt.Sprintf("%x", want), fmt.Sprintf("%x", got)}
+	}
+	return nil
+}
+
+// compareReached diffs the engines' full reached sets.
+func compareReached(nat, ref process.Process) error {
+	natR, okN := nat.(process.Reacher)
+	refR, okR := ref.(process.Reacher)
+	if !okN || !okR {
+		return errors.New("difftest: engine does not implement process.Reacher")
+	}
+	got := natR.AppendReached(nil)
+	want := refR.AppendReached(nil)
+	if !slices.Equal(got, want) {
+		return &Mismatch{ref.Round(), "reached set",
+			fmt.Sprintf("%d vertices %v…", len(want), head(want)),
+			fmt.Sprintf("%d vertices %v…", len(got), head(got))}
+	}
+	return nil
+}
+
+func head(s []int32) []int32 {
+	if len(s) > 8 {
+		return s[:8]
+	}
+	return s
+}
+
+func itoa(v int) string { return fmt.Sprint(v) }

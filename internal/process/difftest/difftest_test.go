@@ -1,0 +1,186 @@
+package difftest
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"cobrawalk/internal/graph"
+	"cobrawalk/internal/process"
+	"cobrawalk/internal/rng"
+)
+
+// grid is the family × size × degree slice of the differential suite.
+// Regular families drive the native engines' hoisted-degree fast paths;
+// the irregular ones (barbell, star) force the per-vertex offsets path.
+func gridGraphs(t testing.TB) []*graph.Graph {
+	t.Helper()
+	var gs []*graph.Graph
+	add := func(g *graph.Graph, err error) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		gs = append(gs, g)
+	}
+	for _, n := range []int{64, 256} {
+		for _, d := range []int{3, 8} {
+			add(graph.RandomRegularConnected(n, d, rng.New(uint64(n*100+d))))
+		}
+	}
+	add(graph.Complete(48))            // deg 47, pow2-free sampler path
+	add(graph.Hypercube(6))            // deg 6
+	add(graph.Torus(8, 8))             // deg 4
+	add(graph.Cycle(101))              // deg 2, slow cover
+	add(graph.Barbell(12, 7))          // irregular: cliques + path
+	add(graph.Star(33))                // irregular: hub deg 32, leaves deg 1
+	add(graph.CompleteBipartite(9, 5)) // irregular bipartite
+	return gs
+}
+
+var branchings = []process.Branching{
+	{K: 1},
+	{K: 2},
+	{K: 3},
+	{K: 5},
+	{K: 1, Rho: 0.5},
+	{K: 2, Rho: 0.25},
+}
+
+// TestLockstepCobra pins native cobra to core.Cobra across the grid:
+// byte-identical rounds, reached sets, transmissions, trajectories and
+// generator states from identical seeds, including a Reset rerun.
+func TestLockstepCobra(t *testing.T) {
+	for _, g := range gridGraphs(t) {
+		for _, br := range branchings {
+			br := br
+			t.Run(fmt.Sprintf("%s/%s", g.Name(), br), func(t *testing.T) {
+				t.Parallel()
+				cfg := process.Config{Branching: br}
+				seed := uint64(len(g.Name())) + uint64(br.K)<<8
+				if err := Lockstep(g, cfg, nativeFactory(t, process.Cobra), NewCoreCobra, seed, 1<<14, 0); err != nil {
+					t.Fatal(err)
+				}
+				// Multi-vertex start sets exercise Reset dedup too.
+				starts := []int32{0, int32(g.N() / 2), 0}
+				if err := Lockstep(g, cfg, nativeFactory(t, process.Cobra), NewCoreCobra, seed+1, 1<<14, starts...); err != nil {
+					t.Fatal(err)
+				}
+			})
+		}
+	}
+}
+
+// TestLockstepBips pins native bips to core.BIPS across the grid, on both
+// the exact-sampling and the closed-form fast path.
+func TestLockstepBips(t *testing.T) {
+	for _, g := range gridGraphs(t) {
+		for _, br := range branchings {
+			for _, fast := range []bool{false, true} {
+				br, fast := br, fast
+				name := fmt.Sprintf("%s/%s/fast=%v", g.Name(), br, fast)
+				t.Run(name, func(t *testing.T) {
+					t.Parallel()
+					cfg := process.Config{Branching: br, FastSampling: fast}
+					seed := uint64(len(g.Name())) + uint64(br.K)<<8 + 7
+					if err := Lockstep(g, cfg, nativeFactory(t, process.BIPS), NewCoreBips, seed, 1<<14, 0); err != nil {
+						t.Fatal(err)
+					}
+					starts := []int32{1, int32(g.N() - 1)}
+					if err := Lockstep(g, cfg, nativeFactory(t, process.BIPS), NewCoreBips, seed+1, 1<<14, starts...); err != nil {
+						t.Fatal(err)
+					}
+				})
+			}
+		}
+	}
+}
+
+// nativeFactory resolves the registry factory for name — the engines
+// under test are exactly what production sweeps construct.
+func nativeFactory(t testing.TB, name string) process.Factory {
+	t.Helper()
+	info, err := process.Lookup(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return info.New
+}
+
+// TestLockstepHasTeeth proves the harness detects divergence: a native
+// engine configured with a different branching factor must fail, and the
+// failure must be a *Mismatch naming the diverging field.
+func TestLockstepHasTeeth(t *testing.T) {
+	g, err := graph.RandomRegularConnected(128, 4, rng.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	skewed := func(g *graph.Graph, cfg process.Config) (process.Process, error) {
+		cfg.Branching = process.Branching{K: 3}
+		return nativeFactory(t, process.Cobra)(g, cfg)
+	}
+	err = Lockstep(g, process.Config{Branching: process.Branching{K: 2}}, skewed, NewCoreCobra, 11, 1<<14, 0)
+	var mm *Mismatch
+	if !errors.As(err, &mm) {
+		t.Fatalf("skewed engine passed the lockstep harness: %v", err)
+	}
+}
+
+// TestInvariants is the property half of the suite, on the native engines
+// alone: reached is monotone non-decreasing for cobra, transmissions ≥
+// reached − |starts| for both (every newly reached vertex was hit by at
+// least one message), and Done ⇒ full coverage on these connected graphs.
+func TestInvariants(t *testing.T) {
+	for _, g := range gridGraphs(t) {
+		for _, name := range []string{process.Cobra, process.BIPS} {
+			g, name := g, name
+			t.Run(fmt.Sprintf("%s/%s", name, g.Name()), func(t *testing.T) {
+				t.Parallel()
+				info, err := process.Lookup(name)
+				if err != nil {
+					t.Fatal(err)
+				}
+				prevReached := -1
+				cfg := process.Config{Observer: func(rs process.RoundStat) {
+					if info.Monotone && rs.Reached < prevReached {
+						t.Fatalf("round %d: monotone process lost reached vertices: %d -> %d",
+							rs.Round, prevReached, rs.Reached)
+					}
+					prevReached = rs.Reached
+					if rs.Active < 0 || rs.Reached < 0 || rs.Reached > g.N() {
+						t.Fatalf("round %d: degenerate stat %+v", rs.Round, rs)
+					}
+				}}
+				p, err := info.New(g, cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				r := rng.New(uint64(g.N()))
+				for trial := 0; trial < 3; trial++ {
+					prevReached = -1
+					res, err := process.Run(p, r, 1<<14, 0)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !res.Done {
+						t.Fatalf("trial %d hit the round cap on a connected graph", trial)
+					}
+					if p.ReachedCount() != g.N() {
+						t.Fatalf("Done with %d of %d reached", p.ReachedCount(), g.N())
+					}
+					if res.Transmissions < int64(g.N()-1) {
+						t.Fatalf("covered %d vertices with only %d transmissions", g.N(), res.Transmissions)
+					}
+					set := p.(process.Reacher).AppendReached(nil)
+					if len(set) != g.N() {
+						t.Fatalf("AppendReached returned %d of %d vertices", len(set), g.N())
+					}
+					for i, v := range set {
+						if int(v) != i {
+							t.Fatalf("AppendReached not the ascending full set at index %d: %d", i, v)
+						}
+					}
+				}
+			})
+		}
+	}
+}

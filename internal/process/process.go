@@ -176,15 +176,28 @@ func checkGraph(g *graph.Graph) error {
 
 // checkStarts validates a Reset start set.
 func checkStarts(g *graph.Graph, starts []int32) error {
+	return checkStartsN(g.N(), starts)
+}
+
+// checkStartsN is checkStarts for engines that hold only the vertex count.
+func checkStartsN(n int, starts []int32) error {
 	if len(starts) == 0 {
 		return errors.New("process: empty start set")
 	}
 	for _, s := range starts {
-		if s < 0 || int(s) >= g.N() {
-			return fmt.Errorf("process: start vertex %d out of range [0,%d)", s, g.N())
+		if s < 0 || int(s) >= n {
+			return fmt.Errorf("process: start vertex %d out of range [0,%d)", s, n)
 		}
 	}
 	return nil
+}
+
+// Reacher is the optional Process extension the differential test harness
+// keys on: engines that can enumerate their reached set implement it,
+// returning the vertices in ascending id order. The native cobra/bips
+// engines and the difftest reference adapters all do.
+type Reacher interface {
+	AppendReached(dst []int32) []int32
 }
 
 // stampSet is an O(1)-clear membership set over vertex ids: v is a

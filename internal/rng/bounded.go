@@ -1,0 +1,69 @@
+package rng
+
+import "math/bits"
+
+// Bounded is a precomputed uniform sampler over [0, n) for a bound that is
+// fixed across many draws — the shape of neighbour sampling on a regular
+// graph, where every vertex shares one degree and the inner loop draws
+// millions of indices against it.
+//
+// Next consumes the underlying generator exactly like Uint64n(n): the same
+// number of Uint64 draws in the same order, producing the same values. That
+// stream-identity is load-bearing — the native process engines use Bounded
+// in their hot loops while the differential test harness replays the same
+// seeds through the reference implementations, which call Uint64n. What
+// Bounded removes is the per-call work that does not depend on the draw:
+// the power-of-two test and the (2^64 - n) mod n rejection threshold, both
+// hoisted to construction time.
+//
+// The zero value is a sampler over the degenerate bound 0 and always
+// returns 0 without consuming the generator, matching Uint64n(0).
+type Bounded struct {
+	n      uint64
+	mask   uint64 // n-1 when n is a power of two
+	thresh uint64 // Lemire rejection threshold otherwise
+	pow2   bool
+}
+
+// NewBounded returns a sampler over [0, n).
+func NewBounded(n uint64) Bounded {
+	b := Bounded{n: n}
+	if n == 0 {
+		return b
+	}
+	if n&(n-1) == 0 {
+		b.pow2 = true
+		b.mask = n - 1
+		return b
+	}
+	b.thresh = -n % n // (2^64 - n) mod n, computed in uint64 arithmetic
+	return b
+}
+
+// N returns the bound the sampler was constructed with.
+func (b Bounded) N() uint64 { return b.n }
+
+// Mask returns (n-1, true) when the bound is a power of two. Hot loops use
+// it to specialize sampling to an inline `r.Uint64() & mask` — the exact
+// computation Next performs on the pow2 path, minus the call.
+func (b Bounded) Mask() (uint64, bool) { return b.mask, b.pow2 }
+
+// Next returns a uniformly distributed integer in [0, b.N()), drawing from
+// r exactly as r.Uint64n(b.N()) would.
+func (b Bounded) Next(r *Rand) uint64 {
+	if b.pow2 {
+		return r.Uint64() & b.mask
+	}
+	if b.n == 0 {
+		return 0
+	}
+	v := r.Uint64()
+	hi, lo := bits.Mul64(v, b.n)
+	// Uint64n only compares against the threshold when lo < n; since
+	// thresh < n, folding the guard into one loop rejects the same draws.
+	for lo < b.thresh {
+		v = r.Uint64()
+		hi, lo = bits.Mul64(v, b.n)
+	}
+	return hi
+}

@@ -46,8 +46,12 @@ func Mix64(x uint64) uint64 {
 
 // Rand is a xoshiro256++ generator. It is not safe for concurrent use;
 // derive one generator per goroutine with NewStream.
+//
+// The 256-bit state lives in four scalar fields rather than a [4]uint64:
+// that keeps Uint64 under the compiler's inlining budget, which matters
+// because the process engines draw from it in their innermost loops.
 type Rand struct {
-	s [4]uint64
+	s0, s1, s2, s3 uint64
 
 	// Spare normal variate cache for NormFloat64 (Marsaglia polar pairs).
 	spare    float64
@@ -59,15 +63,12 @@ type Rand struct {
 // valid.
 func New(seed uint64) *Rand {
 	sm := NewSplitMix64(seed)
-	r := &Rand{}
-	for i := range r.s {
-		r.s[i] = sm.Uint64()
-	}
+	r := &Rand{s0: sm.Uint64(), s1: sm.Uint64(), s2: sm.Uint64(), s3: sm.Uint64()}
 	// The all-zero state is invalid for xoshiro; SplitMix64 cannot emit
 	// four consecutive zeros, so no further check is needed, but keep a
 	// defensive fix-up in case of future refactoring.
-	if r.s[0]|r.s[1]|r.s[2]|r.s[3] == 0 {
-		r.s[0] = 0x9E3779B97F4A7C15
+	if r.s0|r.s1|r.s2|r.s3 == 0 {
+		r.s0 = 0x9E3779B97F4A7C15
 	}
 	return r
 }
@@ -80,22 +81,41 @@ func NewStream(seed, stream uint64) *Rand {
 	return New(Mix64(seed) ^ Mix64(stream*0xD1342543DE82EF95+0x2545F4914F6CDD1D))
 }
 
-func rotl(x uint64, k uint) uint64 {
-	return (x << k) | (x >> (64 - k))
+// Uint64 returns the next 64 uniformly distributed bits. It is written to
+// stay within the inlining budget: hot loops calling it compile to the
+// bare xoshiro256++ update with no call.
+func (r *Rand) Uint64() uint64 {
+	s0, s1, s3 := r.s0, r.s1, r.s3
+	x := s0 + s3
+	n2 := r.s2 ^ s0
+	n3 := s3 ^ s1
+	r.s1 = s1 ^ n2
+	r.s0 = s0 ^ n3
+	r.s2 = n2 ^ s1<<17
+	r.s3 = n3<<45 | n3>>19
+	return (x<<23 | x>>41) + s0
 }
 
-// Uint64 returns the next 64 uniformly distributed bits.
-func (r *Rand) Uint64() uint64 {
-	s := &r.s
-	result := rotl(s[0]+s[3], 23) + s[0]
-	t := s[1] << 17
-	s[2] ^= s[0]
-	s[3] ^= s[1]
-	s[1] ^= s[2]
-	s[0] ^= s[3]
-	s[2] ^= t
-	s[3] = rotl(s[3], 45)
-	return result
+// FillUint64 fills dst with consecutive draws, exactly as if Uint64 had
+// been called len(dst) times. The state walks through registers for the
+// whole fill instead of bouncing through the struct fields once per draw,
+// so bulk consumers (the process engines' sampling loops, which know
+// their per-round draw counts up front) sidestep the store-forwarding
+// stall the per-call update chain pays.
+func (r *Rand) FillUint64(dst []uint64) {
+	s0, s1, s2, s3 := r.s0, r.s1, r.s2, r.s3
+	for i := range dst {
+		x := s0 + s3
+		dst[i] = (x<<23 | x>>41) + s0
+		t := s1 << 17
+		s2 ^= s0
+		s3 ^= s1
+		s1 ^= s2
+		s0 ^= s3
+		s2 ^= t
+		s3 = s3<<45 | s3>>19
+	}
+	r.s0, r.s1, r.s2, r.s3 = s0, s1, s2, s3
 }
 
 // jumpPoly is the characteristic polynomial used by Jump; it advances the
@@ -110,15 +130,15 @@ func (r *Rand) Jump() {
 	for _, jp := range jumpPoly {
 		for b := 0; b < 64; b++ {
 			if jp&(uint64(1)<<uint(b)) != 0 {
-				s0 ^= r.s[0]
-				s1 ^= r.s[1]
-				s2 ^= r.s[2]
-				s3 ^= r.s[3]
+				s0 ^= r.s0
+				s1 ^= r.s1
+				s2 ^= r.s2
+				s3 ^= r.s3
 			}
 			r.Uint64()
 		}
 	}
-	r.s[0], r.s[1], r.s[2], r.s[3] = s0, s1, s2, s3
+	r.s0, r.s1, r.s2, r.s3 = s0, s1, s2, s3
 }
 
 // Clone returns an independent copy of the generator with identical state.
@@ -128,9 +148,9 @@ func (r *Rand) Clone() *Rand {
 }
 
 // State returns the current 256-bit state, for diagnostics and tests.
-func (r *Rand) State() [4]uint64 { return r.s }
+func (r *Rand) State() [4]uint64 { return [4]uint64{r.s0, r.s1, r.s2, r.s3} }
 
 // String implements fmt.Stringer for debug output.
 func (r *Rand) String() string {
-	return fmt.Sprintf("xoshiro256++{%#x,%#x,%#x,%#x}", r.s[0], r.s[1], r.s[2], r.s[3])
+	return fmt.Sprintf("xoshiro256++{%#x,%#x,%#x,%#x}", r.s0, r.s1, r.s2, r.s3)
 }

@@ -108,13 +108,22 @@ func (s DigestSummary) String() string {
 
 // MarshalJSON renders non-finite fields as null so the output stays valid
 // JSON even for degenerate samples (encoding/json rejects NaN and ±Inf).
+// Dispersion fields of an N < 2 ensemble are null too: a single
+// observation has no variance, standard deviation or standard error, and
+// serialising them as zeros reads as "perfectly concentrated" — the
+// NDJSON mirror of the summary table's blank ±95% column (and of CI
+// returning ErrInsufficient).
 func (s DigestSummary) MarshalJSON() ([]byte, error) {
+	variance, std, se := finiteOrNil(s.Variance), finiteOrNil(s.Std), finiteOrNil(s.SE)
+	if s.N < 2 {
+		variance, std, se = nil, nil, nil
+	}
 	return json.Marshal(map[string]any{
 		"n":        s.N,
 		"mean":     finiteOrNil(s.Mean),
-		"variance": finiteOrNil(s.Variance),
-		"std":      finiteOrNil(s.Std),
-		"se":       finiteOrNil(s.SE),
+		"variance": variance,
+		"std":      std,
+		"se":       se,
 		"min":      finiteOrNil(s.Min),
 		"max":      finiteOrNil(s.Max),
 		"p50":      finiteOrNil(s.P50),

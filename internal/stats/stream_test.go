@@ -469,6 +469,39 @@ func TestDigestSummaryJSONRoundTrip(t *testing.T) {
 	}
 }
 
+// TestDigestSummaryJSONSingleObservation pins the N < 2 wire format: a
+// one-trial ensemble has no dispersion, so variance/std/se travel as
+// null — not as zeros that read as a perfectly concentrated sample — and
+// the round trip stays byte-stable (the resume byte-identity contract).
+func TestDigestSummaryJSONSingleObservation(t *testing.T) {
+	d := NewDigest()
+	d.Add(17.5)
+	s, err := d.Summary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"variance":null`, `"std":null`, `"se":null`, `"mean":17.5`, `"n":1`} {
+		if !strings.Contains(string(blob), want) {
+			t.Fatalf("single-observation summary missing %s: %s", want, blob)
+		}
+	}
+	var back DigestSummary
+	if err := json.Unmarshal(blob, &back); err != nil {
+		t.Fatal(err)
+	}
+	blob2, err := json.Marshal(back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(blob) != string(blob2) {
+		t.Fatalf("single-observation re-marshal not byte-stable:\n%s\n%s", blob, blob2)
+	}
+}
+
 // TestSketchSingleValue: a sketch holding one observation reports that
 // observation (within α) at every quantile.
 func TestSketchSingleValue(t *testing.T) {

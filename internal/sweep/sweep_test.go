@@ -253,6 +253,42 @@ func TestAllProcessesWorkerIndependence(t *testing.T) {
 	}
 }
 
+// TestNativeEnginesWorkerPoolIdentity pins the native cobra/bips engines
+// under the sweep worker pool: workers 1 vs 8 must produce byte-identical
+// reports. The degree axis is chosen to exercise both native sampling
+// paths — degree 4 hits the power-of-two masked tight loop, degree 6 the
+// Lemire path — and the branching axis covers the branchless rho == 0
+// loops and the rho > 0 fallback. Run under -race in CI this doubles as
+// the data-race probe for the construct-once/Reset-many process objects
+// and the shared CSR graphs beneath them.
+func TestNativeEnginesWorkerPoolIdentity(t *testing.T) {
+	spec := Spec{
+		Name:       "native-pool",
+		Families:   []string{"rand-reg"},
+		Sizes:      []int{96},
+		Degrees:    []int{4, 6},
+		Processes:  []string{ProcCobra, ProcBIPS},
+		Branchings: []core.Branching{{K: 2}, {K: 3, Rho: 0.5}},
+		Trials:     6,
+		Seed:       11,
+		MaxRounds:  1 << 14,
+	}
+	base, err := Run(context.Background(), spec, Options{PointWorkers: 1, TrialWorkers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 2 * 2 * 2; len(base.Results) != want {
+		t.Fatalf("got %d results, want %d", len(base.Results), want)
+	}
+	parallel, err := Run(context.Background(), spec, Options{PointWorkers: 8, TrialWorkers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reportJSON(t, base) != reportJSON(t, parallel) {
+		t.Fatal("native engine report depends on worker counts")
+	}
+}
+
 // TestKWalkSweepable pins the satellite: kwalk arrives through the
 // registry path with the branching axis as its walker count, and more
 // walkers cover no slower.
