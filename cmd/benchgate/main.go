@@ -14,20 +14,31 @@
 // regression regardless of hardware. Use -raw on the machine that
 // recorded the baseline to gate absolute ns/op instead.
 //
+// With -http the gate covers the serving path instead: it boots an
+// in-process cobrawalkd, re-runs the cmd/loadgen workload against it and
+// compares per-scenario p50 latency and per-op cost against the
+// committed BENCH_http.json, median-normalised the same way so runner
+// speed cancels. p99 is reported but not gated — tail quantiles over a
+// short CI window are too noisy to fail a build on.
+//
 // Usage:
 //
 //	go run ./cmd/benchgate [-baseline BENCH_process.json] [-tolerance 0.2] [-raw]
+//	go run ./cmd/benchgate -http [-http-baseline BENCH_http.json] [-http-duration 3s]
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"sort"
 	"testing"
+	"time"
 
 	"cobrawalk/internal/graph"
+	"cobrawalk/internal/loadgen"
 	"cobrawalk/internal/process"
 	"cobrawalk/internal/rng"
 )
@@ -55,7 +66,14 @@ func run() error {
 	baselinePath := flag.String("baseline", "BENCH_process.json", "committed baseline to gate against")
 	tolerance := flag.Float64("tolerance", 0.20, "allowed fractional ns/op slowdown per process")
 	raw := flag.Bool("raw", false, "gate absolute ns/op (baseline machine) instead of median-normalised ratios")
+	httpGate := flag.Bool("http", false, "gate the serving path against BENCH_http.json instead of the process layer")
+	httpBaseline := flag.String("http-baseline", "BENCH_http.json", "committed HTTP baseline for -http")
+	httpDuration := flag.Duration("http-duration", 3*time.Second, "measurement window per scenario for -http")
 	flag.Parse()
+
+	if *httpGate {
+		return runHTTPGate(*httpBaseline, *tolerance, *httpDuration)
+	}
 
 	blob, err := os.ReadFile(*baselinePath)
 	if err != nil {
@@ -159,5 +177,104 @@ func run() error {
 			*baselinePath, scale, *tolerance*100)
 	}
 	fmt.Printf("gate passed (machine-speed scale %.3f, tolerance ±%.0f%%)\n", scale, *tolerance*100)
+	return nil
+}
+
+// runHTTPGate re-measures the cmd/loadgen workload against an
+// in-process daemon and gates each scenario's p50 latency and per-op
+// cost (1/throughput) against the committed BENCH_http.json. Ratios are
+// normalised by their median so a uniformly faster or slower runner
+// cancels out and only a shape change — one path regressing relative to
+// the others — trips the tolerance.
+func runHTTPGate(baselinePath string, tolerance float64, duration time.Duration) error {
+	blob, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return err
+	}
+	var base loadgen.Report
+	if err := json.Unmarshal(blob, &base); err != nil {
+		return fmt.Errorf("parsing %s: %w", baselinePath, err)
+	}
+	if len(base.Scenarios) == 0 {
+		return fmt.Errorf("%s holds no scenarios", baselinePath)
+	}
+
+	dir, err := os.MkdirTemp("", "benchgate-http-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	url, stop, err := loadgen.SelfServe(dir, 2, 0)
+	if err != nil {
+		return err
+	}
+	defer stop()
+	scenarios := make([]string, len(base.Scenarios))
+	for i, s := range base.Scenarios {
+		scenarios[i] = s.Name
+	}
+	// Untimed warm-up: fill the graph cache, fault in the job dirs and
+	// let the runtime settle, so the measured window gates steady state
+	// like the process gate does.
+	if _, err := loadgen.Run(context.Background(), loadgen.Config{
+		BaseURL:   url,
+		Clients:   base.Clients,
+		Duration:  time.Second,
+		Scenarios: scenarios,
+	}); err != nil {
+		return fmt.Errorf("warm-up: %w", err)
+	}
+	rep, err := loadgen.Run(context.Background(), loadgen.Config{
+		BaseURL:   url,
+		Clients:   base.Clients,
+		Duration:  duration,
+		Scenarios: scenarios,
+	})
+	if err != nil {
+		return err
+	}
+
+	// One gated cost metric pair per scenario: p50 latency and mean
+	// per-op cost in ms (1000/throughput). Lower is better for both, so
+	// ratio > 1 means slower than baseline.
+	type gauge struct {
+		name           string
+		measured, base float64
+		ratio          float64
+	}
+	var gs []gauge
+	for _, bs := range base.Scenarios {
+		ms, ok := rep.Scenario(bs.Name)
+		if !ok {
+			return fmt.Errorf("scenario %s missing from the fresh measurement", bs.Name)
+		}
+		gs = append(gs,
+			gauge{bs.Name + " p50_ms", ms.P50Ms, bs.P50Ms, ms.P50Ms / bs.P50Ms},
+			gauge{bs.Name + " ms/op", 1000 / ms.PerSecond, 1000 / bs.PerSecond, bs.PerSecond / ms.PerSecond})
+		fmt.Printf("%-12s p99_ms %.3f (baseline %.3f, not gated)\n", bs.Name, ms.P99Ms, bs.P99Ms)
+	}
+	ratios := make([]float64, len(gs))
+	for i, g := range gs {
+		ratios[i] = g.ratio
+	}
+	sort.Float64s(ratios)
+	scale := ratios[len(ratios)/2]
+
+	fail := false
+	fmt.Printf("%-16s %12s %12s %8s %8s  %s\n", "metric", "measured", "baseline", "ratio", "norm", "verdict")
+	for _, g := range gs {
+		norm := g.ratio / scale
+		verdict := "ok"
+		if norm > 1+tolerance {
+			verdict = fmt.Sprintf("REGRESSION (> +%.0f%%)", tolerance*100)
+			fail = true
+		}
+		fmt.Printf("%-16s %12.3f %12.3f %8.3f %8.3f  %s\n", g.name, g.measured, g.base, g.ratio, norm, verdict)
+	}
+	if fail {
+		return fmt.Errorf("HTTP serving-path regression against %s (machine-speed scale %.3f, tolerance ±%.0f%%)",
+			baselinePath, scale, tolerance*100)
+	}
+	fmt.Printf("http gate passed (machine-speed scale %.3f, tolerance ±%.0f%%)\n", scale, tolerance*100)
 	return nil
 }

@@ -14,18 +14,29 @@
 //	GET    /v1/jobs/{id}/results  results.ndjson once done
 //	GET    /v1/jobs/{id}/trajectories
 //	                              NDJSON per-round quantile bands
+//	GET    /v1/jobs/{id}/events   span-event trace (queued → running →
+//	                              per-point progress → terminal)
 //	GET    /v1/processes          process registry
 //	GET    /v1/families           graph family registry
 //	GET    /v1/metrics            sweep metric registry
 //	GET    /v1/cachestats         graph cache hit/miss/eviction counters
-//	GET    /v1/healthz            liveness, job counts, cache counters
+//	GET    /v1/healthz            liveness, uptime, build, job counts,
+//	                              queue depth, cache counters
 //	GET    /v1/version            build identity
+//	GET    /metrics               Prometheus text metrics (HTTP, jobs,
+//	                              sweep throughput, graph cache, runtime)
+//	GET    /debug/pprof/*         Go profiling endpoints (with -pprof)
+//
+// All output is structured logging (log/slog) with request-ID and
+// job-ID fields; tune it with -log-level and -log-format.
 //
 // Usage:
 //
 //	cobrawalkd -data runs/daemon
 //	cobrawalkd -data runs/daemon -addr 127.0.0.1:8321 -max-jobs 4
+//	cobrawalkd -data runs/daemon -log-format json -log-level debug -pprof
 //	curl -s -X POST -d @sweep.json localhost:8321/v1/jobs
+//	curl -s localhost:8321/metrics
 package main
 
 import (
@@ -36,12 +47,14 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
 	"cobrawalk/internal/buildinfo"
+	"cobrawalk/internal/obs"
 	"cobrawalk/internal/server"
 )
 
@@ -56,14 +69,17 @@ func run(args []string, out, errw io.Writer) error {
 	fs := flag.NewFlagSet("cobrawalkd", flag.ContinueOnError)
 	fs.SetOutput(errw)
 	var (
-		addr     = fs.String("addr", "127.0.0.1:8321", "listen address")
-		data     = fs.String("data", "", "data directory for jobs and artifacts (required)")
-		maxJobs  = fs.Int("max-jobs", 2, "jobs running concurrently")
-		pointWrk = fs.Int("point-workers", 1, "points run concurrently within a job")
-		workers  = fs.Int("workers", 0, "trial worker goroutines per point (0 = GOMAXPROCS)")
-		cacheCap = fs.Int("graph-cache", 0, "graph cache vertex budget (0 = default)")
-		quiet    = fs.Bool("quiet", false, "suppress job lifecycle logs on stderr")
-		version  = fs.Bool("version", false, "print build info and exit")
+		addr      = fs.String("addr", "127.0.0.1:8321", "listen address")
+		data      = fs.String("data", "", "data directory for jobs and artifacts (required)")
+		maxJobs   = fs.Int("max-jobs", 2, "jobs running concurrently")
+		pointWrk  = fs.Int("point-workers", 1, "points run concurrently within a job")
+		workers   = fs.Int("workers", 0, "trial worker goroutines per point (0 = GOMAXPROCS)")
+		cacheCap  = fs.Int("graph-cache", 0, "graph cache vertex budget (0 = default)")
+		logLevel  = fs.String("log-level", "info", "log level: debug, info, warn or error")
+		logFormat = fs.String("log-format", "text", "log format: text or json")
+		pprofOn   = fs.Bool("pprof", false, "serve Go profiling endpoints under /debug/pprof/")
+		quiet     = fs.Bool("quiet", false, "shorthand for -log-level error")
+		version   = fs.Bool("version", false, "print build info and exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -75,33 +91,52 @@ func run(args []string, out, errw io.Writer) error {
 	if *data == "" {
 		return errors.New("-data is required (job state persists there across restarts)")
 	}
+	if *quiet {
+		*logLevel = "error"
+	}
+	logger, err := obs.NewLogger(errw, obs.LogConfig{Level: *logLevel, Format: *logFormat})
+	if err != nil {
+		return err
+	}
 
-	logf := func(format string, a ...any) { fmt.Fprintf(errw, "cobrawalkd: "+format+"\n", a...) }
-	cfg := server.Config{
+	m, err := server.NewManager(server.Config{
 		Dir:           *data,
 		MaxConcurrent: *maxJobs,
 		PointWorkers:  *pointWrk,
 		TrialWorkers:  *workers,
 		CacheBudget:   *cacheCap,
-		Logf:          logf,
-	}
-	if *quiet {
-		cfg.Logf = nil
-		logf = func(string, ...any) {}
-	}
-	m, err := server.NewManager(cfg)
+		Logger:        logger,
+	})
 	if err != nil {
 		return err
 	}
 	defer m.Close()
 
+	handler := server.NewHandler(m)
+	if *pprofOn {
+		// The profiling surface mounts outside the instrumented /v1 tree:
+		// profile downloads should not pollute request latency histograms.
+		root := http.NewServeMux()
+		root.HandleFunc("/debug/pprof/", pprof.Index)
+		root.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		root.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		root.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		root.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		root.Handle("/", handler)
+		handler = root
+	}
+
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		return err
 	}
-	srv := &http.Server{Handler: server.NewHandler(m)}
-	logf("%s", buildinfo.Read())
-	logf("listening on http://%s (data %s, %d job slots)", ln.Addr(), *data, *maxJobs)
+	srv := &http.Server{Handler: handler}
+	logger.Info("cobrawalkd starting",
+		"build", buildinfo.Read().String(),
+		"addr", fmt.Sprintf("http://%s", ln.Addr()),
+		"data", *data,
+		"job_slots", *maxJobs,
+		"pprof", *pprofOn)
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -117,8 +152,8 @@ func run(args []string, out, errw io.Writer) error {
 		// cache counters summarise how much graph construction this
 		// process's lifetime amortised.
 		st := m.CacheStats()
-		logf("shutting down; unfinished jobs resume on next start (graph cache: %d hits, %d misses, %d evictions)",
-			st.Hits, st.Misses, st.Evictions)
+		logger.Info("shutting down; unfinished jobs resume on next start",
+			"cache_hits", st.Hits, "cache_misses", st.Misses, "cache_evictions", st.Evictions)
 		shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()
 		srv.Shutdown(shutCtx)

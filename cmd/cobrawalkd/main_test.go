@@ -63,7 +63,7 @@ func TestBootServeShutdown(t *testing.T) {
 	}()
 
 	// The daemon logs its realised address once listening.
-	addrRe := regexp.MustCompile(`listening on (http://[0-9.:]+)`)
+	addrRe := regexp.MustCompile(`addr=(http://[0-9.:]+)`)
 	var base string
 	deadline := time.Now().Add(30 * time.Second)
 	for base == "" {
@@ -122,7 +122,20 @@ func TestBootServeShutdown(t *testing.T) {
 		t.Fatalf("no shutdown log; logs:\n%s", logs.String())
 	}
 	// The shutdown line summarises the graph cache counters.
-	if !regexp.MustCompile(`graph cache: \d+ hits, \d+ misses, \d+ evictions`).MatchString(logs.String()) {
+	if !regexp.MustCompile(`cache_hits=\d+ cache_misses=\d+ cache_evictions=\d+`).MatchString(logs.String()) {
 		t.Fatalf("shutdown log lacks cache counters; logs:\n%s", logs.String())
+	}
+}
+
+// TestLogFlagValidation pins that bad -log-level/-log-format values fail
+// fast instead of booting a daemon that logs nothing.
+func TestLogFlagValidation(t *testing.T) {
+	for _, args := range [][]string{
+		{"-data", t.TempDir(), "-log-level", "loud"},
+		{"-data", t.TempDir(), "-log-format", "xml"},
+	} {
+		if err := run(args, io.Discard, io.Discard); err == nil {
+			t.Errorf("args %v should fail", args)
+		}
 	}
 }

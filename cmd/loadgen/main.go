@@ -1,0 +1,131 @@
+// Command loadgen is the serving-path load harness: a closed-loop
+// (vegeta-style) client pool that drives a cobrawalkd daemon and reports
+// measured latency quantiles and throughput — p50/p99 per scenario,
+// requests/sec on the read path, jobs/sec end to end on the write path.
+// Its JSON report is the repo's HTTP perf anchor: committed as
+// BENCH_http.json and gated in CI by cmd/benchgate -http.
+//
+// Scenarios:
+//
+//	status  GET /v1/healthz in a closed loop — the read path
+//	job     POST a tiny sweep spec, poll to done, fetch results — the
+//	        full job lifecycle including persistence and scheduling
+//
+// Usage:
+//
+//	loadgen -self                         boot an in-process daemon and load it
+//	loadgen -addr http://127.0.0.1:8321   load a running daemon
+//	loadgen -self -clients 16 -duration 10s -out BENCH_http.json
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"cobrawalk/internal/buildinfo"
+	"cobrawalk/internal/loadgen"
+	"cobrawalk/internal/obs"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "loadgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out, errw io.Writer) error {
+	fs := flag.NewFlagSet("loadgen", flag.ContinueOnError)
+	fs.SetOutput(errw)
+	var (
+		addr      = fs.String("addr", "", "base URL of a running cobrawalkd (e.g. http://127.0.0.1:8321)")
+		self      = fs.Bool("self", false, "boot an in-process daemon on a temp dir and load that")
+		clients   = fs.Int("clients", 8, "closed-loop concurrent clients")
+		duration  = fs.Duration("duration", 5*time.Second, "measurement window per scenario")
+		warmup    = fs.Duration("warmup", 0, "untimed warm-up window per scenario before measuring")
+		scenarios = fs.String("scenarios", "status,job", "comma-separated scenarios to run")
+		outPath   = fs.String("out", "", "write the JSON report here instead of stdout")
+		maxJobs   = fs.Int("max-jobs", 2, "job slots for the -self daemon")
+		workers   = fs.Int("workers", 0, "trial workers for the -self daemon (0 = GOMAXPROCS)")
+		logLevel  = fs.String("log-level", "info", "log level: debug, info, warn or error")
+		logFormat = fs.String("log-format", "text", "log format: text or json")
+		version   = fs.Bool("version", false, "print build info and exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *version {
+		fmt.Fprintln(out, buildinfo.Read())
+		return nil
+	}
+	logger, err := obs.NewLogger(errw, obs.LogConfig{Level: *logLevel, Format: *logFormat})
+	if err != nil {
+		return err
+	}
+
+	base := *addr
+	if *self {
+		if base != "" {
+			return errors.New("-self and -addr are mutually exclusive")
+		}
+		dir, err := os.MkdirTemp("", "loadgen-*")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(dir)
+		var stop func()
+		base, stop, err = loadgen.SelfServe(dir, *maxJobs, *workers)
+		if err != nil {
+			return err
+		}
+		defer stop()
+		logger.Info("self-serving daemon", "addr", base, "data", dir)
+	}
+	if base == "" {
+		return errors.New("one of -addr or -self is required")
+	}
+
+	cfg := loadgen.Config{
+		BaseURL:   base,
+		Clients:   *clients,
+		Duration:  *duration,
+		Scenarios: strings.Split(*scenarios, ","),
+	}
+	if *warmup > 0 {
+		logger.Info("warming up", "duration", warmup.String())
+		wcfg := cfg
+		wcfg.Duration = *warmup
+		if _, err := loadgen.Run(context.Background(), wcfg); err != nil {
+			return fmt.Errorf("warm-up: %w", err)
+		}
+	}
+	logger.Info("load starting", "target", base, "clients", *clients,
+		"duration", duration.String(), "scenarios", *scenarios)
+	rep, err := loadgen.Run(context.Background(), cfg)
+	if err != nil {
+		return err
+	}
+	for _, s := range rep.Scenarios {
+		logger.Info("scenario done", "scenario", s.Name, "ops", s.Ops, "errors", s.Errors,
+			"per_second", fmt.Sprintf("%.1f", s.PerSecond),
+			"p50_ms", fmt.Sprintf("%.3f", s.P50Ms), "p99_ms", fmt.Sprintf("%.3f", s.P99Ms))
+	}
+
+	blob, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	blob = append(blob, '\n')
+	if *outPath == "" {
+		_, err = out.Write(blob)
+		return err
+	}
+	return os.WriteFile(*outPath, blob, 0o644)
+}

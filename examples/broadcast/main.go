@@ -9,9 +9,9 @@ package main
 
 import (
 	"fmt"
-	"log"
 
 	"cobrawalk"
+	"cobrawalk/internal/obs"
 )
 
 const (
@@ -22,10 +22,11 @@ const (
 )
 
 func main() {
+	logger := obs.DefaultLogger()
 	r := cobrawalk.NewRand(seed)
 	g, err := cobrawalk.RandomRegularConnected(nodes, degree, r)
 	if err != nil {
-		log.Fatal(err)
+		obs.Fatal(logger, "building overlay", "err", err)
 	}
 	fmt.Printf("overlay: %s\n\n", g)
 	fmt.Println("protocol        mean rounds   total msgs   msgs/node   per-node/round cap")
@@ -34,16 +35,16 @@ func main() {
 	// COBRA k = 2.
 	proc, err := cobrawalk.NewCobra(g)
 	if err != nil {
-		log.Fatal(err)
+		obs.Fatal(logger, "creating COBRA process", "err", err)
 	}
 	var rounds, msgs float64
 	for i := 0; i < runs; i++ {
 		res, err := proc.Run(0, r)
 		if err != nil {
-			log.Fatal(err)
+			obs.Fatal(logger, "COBRA run failed", "run", i, "err", err)
 		}
 		if !res.Covered {
-			log.Fatal("COBRA run did not cover")
+			obs.Fatal(logger, "COBRA run did not cover", "run", i)
 		}
 		rounds += float64(res.CoverTime)
 		msgs += float64(res.Transmissions)
@@ -69,10 +70,10 @@ func main() {
 		for i := 0; i < runs; i++ {
 			res, err := p.run(g, 0, cobrawalk.BaselineConfig{MaxRounds: 1 << 24}, r)
 			if err != nil {
-				log.Fatal(err)
+				obs.Fatal(logger, "baseline run failed", "protocol", p.name, "err", err)
 			}
 			if !res.Covered {
-				log.Fatalf("%s did not cover", p.name)
+				obs.Fatal(logger, "baseline did not cover", "protocol", p.name)
 			}
 			rounds += float64(res.Rounds)
 			msgs += float64(res.Transmissions)

@@ -12,10 +12,10 @@ package main
 
 import (
 	"fmt"
-	"log"
-)
 
-import "cobrawalk"
+	"cobrawalk"
+	"cobrawalk/internal/obs"
+)
 
 func main() {
 	const (
@@ -24,21 +24,22 @@ func main() {
 		trials  = 20000
 		seed    = 7
 	)
+	logger := obs.DefaultLogger()
 
 	g, err := cobrawalk.Petersen()
 	if err != nil {
-		log.Fatal(err)
+		obs.Fatal(logger, "building Petersen graph", "err", err)
 	}
 	fmt.Println("graph:", g)
 	fmt.Printf("u = %d (COBRA start), v = %d (COBRA target = BIPS source)\n\n", u, v)
 
 	exact, err := cobrawalk.ComputeExactDuality(g, v, horizon, cobrawalk.DefaultBranching)
 	if err != nil {
-		log.Fatal(err)
+		obs.Fatal(logger, "exact duality DP failed", "err", err)
 	}
 	mc, err := cobrawalk.EstimateDuality(g, u, v, horizon, trials, cobrawalk.DefaultBranching, seed)
 	if err != nil {
-		log.Fatal(err)
+		obs.Fatal(logger, "Monte-Carlo duality failed", "err", err)
 	}
 
 	exactSurv := exact.MarginalSurvival(u)

@@ -16,10 +16,10 @@ package main
 
 import (
 	"fmt"
-	"log"
 	"math"
 
 	"cobrawalk"
+	"cobrawalk/internal/obs"
 )
 
 const (
@@ -31,17 +31,18 @@ const (
 )
 
 func main() {
+	logger := obs.DefaultLogger()
 	r := cobrawalk.NewRand(seed)
 
 	penned, err := buildPennedHerd()
 	if err != nil {
-		log.Fatal(err)
+		obs.Fatal(logger, "building penned herd", "err", err)
 	}
 	// Feedlot: same herd size, mean degree matched to the penned barn.
 	meanDeg := 2 * penned.M() / penned.N()
 	feedlot, err := cobrawalk.RandomRegularConnected(herdSize, meanDeg, r)
 	if err != nil {
-		log.Fatal(err)
+		obs.Fatal(logger, "building feedlot graph", "err", err)
 	}
 
 	fmt.Printf("herd size: %d animals (%d pens × %d)\n\n", herdSize, pens, perPen)
@@ -54,7 +55,7 @@ func main() {
 	} {
 		rep, err := cobrawalk.Analyze(scenario.g)
 		if err != nil {
-			log.Fatal(err)
+			obs.Fatal(logger, "spectral analysis failed", "scenario", scenario.name, "err", err)
 		}
 		fmt.Printf("=== %s ===\n", scenario.name)
 		fmt.Printf("contact graph: %s, spectral gap %.4f\n", scenario.g, rep.Gap)
@@ -64,7 +65,7 @@ func main() {
 			{K: 2},           // two (the paper's k = 2)
 		} {
 			if err := runScenario(scenario.g, contacts, r); err != nil {
-				log.Fatal(err)
+				obs.Fatal(logger, "scenario failed", "scenario", scenario.name, "err", err)
 			}
 		}
 		fmt.Println()

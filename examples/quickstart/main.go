@@ -5,10 +5,10 @@ package main
 
 import (
 	"fmt"
-	"log"
 	"math"
 
 	"cobrawalk"
+	"cobrawalk/internal/obs"
 )
 
 func main() {
@@ -18,41 +18,42 @@ func main() {
 		runs = 25
 		seed = 1
 	)
+	logger := obs.DefaultLogger()
 
 	r := cobrawalk.NewRand(seed)
 	g, err := cobrawalk.RandomRegularConnected(n, deg, r)
 	if err != nil {
-		log.Fatalf("building graph: %v", err)
+		obs.Fatal(logger, "building graph", "err", err)
 	}
 	fmt.Println("graph:", g)
 
 	rep, err := cobrawalk.Analyze(g)
 	if err != nil {
-		log.Fatalf("spectral analysis: %v", err)
+		obs.Fatal(logger, "spectral analysis", "err", err)
 	}
 	fmt.Printf("λmax = %.4f, spectral gap = %.4f\n", rep.LambdaMax, rep.Gap)
 	fmt.Printf("Theorem 1 time scale T = log n/(1-λ)³ = %.1f rounds\n", rep.TheoremT())
 
 	proc, err := cobrawalk.NewCobra(g) // k = 2, the paper's setting
 	if err != nil {
-		log.Fatalf("creating process: %v", err)
+		obs.Fatal(logger, "creating process", "err", err)
 	}
 	covers := make([]float64, 0, runs)
 	var msgs float64
 	for i := 0; i < runs; i++ {
 		res, err := proc.Run(0, r)
 		if err != nil {
-			log.Fatalf("run %d: %v", i, err)
+			obs.Fatal(logger, "run failed", "run", i, "err", err)
 		}
 		if !res.Covered {
-			log.Fatalf("run %d did not cover the graph", i)
+			obs.Fatal(logger, "run did not cover the graph", "run", i)
 		}
 		covers = append(covers, float64(res.CoverTime))
 		msgs += float64(res.Transmissions)
 	}
 	s, err := cobrawalk.Summarize(covers)
 	if err != nil {
-		log.Fatal(err)
+		obs.Fatal(logger, "summarising cover times", "err", err)
 	}
 	fmt.Printf("\nCOBRA k=2 cover time over %d runs: mean %.1f, min %.0f, max %.0f rounds\n",
 		runs, s.Mean, s.Min, s.Max)

@@ -9,9 +9,9 @@ package main
 import (
 	"context"
 	"fmt"
-	"log"
 
 	"cobrawalk"
+	"cobrawalk/internal/obs"
 )
 
 func main() {
@@ -31,7 +31,7 @@ func main() {
 
 	rep, err := cobrawalk.RunSweep(context.Background(), spec, cobrawalk.SweepOptions{})
 	if err != nil {
-		log.Fatal(err)
+		obs.Fatal(obs.DefaultLogger(), "sweep failed", "err", err)
 	}
 
 	fmt.Printf("COBRA cover time on rand-8-reg n=512, %d trials per point\n\n", spec.Trials)

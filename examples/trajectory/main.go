@@ -10,10 +10,10 @@ package main
 import (
 	"context"
 	"fmt"
-	"log"
 	"strings"
 
 	"cobrawalk"
+	"cobrawalk/internal/obs"
 )
 
 func main() {
@@ -33,15 +33,16 @@ func main() {
 		Seed:   7,
 	}
 
+	logger := obs.DefaultLogger()
 	rep, err := cobrawalk.RunSweep(context.Background(), spec, cobrawalk.SweepOptions{})
 	if err != nil {
-		log.Fatal(err)
+		obs.Fatal(logger, "sweep failed", "err", err)
 	}
 
 	for _, res := range rep.Results {
 		band, ok := res.Trajectory(cobrawalk.SweepMetricFrontier)
 		if !ok {
-			log.Fatalf("point %s has no frontier trajectory", res.ID)
+			obs.Fatal(logger, "point has no frontier trajectory", "point", res.ID)
 		}
 		rounds := res.Metric(cobrawalk.SweepMetricRounds)
 		half := res.Metric(cobrawalk.SweepMetricHalfCoverage)

@@ -1,0 +1,295 @@
+// Package loadgen is the serving-path load harness behind cmd/loadgen:
+// a closed-loop (vegeta-style) HTTP client pool that drives a cobrawalkd
+// and measures what the daemon actually delivers — request latency
+// quantiles on the read path and end-to-end job throughput on the write
+// path. Its report is the repo's serving-path perf anchor
+// (BENCH_http.json), gated in CI by cmd/benchgate.
+//
+// Closed-loop means each client issues its next operation only after the
+// previous one completed: concurrency is fixed at Config.Clients and the
+// measured rate is what the server sustains at that concurrency, not a
+// target rate the harness forces.
+package loadgen
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"cobrawalk/internal/server"
+	"cobrawalk/internal/sweep"
+)
+
+// Config describes one load run.
+type Config struct {
+	// BaseURL targets a running daemon ("http://127.0.0.1:8321").
+	BaseURL string
+	// Clients is the closed-loop concurrency (default 8).
+	Clients int
+	// Duration bounds each scenario (default 5s).
+	Duration time.Duration
+	// JobSpec is the sweep spec the job scenario submits; zero value =
+	// DefaultJobSpec.
+	JobSpec sweep.Spec
+	// Scenarios selects which scenarios run (nil = all): "status" is the
+	// read path (GET /v1/healthz), "job" the full write path (submit →
+	// poll to done → fetch results).
+	Scenarios []string
+}
+
+// DefaultJobSpec is a deliberately tiny sweep — one complete-graph push
+// point, a handful of trials — so the job scenario measures serving
+// overhead (scheduling, persistence, HTTP) rather than simulation time.
+func DefaultJobSpec() sweep.Spec {
+	return sweep.Spec{
+		Name:      "loadgen",
+		Families:  []string{"complete"},
+		Sizes:     []int{64},
+		Processes: []string{"push"},
+		Metrics:   []string{"rounds"},
+		Trials:    4,
+		Seed:      1,
+	}
+}
+
+// ScenarioResult is one scenario's measurement.
+type ScenarioResult struct {
+	Name string `json:"name"`
+	// Ops counts completed operations (requests for status, full job
+	// round-trips for job); Errors counts failed ones (not in Ops).
+	Ops    int `json:"ops"`
+	Errors int `json:"errors,omitempty"`
+	// DurationSeconds is the measured wall time of the scenario.
+	DurationSeconds float64 `json:"duration_seconds"`
+	// PerSecond is Ops/DurationSeconds — requests/sec for status,
+	// jobs/sec for job.
+	PerSecond float64 `json:"per_second"`
+	// Latency quantiles over completed operations, in milliseconds.
+	P50Ms  float64 `json:"p50_ms"`
+	P99Ms  float64 `json:"p99_ms"`
+	MeanMs float64 `json:"mean_ms"`
+	MaxMs  float64 `json:"max_ms"`
+}
+
+// Report is the full harness output, serialised into BENCH_http.json.
+type Report struct {
+	Benchmark string           `json:"benchmark"`
+	Target    string           `json:"target"`
+	Clients   int              `json:"clients"`
+	Scenarios []ScenarioResult `json:"scenarios"`
+}
+
+// Scenario returns the named scenario's result.
+func (r *Report) Scenario(name string) (ScenarioResult, bool) {
+	for _, s := range r.Scenarios {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return ScenarioResult{}, false
+}
+
+// Run executes the configured scenarios in order against cfg.BaseURL.
+func Run(ctx context.Context, cfg Config) (*Report, error) {
+	if cfg.BaseURL == "" {
+		return nil, fmt.Errorf("loadgen: Config.BaseURL is required")
+	}
+	if cfg.Clients <= 0 {
+		cfg.Clients = 8
+	}
+	if cfg.Duration <= 0 {
+		cfg.Duration = 5 * time.Second
+	}
+	if cfg.JobSpec.Families == nil {
+		cfg.JobSpec = DefaultJobSpec()
+	}
+	scenarios := cfg.Scenarios
+	if scenarios == nil {
+		scenarios = []string{"status", "job"}
+	}
+	client := &http.Client{Timeout: 30 * time.Second}
+	rep := &Report{Benchmark: "loadgen", Target: cfg.BaseURL, Clients: cfg.Clients}
+	for _, name := range scenarios {
+		var op func(c *http.Client) error
+		switch name {
+		case "status":
+			op = func(c *http.Client) error { return getOK(c, cfg.BaseURL+"/v1/healthz") }
+		case "job":
+			op = func(c *http.Client) error { return jobRoundTrip(c, cfg.BaseURL, cfg.JobSpec) }
+		default:
+			return nil, fmt.Errorf("loadgen: unknown scenario %q (want status or job)", name)
+		}
+		res, err := runScenario(ctx, name, cfg, client, op)
+		if err != nil {
+			return nil, err
+		}
+		rep.Scenarios = append(rep.Scenarios, res)
+	}
+	return rep, nil
+}
+
+// runScenario spins cfg.Clients closed loops over op until the deadline,
+// then folds every client's latencies into quantiles.
+func runScenario(ctx context.Context, name string, cfg Config, client *http.Client, op func(*http.Client) error) (ScenarioResult, error) {
+	deadline := time.Now().Add(cfg.Duration)
+	dctx, cancel := context.WithDeadline(ctx, deadline)
+	defer cancel()
+
+	type clientOut struct {
+		lat    []time.Duration
+		errs   int
+		lastOp error
+	}
+	outs := make([]clientOut, cfg.Clients)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i := 0; i < cfg.Clients; i++ {
+		wg.Add(1)
+		go func(out *clientOut) {
+			defer wg.Done()
+			for dctx.Err() == nil && time.Now().Before(deadline) {
+				t0 := time.Now()
+				if err := op(client); err != nil {
+					out.errs++
+					out.lastOp = err
+					continue
+				}
+				out.lat = append(out.lat, time.Since(t0))
+			}
+		}(&outs[i])
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	var lats []time.Duration
+	errs := 0
+	var lastErr error
+	for _, o := range outs {
+		lats = append(lats, o.lat...)
+		errs += o.errs
+		if o.lastOp != nil {
+			lastErr = o.lastOp
+		}
+	}
+	if len(lats) == 0 {
+		if lastErr != nil {
+			return ScenarioResult{}, fmt.Errorf("loadgen: scenario %s completed no operations (%d errors, last: %w)", name, errs, lastErr)
+		}
+		return ScenarioResult{}, fmt.Errorf("loadgen: scenario %s completed no operations in %s", name, cfg.Duration)
+	}
+	sort.Slice(lats, func(a, b int) bool { return lats[a] < lats[b] })
+	ms := func(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }
+	var sum time.Duration
+	for _, d := range lats {
+		sum += d
+	}
+	return ScenarioResult{
+		Name:            name,
+		Ops:             len(lats),
+		Errors:          errs,
+		DurationSeconds: elapsed.Seconds(),
+		PerSecond:       float64(len(lats)) / elapsed.Seconds(),
+		P50Ms:           ms(quantile(lats, 0.50)),
+		P99Ms:           ms(quantile(lats, 0.99)),
+		MeanMs:          ms(sum / time.Duration(len(lats))),
+		MaxMs:           ms(lats[len(lats)-1]),
+	}, nil
+}
+
+// quantile reads the q-quantile from sorted latencies (nearest-rank).
+func quantile(sorted []time.Duration, q float64) time.Duration {
+	i := int(q * float64(len(sorted)))
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}
+
+func getOK(c *http.Client, url string) error {
+	resp, err := c.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET %s: %s", url, resp.Status)
+	}
+	return nil
+}
+
+// jobRoundTrip is one full write-path operation: submit a job, poll its
+// status until terminal, stream its results. The poll interval is a
+// small fixed backoff — short enough that serving latency, not polling,
+// dominates the tiny DefaultJobSpec turnaround.
+func jobRoundTrip(c *http.Client, base string, spec sweep.Spec) error {
+	blob, err := json.Marshal(spec)
+	if err != nil {
+		return err
+	}
+	resp, err := c.Post(base+"/v1/jobs", "application/json", bytes.NewReader(blob))
+	if err != nil {
+		return err
+	}
+	var st server.Status
+	err = json.NewDecoder(resp.Body).Decode(&st)
+	resp.Body.Close()
+	if err != nil {
+		return fmt.Errorf("decoding submit response: %w", err)
+	}
+	if resp.StatusCode != http.StatusAccepted {
+		return fmt.Errorf("POST /v1/jobs: status %d", resp.StatusCode)
+	}
+	for !st.State.Terminal() {
+		time.Sleep(time.Millisecond)
+		resp, err := c.Get(base + "/v1/jobs/" + st.ID)
+		if err != nil {
+			return err
+		}
+		err = json.NewDecoder(resp.Body).Decode(&st)
+		resp.Body.Close()
+		if err != nil {
+			return fmt.Errorf("decoding job status: %w", err)
+		}
+	}
+	if st.State != server.StateDone {
+		return fmt.Errorf("job %s settled %s: %s", st.ID, st.State, st.Error)
+	}
+	return getOK(c, base+"/v1/jobs/"+st.ID+"/results")
+}
+
+// SelfServe boots an in-process daemon — a Manager over dir plus the
+// full instrumented handler — on a loopback listener, returning its base
+// URL and a shutdown function. It is how cmd/loadgen -self and the CI
+// smoke measure the serving path without managing a separate process.
+func SelfServe(dir string, maxJobs, trialWorkers int) (string, func(), error) {
+	m, err := server.NewManager(server.Config{
+		Dir:           dir,
+		MaxConcurrent: maxJobs,
+		TrialWorkers:  trialWorkers,
+	})
+	if err != nil {
+		return "", nil, err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		m.Close()
+		return "", nil, err
+	}
+	srv := &http.Server{Handler: server.NewHandler(m)}
+	go srv.Serve(ln)
+	stop := func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+		m.Close()
+	}
+	return "http://" + ln.Addr().String(), stop, nil
+}

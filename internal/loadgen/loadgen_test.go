@@ -1,0 +1,76 @@
+package loadgen
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+func TestQuantileNearestRank(t *testing.T) {
+	lats := make([]time.Duration, 100)
+	for i := range lats {
+		lats[i] = time.Duration(i+1) * time.Millisecond
+	}
+	for _, tc := range []struct {
+		q    float64
+		want time.Duration
+	}{
+		{0.50, 51 * time.Millisecond},
+		{0.99, 100 * time.Millisecond},
+		{1.00, 100 * time.Millisecond}, // index clamps to the last sample
+		{0.00, 1 * time.Millisecond},
+	} {
+		if got := quantile(lats, tc.q); got != tc.want {
+			t.Errorf("quantile(%.2f) = %v, want %v", tc.q, got, tc.want)
+		}
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	if _, err := Run(context.Background(), Config{}); err == nil {
+		t.Error("empty BaseURL should fail")
+	}
+	if _, err := Run(context.Background(), Config{
+		BaseURL: "http://127.0.0.1:1", Scenarios: []string{"bogus"},
+	}); err == nil {
+		t.Error("unknown scenario should fail")
+	}
+}
+
+// TestSelfServeRoundTrip drives the full harness against an in-process
+// daemon: both scenarios complete operations, error-free, and the
+// report carries coherent latency quantiles.
+func TestSelfServeRoundTrip(t *testing.T) {
+	base, stop, err := SelfServe(t.TempDir(), 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stop()
+
+	rep, err := Run(context.Background(), Config{
+		BaseURL:  base,
+		Clients:  2,
+		Duration: 300 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Target != base || rep.Clients != 2 || len(rep.Scenarios) != 2 {
+		t.Fatalf("report header: %+v", rep)
+	}
+	for _, name := range []string{"status", "job"} {
+		s, ok := rep.Scenario(name)
+		if !ok {
+			t.Fatalf("scenario %s missing", name)
+		}
+		if s.Ops == 0 || s.Errors != 0 {
+			t.Errorf("%s: ops=%d errors=%d, want ops>0 errors=0", name, s.Ops, s.Errors)
+		}
+		if s.P50Ms <= 0 || s.P99Ms < s.P50Ms || s.MaxMs < s.P99Ms {
+			t.Errorf("%s: incoherent quantiles p50=%v p99=%v max=%v", name, s.P50Ms, s.P99Ms, s.MaxMs)
+		}
+		if s.PerSecond <= 0 {
+			t.Errorf("%s: per_second=%v", name, s.PerSecond)
+		}
+	}
+}

@@ -1,0 +1,144 @@
+package obs
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"strconv"
+	"sync/atomic"
+	"time"
+)
+
+// HTTPMetrics is the per-route request instrumentation: a request
+// counter by route/method/status, a latency histogram by route, and an
+// in-flight gauge. One set serves one handler tree.
+type HTTPMetrics struct {
+	requests *CounterVec
+	latency  *HistogramVec
+	inflight *Gauge
+}
+
+// NewHTTPMetrics registers the HTTP request families on reg under the
+// given prefix (e.g. "cobrawalkd").
+func NewHTTPMetrics(reg *Registry, prefix string) *HTTPMetrics {
+	return &HTTPMetrics{
+		requests: reg.CounterVec(prefix+"_http_requests_total",
+			"HTTP requests served, by route pattern, method and status code.",
+			"route", "method", "code"),
+		latency: reg.HistogramVec(prefix+"_http_request_seconds",
+			"HTTP request latency in seconds, by route pattern.",
+			nil, "route"),
+		inflight: reg.Gauge(prefix+"_http_requests_in_flight",
+			"HTTP requests currently being served."),
+	}
+}
+
+// Requests exposes the request counter for tests and dashboards.
+func (h *HTTPMetrics) Requests(route, method, code string) *Counter {
+	return h.requests.With(route, method, code)
+}
+
+// statusWriter records the status code and body size written through it,
+// passing Flush along so streaming endpoints keep streaming.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(p []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	n, err := w.ResponseWriter.Write(p)
+	w.bytes += int64(n)
+	return n, err
+}
+
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// reqSeq numbers requests within the process; requestNonce distinguishes
+// processes, so a request ID is unique across a fleet's logs.
+var (
+	reqSeq       atomic.Uint64
+	requestNonce = func() string {
+		var b [4]byte
+		rand.Read(b[:])
+		return hex.EncodeToString(b[:])
+	}()
+)
+
+// newRequestID mints "deadbeef-000042"-style IDs: process nonce plus
+// sequence number.
+func newRequestID() string {
+	return fmt.Sprintf("%s-%06d", requestNonce, reqSeq.Add(1))
+}
+
+// Instrument wraps next with request observability: every request gets
+// an ID (reusing an inbound X-Request-Id, else minting one) echoed on
+// the response, a per-route latency observation, a status-labelled
+// counter increment, and one structured log line on logger. routeOf maps
+// a request to its low-cardinality route label — for a ServeMux, the
+// matched pattern — so one scan of wrong URLs cannot mint a thousand
+// series.
+func Instrument(next http.Handler, m *HTTPMetrics, logger *slog.Logger, routeOf func(*http.Request) string) http.Handler {
+	if logger == nil {
+		logger = Discard()
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := r.Header.Get("X-Request-Id")
+		if id == "" {
+			id = newRequestID()
+		}
+		w.Header().Set("X-Request-Id", id)
+		route := routeOf(r)
+		sw := &statusWriter{ResponseWriter: w}
+		start := time.Now()
+		if m != nil {
+			m.inflight.Inc()
+		}
+		next.ServeHTTP(sw, r)
+		elapsed := time.Since(start)
+		if sw.status == 0 { // handler wrote nothing at all
+			sw.status = http.StatusOK
+		}
+		if m != nil {
+			m.inflight.Dec()
+			m.requests.With(route, r.Method, strconv.Itoa(sw.status)).Inc()
+			m.latency.With(route).Observe(elapsed.Seconds())
+		}
+		logger.Info("http request",
+			"request_id", id,
+			"method", r.Method,
+			"route", route,
+			"path", r.URL.Path,
+			"status", sw.status,
+			"bytes", sw.bytes,
+			"duration_ms", float64(elapsed.Microseconds())/1000)
+	})
+}
+
+// MuxRoute returns a routeOf function for a ServeMux: the matched
+// pattern, or "unmatched" for requests no pattern claims.
+func MuxRoute(mux *http.ServeMux) func(*http.Request) string {
+	return func(r *http.Request) string {
+		_, pattern := mux.Handler(r)
+		if pattern == "" {
+			return "unmatched"
+		}
+		return pattern
+	}
+}

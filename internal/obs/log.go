@@ -1,0 +1,67 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"log/slog"
+	"os"
+)
+
+// LogConfig selects a structured logger, typically filled straight from
+// -log-level / -log-format flags. The zero value means info-level text.
+type LogConfig struct {
+	// Level is one of debug, info, warn, error ("" = info).
+	Level string
+	// Format is text or json ("" = text).
+	Format string
+}
+
+// NewLogger builds a slog.Logger writing to w per cfg. Every binary in
+// the repo logs through this, so operators see one format everywhere.
+func NewLogger(w io.Writer, cfg LogConfig) (*slog.Logger, error) {
+	var level slog.Level
+	switch cfg.Level {
+	case "", "info":
+		level = slog.LevelInfo
+	case "debug":
+		level = slog.LevelDebug
+	case "warn":
+		level = slog.LevelWarn
+	case "error":
+		level = slog.LevelError
+	default:
+		return nil, fmt.Errorf("obs: unknown log level %q (want debug, info, warn or error)", cfg.Level)
+	}
+	opts := &slog.HandlerOptions{Level: level}
+	switch cfg.Format {
+	case "", "text":
+		return slog.New(slog.NewTextHandler(w, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(w, opts)), nil
+	default:
+		return nil, fmt.Errorf("obs: unknown log format %q (want text or json)", cfg.Format)
+	}
+}
+
+// DefaultLogger is the zero-configuration logger for examples and small
+// tools: info-level text on stderr.
+func DefaultLogger() *slog.Logger {
+	l, _ := NewLogger(os.Stderr, LogConfig{})
+	return l
+}
+
+// Discard returns a logger that drops everything — the nil-object for
+// components that take a logger but whose caller wants silence.
+func Discard() *slog.Logger {
+	return slog.New(slog.DiscardHandler)
+}
+
+// Fatal logs msg plus attrs at error level and exits 1 — the structured
+// replacement for log.Fatal in package main.
+func Fatal(l *slog.Logger, msg string, args ...any) {
+	if l == nil {
+		l = DefaultLogger()
+	}
+	l.Error(msg, args...)
+	os.Exit(1)
+}

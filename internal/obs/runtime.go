@@ -1,0 +1,53 @@
+package obs
+
+import (
+	"runtime"
+	"sync"
+	"time"
+)
+
+// RegisterRuntime adds the Go runtime metric families to reg:
+// goroutine count, heap/sys memory, GC cycle and pause totals, and the
+// process uptime. Memory stats are refreshed once per scrape via an
+// OnScrape hook (runtime.ReadMemStats briefly stops the world, so each
+// scrape pays it exactly once, and the serving hot path never does).
+func RegisterRuntime(reg *Registry) {
+	start := time.Now()
+	var (
+		mu sync.Mutex
+		ms runtime.MemStats
+	)
+	reg.OnScrape(func() {
+		mu.Lock()
+		runtime.ReadMemStats(&ms)
+		mu.Unlock()
+	})
+	read := func(f func(*runtime.MemStats) float64) func() float64 {
+		return func() float64 {
+			mu.Lock()
+			defer mu.Unlock()
+			return f(&ms)
+		}
+	}
+	reg.GaugeFunc("go_goroutines",
+		"Number of live goroutines.",
+		func() float64 { return float64(runtime.NumGoroutine()) })
+	reg.GaugeFunc("go_heap_alloc_bytes",
+		"Bytes of allocated heap objects.",
+		read(func(m *runtime.MemStats) float64 { return float64(m.HeapAlloc) }))
+	reg.GaugeFunc("go_heap_objects",
+		"Number of allocated heap objects.",
+		read(func(m *runtime.MemStats) float64 { return float64(m.HeapObjects) }))
+	reg.GaugeFunc("go_sys_bytes",
+		"Bytes of memory obtained from the OS.",
+		read(func(m *runtime.MemStats) float64 { return float64(m.Sys) }))
+	reg.CounterFunc("go_gc_cycles_total",
+		"Completed GC cycles.",
+		read(func(m *runtime.MemStats) float64 { return float64(m.NumGC) }))
+	reg.CounterFunc("go_gc_pause_seconds_total",
+		"Cumulative GC stop-the-world pause time.",
+		read(func(m *runtime.MemStats) float64 { return float64(m.PauseTotalNs) / 1e9 }))
+	reg.GaugeFunc("process_uptime_seconds",
+		"Seconds since the process registered its metrics.",
+		func() float64 { return time.Since(start).Seconds() })
+}

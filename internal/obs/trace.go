@@ -1,0 +1,89 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// Event is one timestamped step in a traced lifecycle — a span event in
+// the tracing sense: cheap, append-only, and meaningful after the fact.
+// The serving layer records them per job (queued → running → per-point
+// progress → terminal) and persists them into job.json, so a stuck or
+// slow job can be diagnosed from its artifacts alone.
+type Event struct {
+	Time time.Time `json:"time"`
+	// Name is the step ("queued", "running", "point-start", "point",
+	// "done", "failed", "cancelled", ...).
+	Name string `json:"name"`
+	// Detail is a human-readable payload ("p007 rand-reg-n64 (3/9)").
+	Detail string `json:"detail,omitempty"`
+}
+
+// Trace is a bounded, concurrency-safe span-event recorder. Once the
+// cap is reached, further events overwrite the last slot instead of
+// growing — so a million-point sweep keeps its head (the lifecycle
+// transitions and the first points) and always shows the most recent
+// progress, in constant space.
+type Trace struct {
+	mu     sync.Mutex
+	max    int
+	events []Event
+	// clipped counts events that landed in the overwrite slot.
+	clipped int
+}
+
+// DefaultTraceCap bounds a trace to roughly one job.json page worth of
+// events.
+const DefaultTraceCap = 256
+
+// NewTrace returns an empty trace holding at most max events
+// (<= 0 = DefaultTraceCap).
+func NewTrace(max int) *Trace {
+	if max <= 0 {
+		max = DefaultTraceCap
+	}
+	return &Trace{max: max}
+}
+
+// Add records an event at time.Now.
+func (t *Trace) Add(name, detail string) {
+	t.add(Event{Time: time.Now().UTC(), Name: name, Detail: detail})
+}
+
+func (t *Trace) add(ev Event) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(t.events) < t.max {
+		t.events = append(t.events, ev)
+		return
+	}
+	t.events[len(t.events)-1] = ev
+	t.clipped++
+}
+
+// Seed replaces the trace contents — used when restoring a persisted
+// job's events so post-restart appends continue the same history.
+func (t *Trace) Seed(events []Event) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(events) > t.max {
+		events = events[:t.max]
+	}
+	t.events = append(t.events[:0], events...)
+}
+
+// Events returns a copy of the recorded events in order.
+func (t *Trace) Events() []Event {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Event, len(t.events))
+	copy(out, t.events)
+	return out
+}
+
+// Len returns the number of stored events.
+func (t *Trace) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.events)
+}

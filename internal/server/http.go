@@ -11,6 +11,7 @@ import (
 	"strings"
 
 	"cobrawalk/internal/buildinfo"
+	"cobrawalk/internal/obs"
 	"cobrawalk/internal/process"
 	"cobrawalk/internal/stats"
 	"cobrawalk/internal/sweep"
@@ -39,12 +40,26 @@ type trajectoryBand struct {
 //	                             (one line per point × trajectory metric:
 //	                             rounds, n, mean, p10/p50/p90), derived
 //	                             from the same artifacts as /results
+//	GET    /v1/jobs/{id}/events  the job's span-event trace
+//	                             (queued → running → per-point progress
+//	                             → terminal), for post-mortems of stuck
+//	                             or slow jobs
 //	GET    /v1/processes         the process registry
 //	GET    /v1/families          the graph family registry
 //	GET    /v1/metrics           the sweep metric registry
 //	GET    /v1/cachestats        the shared graph cache counters
-//	GET    /v1/healthz           liveness + job counts + cache counters
+//	GET    /v1/healthz           liveness + uptime + build identity +
+//	                             job counts + queue depth + cache
+//	                             counters
 //	GET    /v1/version           build identity of the binary
+//	GET    /metrics              Prometheus text exposition: HTTP
+//	                             request latency/status by route, job
+//	                             lifecycle and queue depth, sweep
+//	                             points/trials, graph cache, Go runtime
+//
+// Every request is wrapped in the observability middleware: an
+// X-Request-Id (minted or propagated), a per-route latency/status
+// metric, and one structured log line on the manager's logger.
 //
 // Errors are {"error": "..."} with a conventional status code: 400 for
 // bad specs, 404 for unknown jobs, 409 for lifecycle conflicts (results
@@ -127,6 +142,15 @@ func NewHandler(m *Manager) http.Handler {
 			}
 		}
 	})
+	mux.HandleFunc("GET /v1/jobs/{id}/events", func(w http.ResponseWriter, r *http.Request) {
+		id := r.PathValue("id")
+		events, err := m.Events(id)
+		if err != nil {
+			writeError(w, statusFor(err), err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"id": id, "events": events})
+	})
 	mux.HandleFunc("GET /v1/processes", func(w http.ResponseWriter, r *http.Request) {
 		type proc struct {
 			Name       string `json:"name"`
@@ -167,17 +191,22 @@ func NewHandler(m *Manager) http.Handler {
 		writeJSON(w, http.StatusOK, m.CacheStats())
 	})
 	mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, r *http.Request) {
+		counts := m.Counts()
 		writeJSON(w, http.StatusOK, map[string]any{
 			"status":         "ok",
 			"uptime_seconds": int64(m.Uptime().Seconds()),
-			"jobs":           m.Counts(),
+			"build":          buildinfo.Read(),
+			"jobs":           counts,
+			"queue_depth":    counts[StateQueued],
+			"running":        counts[StateRunning],
 			"cache":          m.CacheStats(),
 		})
 	})
 	mux.HandleFunc("GET /v1/version", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, buildinfo.Read())
 	})
-	return mux
+	mux.Handle("GET /metrics", m.Registry().Handler())
+	return obs.Instrument(mux, m.met.http, m.logger, obs.MuxRoute(mux))
 }
 
 // statusFor maps manager errors onto HTTP codes by their shape: unknown

@@ -22,6 +22,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"os"
 	"path/filepath"
 	"sort"
@@ -31,6 +32,7 @@ import (
 	"time"
 
 	"cobrawalk/internal/graphcache"
+	"cobrawalk/internal/obs"
 	"cobrawalk/internal/sweep"
 )
 
@@ -66,6 +68,11 @@ type Record struct {
 	Created  time.Time  `json:"created"`
 	Started  *time.Time `json:"started,omitempty"`
 	Finished *time.Time `json:"finished,omitempty"`
+	// Events is the job's span-event trace (queued → running →
+	// per-point progress → terminal), bounded by obs.DefaultTraceCap and
+	// refreshed on every persist, so a stuck or slow job is diagnosable
+	// from job.json alone. Served live at /v1/jobs/{id}/events.
+	Events []obs.Event `json:"events,omitempty"`
 }
 
 // Status is a live snapshot of a job: the record plus progress counters.
@@ -89,6 +96,17 @@ type job struct {
 	userCancel bool
 	done       atomic.Int64
 	resumed    atomic.Int64
+	// trace accumulates span events; rec.Events is its snapshot, taken
+	// at each persist. Trace is internally locked, so events can be
+	// recorded without holding Manager.mu.
+	trace *obs.Trace
+	// lastEventPersist throttles progress-driven job.json writes
+	// (unix nanos of the last write; at most one per second).
+	lastEventPersist atomic.Int64
+	// pointStarts maps in-flight point IDs to their start times. Only
+	// touched from the sweep's serialised PointStart/PointDone
+	// callbacks, so it needs no lock of its own.
+	pointStarts map[string]time.Time
 }
 
 func (j *job) artifactsDir() string { return filepath.Join(j.dir, artifactsDirName) }
@@ -115,8 +133,15 @@ type Config struct {
 	// CacheBudget is the shared graph cache's vertex budget
 	// (0 = graphcache.DefaultBudget).
 	CacheBudget int
-	// Logf, when non-nil, receives one line per job transition.
-	Logf func(format string, args ...any)
+	// Logger receives structured job-lifecycle logs with job_id fields
+	// (nil = discard). Request logs ride the same logger via NewHandler.
+	Logger *slog.Logger
+	// Metrics, when non-nil, is the registry the manager registers its
+	// metric families into; nil means a private registry. Either way the
+	// registry is served at GET /metrics and reachable via
+	// Manager.Registry. One registry serves at most one manager —
+	// family names collide otherwise.
+	Metrics *obs.Registry
 }
 
 // Manager owns the job set: submission, the bounded scheduler,
@@ -130,6 +155,8 @@ type Manager struct {
 	wg     sync.WaitGroup
 	sem    chan struct{} // scheduler slots: len == running jobs
 	start  time.Time
+	logger *slog.Logger
+	met    *serverMetrics
 
 	mu     sync.Mutex
 	jobs   map[string]*job
@@ -151,8 +178,11 @@ func NewManager(cfg Config) (*Manager, error) {
 	if cfg.PointWorkers <= 0 {
 		cfg.PointWorkers = 1
 	}
-	if cfg.Logf == nil {
-		cfg.Logf = func(string, ...any) {}
+	if cfg.Logger == nil {
+		cfg.Logger = obs.Discard()
+	}
+	if cfg.Metrics == nil {
+		cfg.Metrics = obs.NewRegistry()
 	}
 	if err := os.MkdirAll(filepath.Join(cfg.Dir, jobsDirName), 0o755); err != nil {
 		return nil, fmt.Errorf("server: creating data dir: %w", err)
@@ -162,9 +192,11 @@ func NewManager(cfg Config) (*Manager, error) {
 		cache:  graphcache.New(cfg.CacheBudget),
 		sem:    make(chan struct{}, cfg.MaxConcurrent),
 		start:  time.Now(),
+		logger: cfg.Logger,
 		jobs:   make(map[string]*job),
 		nextID: 1,
 	}
+	m.met = newServerMetrics(m, cfg.Metrics)
 	m.ctx, m.cancel = context.WithCancel(context.Background())
 	if err := m.restore(); err != nil {
 		return nil, err
@@ -189,7 +221,7 @@ func (m *Manager) restore() error {
 	sort.Slice(ids, func(a, b int) bool { return jobSeq(ids[a]) < jobSeq(ids[b]) })
 	for _, id := range ids {
 		if jobSeq(id) == 0 {
-			m.cfg.Logf("ignoring foreign directory %s in %s", id, jobsDir)
+			m.logger.Warn("ignoring foreign directory in jobs dir", "dir", id, "jobs_dir", jobsDir)
 			continue
 		}
 		// Every parseable job ID advances the counter — including ones
@@ -204,22 +236,23 @@ func (m *Manager) restore() error {
 			// Availability over completeness: one unreadable record must
 			// not keep every healthy job (and the daemon) down. The
 			// directory is left untouched for the operator to inspect.
-			m.cfg.Logf("skipping job %s: unreadable record: %v", id, err)
+			m.logger.Warn("skipping job: unreadable record", "job_id", id, "err", err)
 			continue
 		}
 		if rec.ID != id {
-			m.cfg.Logf("skipping job %s: its record names %q", id, rec.ID)
+			m.logger.Warn("skipping job: record names another id", "job_id", id, "record_id", rec.ID)
 			continue
 		}
-		j := &job{rec: rec, dir: dir}
-		j.ctx, j.cancel = context.WithCancel(m.ctx)
+		j := m.newJob(rec, dir)
 		m.jobs[id] = j
 		m.order = append(m.order, id)
 		if !rec.State.Terminal() {
 			// The previous process died mid-job (or before starting it):
 			// back to the queue; completed points resume from artifacts.
 			j.rec.State = StateQueued
-			m.cfg.Logf("job %s: recovered (%d points, resuming)", id, rec.Points)
+			j.trace.Add("recovered", fmt.Sprintf("re-enqueued after restart as %s", rec.State))
+			m.met.jobsTotal.With(string(StateQueued)).Inc()
+			m.logger.Info("job recovered, resuming", "job_id", id, "points", rec.Points, "prev_state", string(rec.State))
 			m.enqueue(j)
 		}
 	}
@@ -259,17 +292,14 @@ func (m *Manager) Submit(spec sweep.Spec) (Status, error) {
 	m.nextID++
 	m.mu.Unlock()
 
-	j := &job{
-		rec: Record{
-			ID:      id,
-			Spec:    spec,
-			State:   StateQueued,
-			Points:  len(pts),
-			Created: time.Now().UTC(),
-		},
-		dir: filepath.Join(m.cfg.Dir, jobsDirName, id),
-	}
-	j.ctx, j.cancel = context.WithCancel(m.ctx)
+	j := m.newJob(Record{
+		ID:      id,
+		Spec:    spec,
+		State:   StateQueued,
+		Points:  len(pts),
+		Created: time.Now().UTC(),
+	}, filepath.Join(m.cfg.Dir, jobsDirName, id))
+	j.trace.Add("queued", fmt.Sprintf("%d points", len(pts)))
 	if err := os.MkdirAll(j.dir, 0o755); err != nil {
 		return Status{}, fmt.Errorf("server: creating job dir: %w", err)
 	}
@@ -282,9 +312,22 @@ func (m *Manager) Submit(spec sweep.Spec) (Status, error) {
 	m.jobs[id] = j
 	m.order = append(m.order, id)
 	m.mu.Unlock()
-	m.cfg.Logf("job %s: queued (%d points)", id, len(pts))
+	m.met.jobsTotal.With(string(StateQueued)).Inc()
+	m.logger.Info("job queued", "job_id", id, "points", len(pts))
 	m.enqueue(j)
 	return m.snapshot(j), nil
+}
+
+// newJob wires a job around its record: lifecycle context, span trace
+// (seeded with any persisted events so a restart continues the same
+// history) and the per-point timing map.
+func (m *Manager) newJob(rec Record, dir string) *job {
+	j := &job{rec: rec, dir: dir, trace: obs.NewTrace(0), pointStarts: make(map[string]time.Time)}
+	if len(rec.Events) > 0 {
+		j.trace.Seed(rec.Events)
+	}
+	j.ctx, j.cancel = context.WithCancel(m.ctx)
+	return j
 }
 
 // enqueue schedules j: wait for a scheduler slot, run the sweep, settle
@@ -310,27 +353,62 @@ func (m *Manager) enqueue(j *job) {
 		j.rec.State = StateRunning
 		j.rec.Started = &now
 		m.mu.Unlock()
+		j.trace.Add("running", "")
 		if err := m.persist(j); err != nil {
 			m.settle(j, err)
 			return
 		}
-		m.cfg.Logf("job %s: running", j.rec.ID)
+		m.met.jobsTotal.With(string(StateRunning)).Inc()
+		m.logger.Info("job running", "job_id", j.rec.ID)
 
+		total := j.rec.Points
 		_, err := sweep.Run(j.ctx, j.rec.Spec, sweep.Options{
 			Dir:          j.artifactsDir(),
 			Resume:       true, // no-op on a fresh dir; resumes after a crash
 			PointWorkers: m.cfg.PointWorkers,
 			TrialWorkers: m.cfg.TrialWorkers,
 			GraphCache:   m.cache,
-			PointDone: func(_ sweep.Result, resumed bool) {
-				j.done.Add(1)
+			PointStart: func(pt sweep.Point) {
+				j.pointStarts[pt.ID] = time.Now()
+				j.trace.Add("point-start", pt.ID)
+				m.logger.Debug("point start", "job_id", j.rec.ID, "point", pt.ID)
+			},
+			PointDone: func(res sweep.Result, resumed bool) {
+				done := j.done.Add(1)
+				m.met.pointsTotal.Inc()
+				m.met.trialsTotal.Add(uint64(res.Trials))
+				detail := fmt.Sprintf("%s (%d/%d)", res.ID, done, total)
 				if resumed {
 					j.resumed.Add(1)
+					m.met.pointsResumed.Inc()
+					detail += " resumed"
+				} else if start, ok := j.pointStarts[res.ID]; ok {
+					delete(j.pointStarts, res.ID)
+					m.met.pointSeconds.Observe(time.Since(start).Seconds())
 				}
+				j.trace.Add("point", detail)
+				m.logger.Debug("point done", "job_id", j.rec.ID, "point", res.ID,
+					"done", done, "total", total, "resumed", resumed)
+				m.persistProgress(j)
 			},
 		})
 		m.settle(j, err)
 	}()
+}
+
+// persistProgress refreshes job.json with the latest span events, at
+// most once per second per job, so a daemon killed mid-sweep leaves a
+// current trace on disk without turning every point into a write.
+func (m *Manager) persistProgress(j *job) {
+	const every = int64(time.Second)
+	now := time.Now().UnixNano()
+	last := j.lastEventPersist.Load()
+	if now-last < every || !j.lastEventPersist.CompareAndSwap(last, now) {
+		return
+	}
+	if err := m.persist(j); err != nil {
+		m.logger.Warn("persisting progress", "job_id", j.rec.ID, "err", err)
+	}
 }
 
 // settle records a job's terminal state: done when the sweep ran to
@@ -351,7 +429,7 @@ func (m *Manager) settle(j *job, err error) {
 	case m.ctx.Err() != nil:
 		// Shutdown, not an outcome: leave the persisted state alone.
 		m.mu.Unlock()
-		m.cfg.Logf("job %s: interrupted by shutdown", j.rec.ID)
+		m.logger.Info("job interrupted by shutdown", "job_id", j.rec.ID)
 		return
 	default:
 		j.rec.State = StateFailed
@@ -360,35 +438,51 @@ func (m *Manager) settle(j *job, err error) {
 	now := time.Now().UTC()
 	j.rec.Finished = &now
 	state, msg := j.rec.State, j.rec.Error
+	var ran time.Duration
+	if j.rec.Started != nil {
+		ran = now.Sub(*j.rec.Started)
+	}
 	m.mu.Unlock()
 
+	j.trace.Add(string(state), msg)
+	m.met.jobsTotal.With(string(state)).Inc()
+	if ran > 0 {
+		m.met.jobSeconds.Observe(ran.Seconds())
+	}
 	if err := m.persist(j); err != nil {
-		m.cfg.Logf("job %s: persisting terminal state: %v", j.rec.ID, err)
+		m.logger.Warn("persisting terminal state", "job_id", j.rec.ID, "err", err)
 	}
 	if msg != "" {
-		m.cfg.Logf("job %s: %s: %s", j.rec.ID, state, msg)
+		m.logger.Info("job settled", "job_id", j.rec.ID, "state", string(state), "err", msg, "ran_seconds", ran.Seconds())
 	} else {
-		m.cfg.Logf("job %s: %s", j.rec.ID, state)
+		m.logger.Info("job settled", "job_id", j.rec.ID, "state", string(state), "ran_seconds", ran.Seconds())
 	}
 }
 
-// persist writes the job record atomically.
+// persist writes the job record atomically, with the span trace's
+// current snapshot as rec.Events.
 func (m *Manager) persist(j *job) error {
+	events := j.trace.Events()
 	m.mu.Lock()
+	j.rec.Events = events
 	rec := j.rec
 	m.mu.Unlock()
 	return writeJSONFile(filepath.Join(j.dir, jobFileName), rec)
 }
 
-// snapshot assembles a Status under the lock.
+// snapshot assembles a Status under the lock. Events are stripped —
+// they have their own endpoint (and job.json) and would bloat every
+// list response otherwise.
 func (m *Manager) snapshot(j *job) Status {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	return Status{
+	st := Status{
 		Record:        j.rec,
 		PointsDone:    int(j.done.Load()),
 		PointsResumed: int(j.resumed.Load()),
 	}
+	st.Events = nil
+	return st
 }
 
 // Get returns the live status of one job.
@@ -435,7 +529,8 @@ func (m *Manager) Cancel(id string) (Status, error) {
 	j.userCancel = true
 	m.mu.Unlock()
 	j.cancel()
-	m.cfg.Logf("job %s: cancellation requested", id)
+	j.trace.Add("cancel-requested", "")
+	m.logger.Info("job cancellation requested", "job_id", id)
 	return m.snapshot(j), nil
 }
 
@@ -460,6 +555,22 @@ func (m *Manager) ResultsPath(id string) (string, error) {
 
 // CacheStats snapshots the shared graph cache counters.
 func (m *Manager) CacheStats() graphcache.Stats { return m.cache.Stats() }
+
+// Registry is the manager's metrics registry (served at GET /metrics).
+func (m *Manager) Registry() *obs.Registry { return m.met.reg }
+
+// Events returns a job's span-event trace: the live in-memory history
+// for jobs this process has touched, which for restored jobs starts
+// from the events persisted in job.json.
+func (m *Manager) Events(id string) ([]obs.Event, error) {
+	m.mu.Lock()
+	j, ok := m.jobs[id]
+	m.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("server: no job %s", id)
+	}
+	return j.trace.Events(), nil
+}
 
 // Counts returns the number of jobs in each state.
 func (m *Manager) Counts() map[State]int {

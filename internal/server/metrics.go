@@ -1,0 +1,89 @@
+package server
+
+import (
+	"cobrawalk/internal/obs"
+)
+
+// serverMetrics is the manager's metric family set, registered once per
+// manager on its registry (Config.Metrics or a private one). Counters
+// and histograms are written at job/point transitions — never on the
+// trial hot path — and the gauges are scrape-time reads of manager and
+// graph-cache state, so instrumentation observes the computation without
+// perturbing it.
+type serverMetrics struct {
+	reg  *obs.Registry
+	http *obs.HTTPMetrics
+
+	// jobsTotal counts lifecycle transitions by entered state; a job
+	// contributes one "queued", at most one "running" and exactly one
+	// terminal increment.
+	jobsTotal *obs.CounterVec
+	// jobSeconds observes running→terminal wall time.
+	jobSeconds *obs.Histogram
+	// pointsTotal / pointsResumed / trialsTotal count sweep progress
+	// across all jobs; rate(trialsTotal) is the serving-path trials/sec.
+	pointsTotal   *obs.Counter
+	pointsResumed *obs.Counter
+	trialsTotal   *obs.Counter
+	// pointSeconds observes per-point compute time (resumed points are
+	// loads, not computes, and are excluded).
+	pointSeconds *obs.Histogram
+}
+
+// jobBuckets span the job/point durations the daemon sees: millisecond
+// smoke points to multi-minute sweeps.
+var jobBuckets = []float64{0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30, 60, 120, 300, 600}
+
+// newServerMetrics registers every serving-layer family on reg: job and
+// point transition counters/histograms, scrape-time gauges over the
+// manager (queue depth, running jobs, slots — running/slots is worker
+// utilization), the graph-cache stats adapter, and the Go runtime
+// families.
+func newServerMetrics(m *Manager, reg *obs.Registry) *serverMetrics {
+	sm := &serverMetrics{
+		reg:  reg,
+		http: obs.NewHTTPMetrics(reg, "cobrawalkd"),
+		jobsTotal: reg.CounterVec("cobrawalkd_jobs_total",
+			"Job lifecycle transitions, by entered state.", "state"),
+		jobSeconds: reg.Histogram("cobrawalkd_job_seconds",
+			"Job wall time from running to terminal, in seconds.", jobBuckets),
+		pointsTotal: reg.Counter("cobrawalkd_sweep_points_total",
+			"Sweep points completed across all jobs (resumed included)."),
+		pointsResumed: reg.Counter("cobrawalkd_sweep_points_resumed_total",
+			"Sweep points loaded from artifacts instead of recomputed."),
+		trialsTotal: reg.Counter("cobrawalkd_sweep_trials_total",
+			"Simulation trials folded into completed points across all jobs."),
+		pointSeconds: reg.Histogram("cobrawalkd_sweep_point_seconds",
+			"Per-point compute time in seconds (resumed points excluded).", jobBuckets),
+	}
+	reg.GaugeFunc("cobrawalkd_jobs_queue_depth",
+		"Jobs waiting for a scheduler slot.",
+		func() float64 { return float64(m.Counts()[StateQueued]) })
+	reg.GaugeFunc("cobrawalkd_jobs_running",
+		"Jobs currently running (cobrawalkd_jobs_running / cobrawalkd_job_slots is worker utilization).",
+		func() float64 { return float64(m.Counts()[StateRunning]) })
+	reg.GaugeFunc("cobrawalkd_job_slots",
+		"Configured concurrent job slots (Config.MaxConcurrent).",
+		func() float64 { return float64(m.cfg.MaxConcurrent) })
+
+	// Graph-cache stats adapter: the same counters /v1/cachestats serves,
+	// as scrape-time reads of the shared cache.
+	reg.CounterFunc("cobrawalkd_graphcache_hits_total",
+		"Graph cache builds served from cache (waiters on in-flight builds included).",
+		func() float64 { return float64(m.CacheStats().Hits) })
+	reg.CounterFunc("cobrawalkd_graphcache_misses_total",
+		"Graph cache requests that started a build.",
+		func() float64 { return float64(m.CacheStats().Misses) })
+	reg.CounterFunc("cobrawalkd_graphcache_evictions_total",
+		"Graphs evicted to fit the vertex budget.",
+		func() float64 { return float64(m.CacheStats().Evictions) })
+	reg.GaugeFunc("cobrawalkd_graphcache_entries",
+		"Graphs resident in the cache.",
+		func() float64 { return float64(m.CacheStats().Entries) })
+	reg.GaugeFunc("cobrawalkd_graphcache_vertices",
+		"Total vertices resident in the cache (the budgeted unit).",
+		func() float64 { return float64(m.CacheStats().Vertices) })
+
+	obs.RegisterRuntime(reg)
+	return sm
+}

@@ -1,0 +1,292 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"cobrawalk/internal/obs"
+)
+
+// metricFamilies scrapes GET /metrics and returns the "# TYPE" family
+// declarations as "name type" strings, in exposition order, plus the
+// raw body for value assertions.
+func metricFamilies(t *testing.T, base string) ([]string, string) {
+	t.Helper()
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics: status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("GET /metrics content type %q", ct)
+	}
+	blob, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fams []string
+	for _, line := range strings.Split(string(blob), "\n") {
+		if rest, ok := strings.CutPrefix(line, "# TYPE "); ok {
+			fams = append(fams, rest)
+		}
+	}
+	return fams, string(blob)
+}
+
+// TestMetricsGoldenFamilies pins the full metric family surface of
+// GET /metrics: the exact names and types, in exposition (sorted) order.
+// A family appearing, disappearing or changing type is a contract change
+// and must show up in this golden list.
+func TestMetricsGoldenFamilies(t *testing.T) {
+	m := newTestManager(t, t.TempDir(), Config{TrialWorkers: 2})
+	ts := httptest.NewServer(NewHandler(m))
+	defer ts.Close()
+
+	var st Status
+	spec, _ := json.Marshal(smokeSpec())
+	if code := httpJSON(t, http.MethodPost, ts.URL+"/v1/jobs", spec, &st); code != http.StatusAccepted {
+		t.Fatalf("submit: status %d", code)
+	}
+	pollUntil(t, ts.URL, st.ID, terminal)
+
+	fams, body := metricFamilies(t, ts.URL)
+	want := []string{
+		"cobrawalkd_graphcache_entries gauge",
+		"cobrawalkd_graphcache_evictions_total counter",
+		"cobrawalkd_graphcache_hits_total counter",
+		"cobrawalkd_graphcache_misses_total counter",
+		"cobrawalkd_graphcache_vertices gauge",
+		"cobrawalkd_http_request_seconds histogram",
+		"cobrawalkd_http_requests_in_flight gauge",
+		"cobrawalkd_http_requests_total counter",
+		"cobrawalkd_job_seconds histogram",
+		"cobrawalkd_job_slots gauge",
+		"cobrawalkd_jobs_queue_depth gauge",
+		"cobrawalkd_jobs_running gauge",
+		"cobrawalkd_jobs_total counter",
+		"cobrawalkd_sweep_point_seconds histogram",
+		"cobrawalkd_sweep_points_resumed_total counter",
+		"cobrawalkd_sweep_points_total counter",
+		"cobrawalkd_sweep_trials_total counter",
+		"go_gc_cycles_total counter",
+		"go_gc_pause_seconds_total counter",
+		"go_goroutines gauge",
+		"go_heap_alloc_bytes gauge",
+		"go_heap_objects gauge",
+		"go_sys_bytes gauge",
+		"process_uptime_seconds gauge",
+	}
+	if len(want) < 12 {
+		t.Fatalf("golden list shrank below the contract: %d families", len(want))
+	}
+	if got, wantStr := strings.Join(fams, "\n"), strings.Join(want, "\n"); got != wantStr {
+		t.Errorf("metric families drifted:\ngot:\n%s\nwant:\n%s", got, wantStr)
+	}
+
+	// The completed job must be visible in the live values: 2 points,
+	// 5 trials each, one done job, and the requests this test made.
+	for _, line := range []string{
+		"cobrawalkd_sweep_points_total 2",
+		"cobrawalkd_sweep_trials_total 10",
+		`cobrawalkd_jobs_total{state="done"} 1`,
+		`cobrawalkd_jobs_total{state="queued"} 1`,
+		`cobrawalkd_http_requests_total{route="POST /v1/jobs",method="POST",code="202"} 1`,
+	} {
+		if !strings.Contains(body, line+"\n") {
+			t.Errorf("scrape lacks %q", line)
+		}
+	}
+	// One graph, two points sharing it: one miss, one hit.
+	if !strings.Contains(body, "cobrawalkd_graphcache_hits_total 1\n") ||
+		!strings.Contains(body, "cobrawalkd_graphcache_misses_total 1\n") {
+		t.Errorf("graph cache adapter not reflecting shared build:\n%s", body)
+	}
+}
+
+// TestHTTPErrorPaths drives the conventional error statuses and asserts
+// all three observability surfaces agree: the response code, the
+// request-log line, and the per-route counter increment.
+func TestHTTPErrorPaths(t *testing.T) {
+	var logBuf bytes.Buffer
+	logger, err := obs.NewLogger(&logBuf, obs.LogConfig{Level: "info"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := newTestManager(t, t.TempDir(), Config{Logger: logger})
+	ts := httptest.NewServer(NewHandler(m))
+	defer ts.Close()
+
+	cases := []struct {
+		name, method, path, body string
+		wantCode                 int
+		wantRoute                string
+	}{
+		{"malformed spec", http.MethodPost, "/v1/jobs", `{"families": [`, http.StatusBadRequest, "POST /v1/jobs"},
+		{"unknown spec field", http.MethodPost, "/v1/jobs", `{"bogus": 1}`, http.StatusBadRequest, "POST /v1/jobs"},
+		{"invalid spec", http.MethodPost, "/v1/jobs", `{"families":["no-such-family"],"sizes":[8],"trials":1}`, http.StatusBadRequest, "POST /v1/jobs"},
+		{"unknown job", http.MethodGet, "/v1/jobs/j9999", "", http.StatusNotFound, "GET /v1/jobs/{id}"},
+		{"unknown job events", http.MethodGet, "/v1/jobs/j9999/events", "", http.StatusNotFound, "GET /v1/jobs/{id}/events"},
+		{"unknown job cancel", http.MethodDelete, "/v1/jobs/j9999", "", http.StatusNotFound, "DELETE /v1/jobs/{id}"},
+		{"method not allowed", http.MethodPut, "/v1/jobs/j9999", "", http.StatusMethodNotAllowed, "unmatched"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			req, err := http.NewRequest(tc.method, ts.URL+tc.path, strings.NewReader(tc.body))
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp, err := http.DefaultClient.Do(req)
+			if err != nil {
+				t.Fatal(err)
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != tc.wantCode {
+				t.Fatalf("status %d, want %d", resp.StatusCode, tc.wantCode)
+			}
+			if tc.wantCode != http.StatusMethodNotAllowed {
+				// Error bodies carry the {"error": ...} shape (the 405 is
+				// the mux's own plain-text response).
+				req2, _ := http.NewRequest(tc.method, ts.URL+tc.path, strings.NewReader(tc.body))
+				resp2, err := http.DefaultClient.Do(req2)
+				if err != nil {
+					t.Fatal(err)
+				}
+				var body struct {
+					Error string `json:"error"`
+				}
+				err = json.NewDecoder(resp2.Body).Decode(&body)
+				resp2.Body.Close()
+				if err != nil || body.Error == "" {
+					t.Errorf("error body malformed: %v %q", err, body.Error)
+				}
+			}
+		})
+	}
+
+	// Each case's increment must be on the scrape (the non-405 cases ran
+	// twice: once for the status, once for the body shape).
+	_, scrape := metricFamilies(t, ts.URL)
+	for _, line := range []string{
+		`cobrawalkd_http_requests_total{route="POST /v1/jobs",method="POST",code="400"} 6`,
+		`cobrawalkd_http_requests_total{route="GET /v1/jobs/{id}",method="GET",code="404"} 2`,
+		`cobrawalkd_http_requests_total{route="GET /v1/jobs/{id}/events",method="GET",code="404"} 2`,
+		`cobrawalkd_http_requests_total{route="DELETE /v1/jobs/{id}",method="DELETE",code="404"} 2`,
+		`cobrawalkd_http_requests_total{route="unmatched",method="PUT",code="405"} 1`,
+	} {
+		if !strings.Contains(scrape, line+"\n") {
+			t.Errorf("scrape lacks %q", line)
+		}
+	}
+
+	// And the request log saw them, with IDs and statuses.
+	logs := logBuf.String()
+	for _, frag := range []string{
+		`msg="http request"`, "request_id=", "status=400", "status=404", "status=405",
+		`route="POST /v1/jobs"`, `route="GET /v1/jobs/{id}"`, "route=unmatched",
+	} {
+		if !strings.Contains(logs, frag) {
+			t.Errorf("request log lacks %s:\n%s", frag, logs)
+		}
+	}
+}
+
+// TestJobEventsLifecycle runs a job to completion and asserts the span
+// trace tells the whole story — queued → running → per-point progress →
+// done — on the endpoint, and that job.json carries the same events for
+// post-mortems without a live daemon.
+func TestJobEventsLifecycle(t *testing.T) {
+	dir := t.TempDir()
+	m := newTestManager(t, dir, Config{TrialWorkers: 2})
+	ts := httptest.NewServer(NewHandler(m))
+	defer ts.Close()
+
+	var st Status
+	spec, _ := json.Marshal(smokeSpec())
+	if code := httpJSON(t, http.MethodPost, ts.URL+"/v1/jobs", spec, &st); code != http.StatusAccepted {
+		t.Fatalf("submit: status %d", code)
+	}
+	st = pollUntil(t, ts.URL, st.ID, terminal)
+	if st.State != StateDone {
+		t.Fatalf("job settled %s: %s", st.State, st.Error)
+	}
+	if len(st.Events) != 0 {
+		t.Errorf("status payloads must not carry events (got %d)", len(st.Events))
+	}
+
+	var got struct {
+		ID     string      `json:"id"`
+		Events []obs.Event `json:"events"`
+	}
+	if code := httpJSON(t, http.MethodGet, ts.URL+"/v1/jobs/"+st.ID+"/events", nil, &got); code != http.StatusOK {
+		t.Fatalf("GET events: status %d", code)
+	}
+	names := make([]string, len(got.Events))
+	for i, ev := range got.Events {
+		names[i] = ev.Name
+		if ev.Time.IsZero() {
+			t.Errorf("event %d (%s) has no timestamp", i, ev.Name)
+		}
+	}
+	joined := strings.Join(names, ",")
+	// queued, running, then a start/done pair per point, then done.
+	if want := "queued,running,point-start,point,point-start,point,done"; joined != want {
+		t.Fatalf("event sequence %q, want %q", joined, want)
+	}
+	for i := 1; i < len(got.Events); i++ {
+		if got.Events[i].Time.Before(got.Events[i-1].Time) {
+			t.Errorf("events out of order at %d: %v then %v", i, got.Events[i-1], got.Events[i])
+		}
+	}
+
+	// job.json carries the same trace.
+	var rec Record
+	blob, err := os.ReadFile(filepath.Join(dir, "jobs", st.ID, "job.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(blob, &rec); err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Events) != len(got.Events) {
+		t.Errorf("job.json holds %d events, endpoint served %d", len(rec.Events), len(got.Events))
+	}
+	if rec.Events[len(rec.Events)-1].Name != "done" {
+		t.Errorf("job.json trace does not end in done: %+v", rec.Events[len(rec.Events)-1])
+	}
+}
+
+// TestHealthzEnriched asserts the liveness payload carries uptime, build
+// identity and queue depth alongside the job counters.
+func TestHealthzEnriched(t *testing.T) {
+	m := newTestManager(t, t.TempDir(), Config{})
+	ts := httptest.NewServer(NewHandler(m))
+	defer ts.Close()
+
+	var got struct {
+		Status        string         `json:"status"`
+		UptimeSeconds *int64         `json:"uptime_seconds"`
+		Build         map[string]any `json:"build"`
+		QueueDepth    *int           `json:"queue_depth"`
+		Jobs          map[string]int `json:"jobs"`
+	}
+	if code := httpJSON(t, http.MethodGet, ts.URL+"/v1/healthz", nil, &got); code != http.StatusOK {
+		t.Fatalf("healthz: status %d", code)
+	}
+	if got.Status != "ok" || got.UptimeSeconds == nil || got.QueueDepth == nil {
+		t.Errorf("healthz payload incomplete: %+v", got)
+	}
+	if got.Build["module"] != "cobrawalk" || got.Build["go_version"] == "" {
+		t.Errorf("healthz build identity incomplete: %+v", got.Build)
+	}
+}

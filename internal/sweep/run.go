@@ -38,6 +38,13 @@ type Options struct {
 	// TrialWorkers bounds the sim worker pool inside each point
 	// (default GOMAXPROCS).
 	TrialWorkers int
+	// PointStart, when non-nil, is called as a worker begins computing a
+	// point. Resumed points skip it — they are loaded, not computed.
+	// Calls are serialised with each other and with PointDone, so a
+	// start/done pair for one point never interleaves observably. Like
+	// every Options field it cannot affect results: the hook observes
+	// scheduling, the random streams never see it.
+	PointStart func(pt Point)
 	// PointDone, when non-nil, is called once per completed point —
 	// resumed points first, in expansion order, then live points as
 	// they finish. Calls are serialised.
@@ -143,7 +150,7 @@ func Run(ctx context.Context, spec Spec, opts Options) (*Report, error) {
 		}
 	}
 
-	var cbMu sync.Mutex // serialises PointDone across point workers
+	var cbMu sync.Mutex // serialises PointStart/PointDone across point workers
 	notify := func(res Result, resumed bool) {
 		if opts.PointDone == nil {
 			return
@@ -151,6 +158,14 @@ func Run(ctx context.Context, spec Spec, opts Options) (*Report, error) {
 		cbMu.Lock()
 		defer cbMu.Unlock()
 		opts.PointDone(res, resumed)
+	}
+	notifyStart := func(pt Point) {
+		if opts.PointStart == nil {
+			return
+		}
+		cbMu.Lock()
+		defer cbMu.Unlock()
+		opts.PointStart(pt)
 	}
 
 	results := make([]Result, len(pts))
@@ -208,6 +223,7 @@ func Run(ctx context.Context, spec Spec, opts Options) (*Report, error) {
 					return
 				}
 				i := todo[k]
+				notifyStart(pts[i])
 				res, err := runPoint(cctx, pts[i], opts.TrialWorkers, opts.GraphCache)
 				if err != nil {
 					fail(fmt.Errorf("sweep: point %s: %w", pts[i].ID, err))
