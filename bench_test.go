@@ -12,11 +12,14 @@ import (
 	"context"
 	"fmt"
 	"os"
+	"path/filepath"
 	"testing"
+	"time"
 
 	"cobrawalk"
 	"cobrawalk/internal/core"
 	"cobrawalk/internal/graph"
+	"cobrawalk/internal/graphstore"
 	"cobrawalk/internal/process"
 	"cobrawalk/internal/rng"
 	"cobrawalk/internal/sim"
@@ -641,4 +644,72 @@ func BenchmarkScaleBaseline(b *testing.B) {
 			b.ReportMetric(float64(rounds)/float64(b.N), "rounds/op")
 		})
 	}
+}
+
+// BenchmarkScaleStoreLoad measures the graph store's load path at the
+// same n = 10^7 scale as BenchmarkScaleBaseline: the generator builds the
+// expander once (minutes of CPU — reported as generator_s), the store
+// file is written next to it, and then "mmap" times graphstore.Mmap of
+// the ~400 MB file while "cobra-trial" re-runs the baseline cobra trial
+// on the mmap-loaded graph — pinning that zero-copy loading preserves
+// the engine's 0 allocs/op and per-trial latency. Opt-in via
+// COBRAWALK_SCALE_BENCH=1 like the baseline; the committed record lives
+// in BENCH_scale.json.
+func BenchmarkScaleStoreLoad(b *testing.B) {
+	if os.Getenv("COBRAWALK_SCALE_BENCH") == "" {
+		b.Skip("set COBRAWALK_SCALE_BENCH=1 to run the n=10^7 store benchmark")
+	}
+	buildStart := time.Now()
+	g := buildRandomRegular(b, 10_000_000, 8)
+	buildSecs := time.Since(buildStart).Seconds()
+	path := filepath.Join(b.TempDir(), "scale.csrg")
+	if err := graphstore.Write(path, g); err != nil {
+		b.Fatal(err)
+	}
+	g = nil
+
+	var loaded *graph.Graph
+	b.Run("mmap", func(b *testing.B) {
+		b.ReportMetric(buildSecs, "generator_s")
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			var err error
+			loaded, err = graphstore.Mmap(path)
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		if loaded.N() != 10_000_000 {
+			b.Fatalf("loaded n = %d", loaded.N())
+		}
+	})
+
+	b.Run("cobra-trial", func(b *testing.B) {
+		col := process.NewCollector(loaded.N())
+		col.Reserve(1 << 12)
+		p, err := process.New(process.Cobra, loaded, process.Config{Observer: col.Observe})
+		if err != nil {
+			b.Fatal(err)
+		}
+		r := rng.New(1)
+		starts := []int32{0} // hoisted: an inline variadic literal costs an alloc per call
+		trial := func() int {
+			res, err := process.RunCollect(nil, p, col, r, 1<<12, starts...)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !res.Done {
+				b.Fatal("trial hit the round cap")
+			}
+			return res.Rounds
+		}
+		trial()
+		var rounds int64
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			rounds += int64(trial())
+		}
+		b.ReportMetric(float64(rounds)/float64(b.N), "rounds/op")
+	})
 }

@@ -75,6 +75,7 @@ func run(args []string, out, errw io.Writer) error {
 		pointWrk  = fs.Int("point-workers", 1, "points run concurrently within a job")
 		workers   = fs.Int("workers", 0, "trial worker goroutines per point (0 = GOMAXPROCS)")
 		cacheCap  = fs.Int("graph-cache", 0, "graph cache vertex budget (0 = default)")
+		graphDir  = fs.String("graph-dir", "", "graph store directory: cache misses mmap .csrg files from here and built graphs spill back (see cmd/graphbuild)")
 		logLevel  = fs.String("log-level", "info", "log level: debug, info, warn or error")
 		logFormat = fs.String("log-format", "text", "log format: text or json")
 		pprofOn   = fs.Bool("pprof", false, "serve Go profiling endpoints under /debug/pprof/")
@@ -105,6 +106,7 @@ func run(args []string, out, errw io.Writer) error {
 		PointWorkers:  *pointWrk,
 		TrialWorkers:  *workers,
 		CacheBudget:   *cacheCap,
+		GraphDir:      *graphDir,
 		Logger:        logger,
 	})
 	if err != nil {

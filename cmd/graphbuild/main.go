@@ -1,0 +1,222 @@
+// Command graphbuild pre-builds graph store files (.csrg, see
+// internal/graphstore): pay the generator cost once, offline, and every
+// later consumer — cobrawalkd's -graph-dir disk tier, sweep file:
+// specs, graphinfo — loads the graph as an mmap in milliseconds instead
+// of minutes of CPU.
+//
+// Three input modes:
+//
+//	graphbuild -graph rand-reg:1048576:8 -seed 7 -out g.csrg
+//	    build any internal/cli graph spec and store it at -out
+//
+//	graphbuild -family rand-reg -size 1048576 -degree 8 -sweep-seed 7 -out runs/graphs
+//	    build the exact graph a sweep with master seed 7 uses for these
+//	    axes (same GraphSeed derivation, same generator stream) and
+//	    store it under -out with the disk-tier file name, so a daemon
+//	    started with -graph-dir runs/graphs disk-hits its first job
+//
+//	graphbuild -edges edges.txt -workers 8 -out g.csrg
+//	    pack a text edge list (the internal/graph format: "graph NAME" /
+//	    "n N" header lines then one "u v" pair per line) through the
+//	    parallel CSR packer — degree count, scatter and per-vertex sort
+//	    all fan out across -workers cores
+//
+// -force overwrites an existing store file (default: keep it — store
+// files are content-addressed by their name in -family mode, so an
+// existing file is already the right graph). -json emits one summary
+// object instead of text.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"time"
+
+	"cobrawalk/internal/buildinfo"
+	"cobrawalk/internal/cli"
+	"cobrawalk/internal/graph"
+	"cobrawalk/internal/graphcache"
+	"cobrawalk/internal/graphstore"
+	"cobrawalk/internal/rng"
+	"cobrawalk/internal/sweep"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "graphbuild:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out, errw io.Writer) error {
+	fs := flag.NewFlagSet("graphbuild", flag.ContinueOnError)
+	fs.SetOutput(errw)
+	var (
+		graphSpec = fs.String("graph", "", "graph specification (internal/cli grammar)")
+		seed      = fs.Uint64("seed", 1, "generator seed for -graph random families")
+		family    = fs.String("family", "", "sweep family name (with -size/-degree/-sweep-seed)")
+		size      = fs.Int("size", 0, "sweep size axis value for -family")
+		degree    = fs.Int("degree", 0, "sweep degree axis value for -family (degreed families)")
+		sweepSeed = fs.Uint64("sweep-seed", 0, "sweep master seed the graph derives from (-family mode)")
+		edges     = fs.String("edges", "", "text edge-list file to pack (internal/graph format)")
+		workers   = fs.Int("workers", 0, "parallel packer workers for -edges (0 = GOMAXPROCS)")
+		outPath   = fs.String("out", "", "output store file, or directory in -family mode (required)")
+		force     = fs.Bool("force", false, "overwrite an existing store file")
+		jsonOut   = fs.Bool("json", false, "emit one machine-readable JSON summary")
+		version   = fs.Bool("version", false, "print build info and exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *version {
+		fmt.Fprintln(out, buildinfo.Read())
+		return nil
+	}
+	if *outPath == "" {
+		return errors.New("-out is required")
+	}
+	modes := 0
+	for _, set := range []bool{*graphSpec != "", *family != "", *edges != ""} {
+		if set {
+			modes++
+		}
+	}
+	if modes != 1 {
+		return errors.New("pick exactly one input mode: -graph, -family or -edges")
+	}
+
+	var (
+		g       *graph.Graph
+		path    string
+		started = time.Now()
+	)
+	switch {
+	case *graphSpec != "":
+		built, err := cli.BuildGraph(*graphSpec, rng.NewStream(*seed, 0x61))
+		if err != nil {
+			return err
+		}
+		g, path = built, *outPath
+	case *family != "":
+		if *size < 2 {
+			return errors.New("-family needs -size >= 2")
+		}
+		built, key, err := sweep.BuildTopology(*family, *size, *degree, *sweepSeed)
+		if err != nil {
+			return err
+		}
+		// -out is the store directory here: the file name must be the one
+		// the graphcache disk tier derives from the key, or the daemon
+		// will never find it.
+		if err := os.MkdirAll(*outPath, 0o755); err != nil {
+			return err
+		}
+		g, path = built, filepath.Join(*outPath, graphcache.StoreFileName(key))
+	case *edges != "":
+		built, err := packEdgeList(*edges, *workers)
+		if err != nil {
+			return err
+		}
+		g, path = built, *outPath
+	}
+	buildTime := time.Since(started)
+
+	if !*force {
+		if _, err := os.Stat(path); err == nil {
+			return fmt.Errorf("%s exists (use -force to overwrite)", path)
+		}
+	}
+	started = time.Now()
+	if err := graphstore.Write(path, g); err != nil {
+		return err
+	}
+	writeTime := time.Since(started)
+	fi, err := os.Stat(path)
+	if err != nil {
+		return err
+	}
+
+	if *jsonOut {
+		blob, err := json.Marshal(map[string]any{
+			"store":         path,
+			"graph":         g.Name(),
+			"n":             g.N(),
+			"m":             g.M(),
+			"bytes":         fi.Size(),
+			"build_seconds": buildTime.Seconds(),
+			"write_seconds": writeTime.Seconds(),
+		})
+		if err != nil {
+			return err
+		}
+		_, err = fmt.Fprintf(out, "%s\n", blob)
+		return err
+	}
+	fmt.Fprintf(out, "wrote %s\n", path)
+	fmt.Fprintf(out, "graph:  %s\n", g)
+	fmt.Fprintf(out, "bytes:  %d\n", fi.Size())
+	fmt.Fprintf(out, "build:  %s\n", buildTime.Round(time.Millisecond))
+	fmt.Fprintf(out, "write:  %s\n", writeTime.Round(time.Millisecond))
+	return nil
+}
+
+// packEdgeList reads a text edge list (the internal/graph format) and
+// packs it through the parallel CSR builder. Unlike graph.Read — which
+// feeds the serial Builder — this path exists for big inputs: parsing
+// streams line by line, and packing fans out across workers.
+func packEdgeList(path string, workers int) (*graph.Graph, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 64*1024), 16*1024*1024)
+	name, n := "", -1
+	var pairs [][2]int32
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case line == "" || strings.HasPrefix(line, "#"):
+		case strings.HasPrefix(line, "graph "):
+			name = strings.TrimSpace(strings.TrimPrefix(line, "graph "))
+		case strings.HasPrefix(line, "n "):
+			v, err := strconv.Atoi(strings.TrimSpace(strings.TrimPrefix(line, "n ")))
+			if err != nil {
+				return nil, fmt.Errorf("%s:%d: bad vertex count: %w", path, lineNo, err)
+			}
+			n = v
+		default:
+			uStr, vStr, ok := strings.Cut(line, " ")
+			if !ok {
+				return nil, fmt.Errorf("%s:%d: want \"u v\", got %q", path, lineNo, line)
+			}
+			u, err1 := strconv.ParseInt(strings.TrimSpace(uStr), 10, 32)
+			v, err2 := strconv.ParseInt(strings.TrimSpace(vStr), 10, 32)
+			if err1 != nil || err2 != nil {
+				return nil, fmt.Errorf("%s:%d: bad edge %q", path, lineNo, line)
+			}
+			pairs = append(pairs, [2]int32{int32(u), int32(v)})
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if n < 0 {
+		return nil, fmt.Errorf("%s: missing \"n <count>\" header line", path)
+	}
+	if name == "" {
+		name = strings.TrimSuffix(filepath.Base(path), filepath.Ext(path))
+	}
+	return graph.ParallelFromEdges(name, n, pairs, workers)
+}

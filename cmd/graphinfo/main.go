@@ -9,6 +9,14 @@
 //	graphinfo -graph petersen -spectrum
 //	graphinfo -graph rand-reg:1024:8 -json
 //	graphinfo -graph torus:32x32 -write /tmp/torus.edges
+//	graphinfo runs/graphs/rand-reg-n1024-d8-s7.csrg
+//	graphinfo -json runs/graphs/rand-reg-n1024-d8-s7.csrg
+//
+// A positional .csrg argument (or -graph ending in .csrg) switches to
+// store-header mode: the file's metadata — name, n, m, degrees, format
+// version — prints from the O(1) header read alone, without loading the
+// adjacency arrays; a 10⁸-vertex store answers instantly. Use
+// -graph file:PATH to fully load a store file for spectral analysis.
 //
 // -json emits one machine-readable JSON object instead of text, matching
 // the other simulation commands.
@@ -21,10 +29,12 @@ import (
 	"io"
 	"math"
 	"os"
+	"strings"
 
 	"cobrawalk/internal/buildinfo"
 	"cobrawalk/internal/cli"
 	"cobrawalk/internal/graph"
+	"cobrawalk/internal/graphstore"
 	"cobrawalk/internal/rng"
 	"cobrawalk/internal/spectral"
 )
@@ -53,8 +63,15 @@ func run(args []string, w io.Writer) error {
 		fmt.Fprintln(w, buildinfo.Read())
 		return nil
 	}
+	spec := *graphSpec
+	if fs.NArg() > 0 {
+		spec = fs.Arg(0)
+	}
+	if strings.HasSuffix(spec, graphstore.Ext) && !strings.HasPrefix(spec, "file:") {
+		return storeHeaderInfo(w, spec, *jsonOut)
+	}
 
-	g, err := cli.BuildGraph(*graphSpec, rng.NewStream(*seed, 0x61))
+	g, err := cli.BuildGraph(spec, rng.NewStream(*seed, 0x61))
 	if err != nil {
 		return err
 	}
@@ -133,6 +150,46 @@ func run(args []string, w io.Writer) error {
 		}
 	}
 	return writeEdgeList(w, g, *writePath, false)
+}
+
+// storeHeaderInfo prints a graph store file's header metadata without
+// loading the adjacency arrays — the O(1) inspection path for files too
+// big to casually load.
+func storeHeaderInfo(w io.Writer, path string, jsonOut bool) error {
+	h, err := graphstore.ReadHeader(path)
+	if err != nil {
+		return err
+	}
+	if jsonOut {
+		obj := map[string]any{
+			"store":      path,
+			"version":    h.Version,
+			"graph":      h.Name,
+			"n":          h.N,
+			"m":          h.M(),
+			"min_degree": h.MinDeg,
+			"max_degree": h.MaxDeg,
+		}
+		if d, ok := h.Regular(); ok {
+			obj["degree"] = d
+		}
+		blob, err := json.Marshal(obj)
+		if err != nil {
+			return err
+		}
+		_, err = fmt.Fprintf(w, "%s\n", blob)
+		return err
+	}
+	fmt.Fprintf(w, "store:      %s (format v%d)\n", path, h.Version)
+	fmt.Fprintf(w, "graph:      %s\n", h.Name)
+	fmt.Fprintf(w, "vertices:   %d\n", h.N)
+	fmt.Fprintf(w, "edges:      %d\n", h.M())
+	if d, ok := h.Regular(); ok {
+		fmt.Fprintf(w, "degree:     %d-regular\n", d)
+	} else {
+		fmt.Fprintf(w, "degree:     irregular (min %d, max %d)\n", h.MinDeg, h.MaxDeg)
+	}
+	return nil
 }
 
 // writeEdgeList writes the graph in edge-list format when a path was

@@ -79,6 +79,7 @@ func run(args []string, out, errw io.Writer) error {
 		workers  = fs.Int("workers", 0, "trial worker goroutines per point (0 = GOMAXPROCS)")
 		pointWrk = fs.Int("point-workers", 1, "points run concurrently")
 		cacheCap = fs.Int("graph-cache", 0, "graph cache vertex budget (0 = default, negative = disable)")
+		graphDir = fs.String("graph-dir", "", "graph store directory: cache misses mmap .csrg files from here and built graphs spill back (see cmd/graphbuild)")
 
 		format      = fs.String("format", "text", "summary output: text | csv | json")
 		quiet       = fs.Bool("quiet", false, "suppress per-point progress on stderr")
@@ -201,7 +202,16 @@ func run(args []string, out, errw io.Writer) error {
 	if *cacheCap >= 0 {
 		// Points sharing a topology share a GraphSeed, so the cache
 		// serves one build to the whole process × branching fan-out.
-		opts.GraphCache = graphcache.New(*cacheCap)
+		cache, err := graphcache.NewWithOptions(graphcache.Options{
+			BudgetVertices: *cacheCap,
+			StoreDir:       *graphDir,
+		})
+		if err != nil {
+			return err
+		}
+		opts.GraphCache = cache
+	} else if *graphDir != "" {
+		return fmt.Errorf("-graph-dir needs the graph cache (drop the negative -graph-cache)")
 	}
 	if !*quiet {
 		done := 0

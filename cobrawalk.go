@@ -8,6 +8,7 @@ import (
 	"cobrawalk/internal/core"
 	"cobrawalk/internal/graph"
 	"cobrawalk/internal/graphcache"
+	"cobrawalk/internal/graphstore"
 	"cobrawalk/internal/process"
 	"cobrawalk/internal/rng"
 	"cobrawalk/internal/spectral"
@@ -67,6 +68,12 @@ var (
 	ReadGraph = graph.Read
 	// WriteGraph serialises a graph in the text edge-list format.
 	WriteGraph = graph.Write
+	// WriteStore writes a graph as a checksummed binary CSR store file
+	// (.csrg) that LoadStore maps back in O(1); see cmd/graphbuild.
+	WriteStore = graphstore.Write
+	// LoadStore memory-maps a store file written by WriteStore — the
+	// returned graph's CSR slices must not outlive it (DESIGN.md §13).
+	LoadStore = graphstore.Mmap
 )
 
 // SpectralReport collects λ₂, λ_n, λ_max, the spectral gap and derived

@@ -20,6 +20,7 @@
 //	ring-of-cliques:K:C
 //	barbell:C:P
 //	petersen | prism      named graphs
+//	file:PATH             mmap a graph store file (.csrg, see cmd/graphbuild)
 package cli
 
 import (
@@ -28,12 +29,21 @@ import (
 	"strings"
 
 	"cobrawalk/internal/graph"
+	"cobrawalk/internal/graphstore"
 	"cobrawalk/internal/rng"
 )
 
 // BuildGraph parses a graph specification and constructs the graph.
 // Random families draw from the provided generator.
 func BuildGraph(spec string, r *rng.Rand) (*graph.Graph, error) {
+	// file: is cut before the colon split — the path may itself contain
+	// colons, and it takes no further arguments.
+	if path, ok := strings.CutPrefix(spec, "file:"); ok {
+		if path == "" {
+			return nil, fmt.Errorf("cli: file: needs a store file path")
+		}
+		return graphstore.Mmap(path)
+	}
 	parts := strings.Split(spec, ":")
 	kind := parts[0]
 	args := parts[1:]

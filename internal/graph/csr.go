@@ -31,3 +31,19 @@ func FromCSR(name string, offsets []int64, neighbors []int32) (*Graph, error) {
 	}
 	return g, nil
 }
+
+// FromCSRTrusted is FromCSR minus the O(m log d) symmetry probe: it runs
+// only the linear structural checks (monotone bounded offsets, in-range
+// strictly-sorted self-loop-free adjacencies), which is exactly what the
+// process engines need to index the arrays safely. It exists for sources
+// that already guarantee the full invariants end-to-end — graphstore
+// files carry a checksum over arrays that were symmetric when written, so
+// re-proving symmetry on every mmap load would turn an O(1) load into an
+// O(m log d) scan. Untrusted or hand-built inputs must use FromCSR.
+func FromCSRTrusted(name string, offsets []int64, neighbors []int32) (*Graph, error) {
+	g := &Graph{name: name, offsets: offsets, neighbors: neighbors}
+	if err := g.validateLinear(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}

@@ -156,6 +156,34 @@ func (g *Graph) Edges(fn func(u, v int32) bool) {
 // and the Builder establish these invariants; Validate exists for tests and
 // for graphs loaded from external files.
 func (g *Graph) Validate() error {
+	if err := g.validateLinear(); err != nil {
+		return err
+	}
+	n := g.N()
+	// Symmetry: since both directions must be present and adjacency lists
+	// are strictly sorted and duplicate-free, it suffices to check that
+	// every arc has its reverse.
+	for v := int32(0); v < int32(n); v++ {
+		for _, u := range g.Neighbors(v) {
+			if !g.HasEdge(u, v) {
+				return fmt.Errorf("graph: asymmetric edge (%d,%d)", v, u)
+			}
+		}
+	}
+	if len(g.neighbors)%2 != 0 {
+		return errors.New("graph: odd number of arcs")
+	}
+	return nil
+}
+
+// validateLinear runs the O(n+m) subset of Validate: offsets monotone and
+// bounded, neighbour ids in range, adjacency strictly sorted (hence
+// duplicate-free), no self-loops. It establishes everything the process
+// engines need for memory safety — every index computed from the arrays
+// stays in bounds — without the O(m log d) symmetry probe. FromCSRTrusted
+// relies on it for checksummed store files, where asymmetry would be a
+// writer bug, not a load-time hazard.
+func (g *Graph) validateLinear() error {
 	n := g.N()
 	if n == 0 {
 		if len(g.neighbors) != 0 {
@@ -191,19 +219,6 @@ func (g *Graph) Validate() error {
 				return fmt.Errorf("graph: adjacency of %d not strictly sorted at index %d", v, i)
 			}
 		}
-	}
-	// Symmetry: since both directions must be present and adjacency lists
-	// are strictly sorted and duplicate-free, it suffices to check that
-	// every arc has its reverse.
-	for v := int32(0); v < int32(n); v++ {
-		for _, u := range g.Neighbors(v) {
-			if !g.HasEdge(u, v) {
-				return fmt.Errorf("graph: asymmetric edge (%d,%d)", v, u)
-			}
-		}
-	}
-	if len(g.neighbors)%2 != 0 {
-		return errors.New("graph: odd number of arcs")
 	}
 	return nil
 }

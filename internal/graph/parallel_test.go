@@ -1,0 +1,89 @@
+package graph
+
+import (
+	"errors"
+	"slices"
+	"testing"
+
+	"cobrawalk/internal/rng"
+)
+
+// collectEdges extracts g's undirected edge list in u<v order.
+func collectEdges(g *Graph) [][2]int32 {
+	var pairs [][2]int32
+	g.Edges(func(u, v int32) bool {
+		pairs = append(pairs, [2]int32{u, v})
+		return true
+	})
+	return pairs
+}
+
+// TestParallelFromEdgesMatchesBuilder is the equivalence pin: the
+// parallel packer must produce the exact CSR arrays the serial Builder
+// produces, for every worker count, including on shuffled input order.
+func TestParallelFromEdgesMatchesBuilder(t *testing.T) {
+	base, err := RandomRegular(600, 6, rng.NewStream(11, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pairs := collectEdges(base)
+	// Shuffle: the packer must not depend on input order.
+	r := rng.NewStream(99, 2)
+	for i := len(pairs) - 1; i > 0; i-- {
+		j := int(r.Uint64() % uint64(i+1))
+		pairs[i], pairs[j] = pairs[j], pairs[i]
+	}
+	want, err := FromEdges("equiv", base.N(), pairs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 8, 0} {
+		got, err := ParallelFromEdges("equiv", base.N(), pairs, workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		wo, wn := want.CSR()
+		go_, gn := got.CSR()
+		if !slices.Equal(wo, go_) || !slices.Equal(wn, gn) {
+			t.Fatalf("workers=%d: CSR differs from Builder output", workers)
+		}
+		if err := got.Validate(); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+	}
+}
+
+func TestParallelFromEdgesRejects(t *testing.T) {
+	cases := []struct {
+		name  string
+		n     int
+		pairs [][2]int32
+		is    error
+	}{
+		{"self-loop", 4, [][2]int32{{0, 1}, {2, 2}}, nil},
+		{"out-of-range", 4, [][2]int32{{0, 5}}, nil},
+		{"negative", 4, [][2]int32{{-1, 2}}, nil},
+		{"duplicate", 4, [][2]int32{{0, 1}, {1, 0}}, ErrDuplicateEdge},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := ParallelFromEdges("bad", c.n, c.pairs, 2)
+			if err == nil {
+				t.Fatal("invalid input accepted")
+			}
+			if c.is != nil && !errors.Is(err, c.is) {
+				t.Fatalf("err = %v, want %v", err, c.is)
+			}
+		})
+	}
+}
+
+func TestParallelFromEdgesEmpty(t *testing.T) {
+	g, err := ParallelFromEdges("isolated", 5, nil, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 5 || g.M() != 0 {
+		t.Fatalf("n=%d m=%d, want 5 isolated vertices", g.N(), g.M())
+	}
+}

@@ -17,14 +17,24 @@
 // so a cached *graph.Graph is safely shared by any number of concurrent
 // readers, and an entry evicted while still in use stays valid for the
 // holders — eviction only drops the cache's reference.
+//
+// With Options.StoreDir set, the cache gains a disk tier: built graphs
+// spill to graphstore files, and a memory miss mmaps the store file back
+// instead of re-running the generator — so an eviction or a daemon
+// restart costs a page-cache map, not minutes of generator CPU, and
+// every process pointing at the same directory shares physical pages.
 package graphcache
 
 import (
 	"container/list"
 	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
 	"sync"
 
 	"cobrawalk/internal/graph"
+	"cobrawalk/internal/graphstore"
 )
 
 // Key identifies one buildable graph: the topology axes of a sweep point
@@ -56,6 +66,12 @@ type Stats struct {
 	Misses uint64 `json:"misses"`
 	// Evictions counts entries dropped to fit the vertex budget.
 	Evictions uint64 `json:"evictions"`
+	// DiskHits counts misses served by mmapping a store file from the
+	// disk tier instead of running build; DiskWrites counts graphs
+	// spilled to store files after a build. Both stay zero without a
+	// configured StoreDir.
+	DiskHits   uint64 `json:"disk_hits"`
+	DiskWrites uint64 `json:"disk_writes"`
 	// Entries and Vertices describe current residency.
 	Entries  int `json:"entries"`
 	Vertices int `json:"vertices"`
@@ -71,12 +87,14 @@ const DefaultBudget = 1 << 22
 // Cache is a single-flighted LRU graph cache. The zero value is not
 // usable; construct with New. All methods are safe for concurrent use.
 type Cache struct {
-	mu      sync.Mutex
-	budget  int
-	entries map[Key]*entry
-	lru     *list.List // resident entries, front = most recently used
+	mu       sync.Mutex
+	budget   int
+	storeDir string // disk tier root; "" disables it
+	entries  map[Key]*entry
+	lru      *list.List // resident entries, front = most recently used
 
 	hits, misses, evictions uint64
+	diskHits, diskWrites    uint64
 	vertices                int
 }
 
@@ -97,14 +115,59 @@ type entry struct {
 // entry: the most recently built graph is always retained, even when it
 // alone exceeds the budget, so a working set of one never thrashes.
 func New(budgetVertices int) *Cache {
-	if budgetVertices <= 0 {
-		budgetVertices = DefaultBudget
+	c, _ := NewWithOptions(Options{BudgetVertices: budgetVertices})
+	return c
+}
+
+// Options configures a cache beyond the vertex budget.
+type Options struct {
+	// BudgetVertices is the LRU capacity in total vertices (<= 0 means
+	// DefaultBudget).
+	BudgetVertices int
+	// StoreDir, when non-empty, enables the disk tier: every graph built
+	// on a miss is spilled to <StoreDir>/<StoreFileName(key)> in
+	// graphstore format, and later misses for the same key — including
+	// after an LRU eviction or a process restart — mmap that file back
+	// instead of re-running the generator. The directory is shared
+	// infrastructure: cmd/graphbuild pre-populates it, any number of
+	// daemons mmap from it concurrently, and the kernel shares the
+	// physical pages among them.
+	StoreDir string
+}
+
+// NewWithOptions returns an empty cache configured by o, creating the
+// store directory if a disk tier is requested.
+func NewWithOptions(o Options) (*Cache, error) {
+	if o.BudgetVertices <= 0 {
+		o.BudgetVertices = DefaultBudget
+	}
+	if o.StoreDir != "" {
+		if err := os.MkdirAll(o.StoreDir, 0o755); err != nil {
+			return nil, fmt.Errorf("graphcache: store dir: %w", err)
+		}
 	}
 	return &Cache{
-		budget:  budgetVertices,
-		entries: make(map[Key]*entry),
-		lru:     list.New(),
-	}
+		budget:   o.BudgetVertices,
+		storeDir: o.StoreDir,
+		entries:  make(map[Key]*entry),
+		lru:      list.New(),
+	}, nil
+}
+
+// StoreFileName is the disk-tier file name for a key: its canonical
+// string with every rune outside [A-Za-z0-9._-] flattened to '_' (family
+// names like "file:/runs/g.csrg" must become single path components),
+// plus the store extension. The seed is part of the name, so files for
+// different seeds of one topology never collide.
+func StoreFileName(key Key) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '.', r == '_', r == '-':
+			return r
+		}
+		return '_'
+	}, key.String()) + graphstore.Ext
 }
 
 // GetOrBuild returns the graph for key, building it with build on a
@@ -129,7 +192,7 @@ func (c *Cache) GetOrBuild(key Key, build func() (*graph.Graph, error)) (*graph.
 	c.misses++
 	c.mu.Unlock()
 
-	g, err := build()
+	g, err := c.loadOrBuild(key, build)
 
 	c.mu.Lock()
 	if err != nil {
@@ -145,6 +208,43 @@ func (c *Cache) GetOrBuild(key Key, build func() (*graph.Graph, error)) (*graph.
 	close(e.ready) // publishes e.g / e.err to waiters
 	if e.err != nil {
 		return nil, e.err
+	}
+	return g, nil
+}
+
+// loadOrBuild resolves a memory-tier miss: mmap from the disk tier if a
+// store file exists, otherwise run build and spill the result to disk
+// for the next miss. Because a loaded store file holds the exact CSR
+// bytes the generator produced for this key, the two paths are
+// observationally identical — same graph, same downstream results —
+// which is why the disk tier can sit under the determinism contract.
+func (c *Cache) loadOrBuild(key Key, build func() (*graph.Graph, error)) (*graph.Graph, error) {
+	if c.storeDir == "" {
+		return build()
+	}
+	path := filepath.Join(c.storeDir, StoreFileName(key))
+	if g, err := graphstore.Mmap(path); err == nil {
+		c.mu.Lock()
+		c.diskHits++
+		c.mu.Unlock()
+		return g, nil
+	}
+	// Any load failure — absent, truncated, corrupt — falls back to the
+	// generator; the subsequent spill rewrites a bad file atomically.
+	g, err := build()
+	if err != nil {
+		return nil, err
+	}
+	// file:-family graphs were mmapped from a store file already; copying
+	// them into the tier would double the disk footprint for no load-time
+	// gain. A failed spill is not a build failure: the graph is good, the
+	// tier just stays cold for this key.
+	if !strings.HasPrefix(key.Family, "file:") {
+		if werr := graphstore.Write(path, g); werr == nil {
+			c.mu.Lock()
+			c.diskWrites++
+			c.mu.Unlock()
+		}
 	}
 	return g, nil
 }
@@ -186,11 +286,13 @@ func (c *Cache) Stats() Stats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return Stats{
-		Hits:      c.hits,
-		Misses:    c.misses,
-		Evictions: c.evictions,
-		Entries:   c.lru.Len(),
-		Vertices:  c.vertices,
-		Budget:    c.budget,
+		Hits:       c.hits,
+		Misses:     c.misses,
+		Evictions:  c.evictions,
+		DiskHits:   c.diskHits,
+		DiskWrites: c.diskWrites,
+		Entries:    c.lru.Len(),
+		Vertices:   c.vertices,
+		Budget:     c.budget,
 	}
 }

@@ -3,6 +3,9 @@ package graphcache
 import (
 	"errors"
 	"fmt"
+	"os"
+	"path/filepath"
+	"slices"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -300,5 +303,226 @@ func TestHammerCSRReaders(t *testing.T) {
 	}
 	if st := c.Stats(); st.Evictions == 0 {
 		t.Fatalf("hammer never evicted (stats %+v); budget too large to exercise churn", st)
+	}
+}
+
+// TestDiskTierSpillAndReload pins the disk-tier lifecycle on one key:
+// first miss builds and spills, an eviction drops the memory entry, and
+// the next get comes back from the store file (a disk hit, zero builds)
+// with identical CSR content.
+func TestDiskTierSpillAndReload(t *testing.T) {
+	dir := t.TempDir()
+	c, err := NewWithOptions(Options{BudgetVertices: 100, StoreDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := Key{Family: "rand-reg", Size: 80, Degree: 4, Seed: 9}
+	build := func() (*graph.Graph, error) {
+		return graph.RandomRegularConnected(key.Size, key.Degree, rng.New(key.Seed))
+	}
+	g1, err := c.GetOrBuild(key, build)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := c.Stats(); st.DiskWrites != 1 || st.DiskHits != 0 {
+		t.Fatalf("after first build: %+v, want 1 disk write", st)
+	}
+
+	// Evict by overflowing the budget with another key.
+	other := Key{Family: "complete", Size: 90, Seed: 1}
+	if _, err := c.GetOrBuild(other, completeBuilder(90, nil)); err != nil {
+		t.Fatal(err)
+	}
+	if st := c.Stats(); st.Evictions == 0 {
+		t.Fatalf("budget overflow did not evict: %+v", st)
+	}
+
+	var builds atomic.Int64
+	g2, err := c.GetOrBuild(key, func() (*graph.Graph, error) {
+		builds.Add(1)
+		return build()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if builds.Load() != 0 {
+		t.Fatal("post-eviction get ran the generator instead of the disk tier")
+	}
+	if st := c.Stats(); st.DiskHits != 1 {
+		t.Fatalf("stats = %+v, want 1 disk hit", st)
+	}
+	o1, n1 := g1.CSR()
+	o2, n2 := g2.CSR()
+	if !slices.Equal(o1, o2) || !slices.Equal(n1, n2) {
+		t.Fatal("disk-tier reload produced a different graph")
+	}
+	if g2.Name() != g1.Name() {
+		t.Fatalf("name %q round-tripped to %q", g1.Name(), g2.Name())
+	}
+}
+
+// TestDiskTierSurvivesRestart simulates a daemon restart: a fresh cache
+// over the same store directory serves the old cache's graphs from disk.
+func TestDiskTierSurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+	key := Key{Family: "rand-reg", Size: 64, Degree: 4, Seed: 3}
+	build := func() (*graph.Graph, error) {
+		return graph.RandomRegularConnected(key.Size, key.Degree, rng.New(key.Seed))
+	}
+	c1, err := NewWithOptions(Options{StoreDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c1.GetOrBuild(key, build); err != nil {
+		t.Fatal(err)
+	}
+
+	c2, err := NewWithOptions(Options{StoreDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c2.GetOrBuild(key, func() (*graph.Graph, error) {
+		t.Fatal("restarted cache ran the generator")
+		return nil, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if st := c2.Stats(); st.DiskHits != 1 || st.DiskWrites != 0 {
+		t.Fatalf("restart stats = %+v, want pure disk hit", st)
+	}
+}
+
+// TestDiskTierIgnoresCorruptFile: a damaged store file must degrade to a
+// generator build (and be atomically rewritten), never an error or a bad
+// graph.
+func TestDiskTierIgnoresCorruptFile(t *testing.T) {
+	dir := t.TempDir()
+	key := Key{Family: "complete", Size: 24, Seed: 5}
+	path := filepath.Join(dir, StoreFileName(key))
+	if err := os.WriteFile(path, []byte("definitely not a store file"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewWithOptions(Options{StoreDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var builds atomic.Int64
+	if _, err := c.GetOrBuild(key, completeBuilder(24, &builds)); err != nil {
+		t.Fatal(err)
+	}
+	if builds.Load() != 1 {
+		t.Fatal("corrupt store file did not fall back to the generator")
+	}
+	if st := c.Stats(); st.DiskHits != 0 || st.DiskWrites != 1 {
+		t.Fatalf("stats = %+v, want fallback build + respill", st)
+	}
+	// The respill healed the file: a fresh cache now disk-hits.
+	c2, err := NewWithOptions(Options{StoreDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c2.GetOrBuild(key, completeBuilder(24, nil)); err != nil {
+		t.Fatal(err)
+	}
+	if st := c2.Stats(); st.DiskHits != 1 {
+		t.Fatalf("respilled file not served: %+v", st)
+	}
+}
+
+func TestStoreFileName(t *testing.T) {
+	cases := []struct {
+		key  Key
+		want string
+	}{
+		{Key{Family: "rand-reg", Size: 4096, Degree: 8, Seed: 7}, "rand-reg-n4096-d8-s7.csrg"},
+		{Key{Family: "file:/runs/g.csrg", Size: 10, Seed: 1}, "file__runs_g.csrg-n10-s1.csrg"},
+	}
+	for _, c := range cases {
+		if got := StoreFileName(c.key); got != c.want {
+			t.Errorf("StoreFileName(%+v) = %q, want %q", c.key, got, c.want)
+		}
+	}
+}
+
+// TestHammerDiskTier is TestHammerCSRReaders with the disk tier enabled:
+// 16 goroutines churn a tight budget so entries constantly evict to disk
+// and mmap back, while every reader still sees deterministic per-key
+// results. Under -race this exercises the spill/load seam concurrently.
+func TestHammerDiskTier(t *testing.T) {
+	c, err := NewWithOptions(Options{BudgetVertices: 3 * 96, StoreDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := make([]Key, 5)
+	for i := range keys {
+		keys[i] = Key{Family: "rand-reg", Size: 96, Degree: 4 + i%2*2, Seed: uint64(i)}
+	}
+	build := func(k Key) func() (*graph.Graph, error) {
+		return func() (*graph.Graph, error) {
+			return graph.RandomRegularConnected(k.Size, k.Degree, rng.New(k.Seed))
+		}
+	}
+	want := make(map[Key]int)
+	for _, k := range keys {
+		g, err := build(k)()
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := process.New(process.Cobra, g, process.Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := process.Run(p, rng.New(k.Seed), 1<<14, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[k] = res.Rounds
+	}
+
+	const goroutines, iters = 16, 40
+	var wg sync.WaitGroup
+	errCh := make(chan error, goroutines)
+	for gi := 0; gi < goroutines; gi++ {
+		wg.Add(1)
+		go func(gi int) {
+			defer wg.Done()
+			for it := 0; it < iters; it++ {
+				k := keys[(gi+it)%len(keys)]
+				g, err := c.GetOrBuild(k, build(k))
+				if err != nil {
+					errCh <- err
+					return
+				}
+				p, err := process.New(process.Cobra, g, process.Config{})
+				if err != nil {
+					errCh <- err
+					return
+				}
+				res, err := process.Run(p, rng.New(k.Seed), 1<<14, 0)
+				if err != nil {
+					errCh <- err
+					return
+				}
+				if res.Rounds != want[k] {
+					errCh <- fmt.Errorf("key %s: cobra rounds %d, want %d", k, res.Rounds, want[k])
+					return
+				}
+			}
+		}(gi)
+	}
+	wg.Wait()
+	close(errCh)
+	if err := <-errCh; err != nil {
+		t.Fatal(err)
+	}
+	st := c.Stats()
+	if st.Evictions == 0 {
+		t.Fatalf("hammer never evicted (stats %+v)", st)
+	}
+	if st.DiskWrites != uint64(len(keys)) {
+		t.Fatalf("disk writes = %d, want one per key (%d): %+v", st.DiskWrites, len(keys), st)
+	}
+	if st.DiskHits == 0 {
+		t.Fatalf("hammer never reloaded from disk (stats %+v)", st)
 	}
 }

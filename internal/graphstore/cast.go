@@ -1,0 +1,87 @@
+package graphstore
+
+import (
+	"encoding/binary"
+	"unsafe"
+)
+
+// The store format is little-endian on disk; the hosts that matter
+// (amd64, arm64) are little-endian in memory. When the two agree and the
+// data is aligned, an array section IS its byte image — hashing and
+// loading reinterpret the same memory instead of copying ~2 GB at
+// 10⁸ vertices. The helpers below centralise that reinterpretation and
+// its two escape hatches: a big-endian host (encode/decode element-wise)
+// and a misaligned buffer (copy-decode), so every caller gets the fast
+// path when it is safe and a correct slow path when it is not.
+
+// nativeLE reports whether the host stores integers little-endian, i.e.
+// whether in-memory arrays already match the on-disk byte order.
+var nativeLE = func() bool {
+	x := uint16(0x0102)
+	return *(*byte)(unsafe.Pointer(&x)) == 0x02
+}()
+
+// int64LEBytes returns the little-endian byte image of s: a zero-copy
+// alias on little-endian hosts, a fresh encoding elsewhere.
+func int64LEBytes(s []int64) []byte {
+	if len(s) == 0 {
+		return nil
+	}
+	if nativeLE {
+		return unsafe.Slice((*byte)(unsafe.Pointer(&s[0])), len(s)*8)
+	}
+	b := make([]byte, len(s)*8)
+	for i, v := range s {
+		binary.LittleEndian.PutUint64(b[i*8:], uint64(v))
+	}
+	return b
+}
+
+// int32LEBytes is int64LEBytes for int32 elements.
+func int32LEBytes(s []int32) []byte {
+	if len(s) == 0 {
+		return nil
+	}
+	if nativeLE {
+		return unsafe.Slice((*byte)(unsafe.Pointer(&s[0])), len(s)*4)
+	}
+	b := make([]byte, len(s)*4)
+	for i, v := range s {
+		binary.LittleEndian.PutUint32(b[i*4:], uint32(v))
+	}
+	return b
+}
+
+// bytesToInt64LE interprets b (len a multiple of 8) as little-endian
+// int64s. aliased reports whether the result shares b's memory — true on
+// an aligned little-endian fast path, false when a copy was decoded. The
+// caller uses aliased to decide whether the backing buffer must outlive
+// the result (it must for an mmap region).
+func bytesToInt64LE(b []byte) (vals []int64, aliased bool) {
+	if len(b) == 0 {
+		return nil, false
+	}
+	if nativeLE && uintptr(unsafe.Pointer(&b[0]))%8 == 0 {
+		return unsafe.Slice((*int64)(unsafe.Pointer(&b[0])), len(b)/8), true
+	}
+	vals = make([]int64, len(b)/8)
+	for i := range vals {
+		vals[i] = int64(binary.LittleEndian.Uint64(b[i*8:]))
+	}
+	return vals, false
+}
+
+// bytesToInt32LE is bytesToInt64LE for int32 elements (4-byte alignment).
+func bytesToInt32LE(b []byte) (vals []int32, aliased bool) {
+	if len(b) == 0 {
+		return nil, false
+	}
+	if nativeLE && uintptr(unsafe.Pointer(&b[0]))%4 == 0 {
+		return unsafe.Slice((*int32)(unsafe.Pointer(&b[0])), len(b)/4), true
+	}
+	vals = make([]int32, len(b)/4)
+	for i := range vals {
+		vals[i] = int32(binary.LittleEndian.Uint32(b[i*4:]))
+	}
+	return vals, false
+}

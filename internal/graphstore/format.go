@@ -1,0 +1,217 @@
+// Package graphstore is the on-disk graph tier: a versioned binary CSR
+// file format (extension .csrg) that turns "load a 10⁷–10⁸-vertex graph"
+// from minutes of generator CPU into a header parse plus a page-cache
+// mmap. A store file is the packed adjacency of internal/graph — the
+// exact offsets and neighbors arrays CSR() exposes — so a loaded graph
+// is byte-for-byte the graph that was written, and every simulation
+// result computed on it is byte-identical to one computed on the
+// generator-built original (the determinism contract of DESIGN.md §7).
+//
+// Three access paths:
+//
+//   - Write streams a realised graph to disk (atomic temp+rename).
+//   - ReadAll is the portable heap load: read, verify, copy-free on
+//     little-endian machines, decode-copy elsewhere.
+//   - Mmap is the zero-copy load: the CSR slices alias the page cache,
+//     so N concurrent jobs on one topology share one set of physical
+//     pages and the load cost is independent of how the kernel has the
+//     file cached. Non-Linux (and big-endian) builds fall back to
+//     ReadAll transparently.
+//
+// Integrity is a two-level xxhash tree: a header checksum over the fixed
+// 48-byte prefix, and a footer checksum over the per-section sums
+// (header, name, offsets, neighbors) — so sections can be hashed
+// independently (and in principle in parallel) while one footer word
+// still binds the whole file. Every load verifies both levels; a
+// truncated, bit-flipped or version-skewed file is rejected with a typed
+// error (ErrTruncated, ErrChecksum, ErrVersion, ...), never a panic.
+package graphstore
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// File layout (all integers little-endian):
+//
+//	offset size  field
+//	 0      8    magic  0x89 'C' 'S' 'R' 'G' 'R' 'F' '\n'
+//	 8      4    version (currently 1)
+//	12      4    flags (0; reserved)
+//	16      8    n      vertex count
+//	24      8    arcs   len(neighbors) = 2·edges
+//	32      4    min degree
+//	36      4    max degree
+//	40      4    name length in bytes
+//	44      4    reserved (0)
+//	48      8    header checksum = XXH64(bytes[0:48], seed 0)
+//	56      …    name bytes, zero-padded to an 8-byte boundary
+//	        …    offsets array, (n+1)×8 bytes
+//	        …    neighbors array, arcs×4 bytes, zero-padded to 8
+//	footer:
+//	+0      8    data checksum = XXH64(headerSum‖nameSum‖offSum‖nbrSum)
+//	+8      8    end magic 'C' 'S' 'R' 'G' 'E' 'N' 'D' '\n'
+//
+// The name/offsets/neighbors sections all start 8-byte aligned (the
+// fixed header is 56 bytes and every pad restores the boundary), so a
+// page-aligned mmap can alias the offsets array as []int64 directly.
+
+const (
+	// Ext is the conventional store file extension.
+	Ext = ".csrg"
+
+	// FormatVersion is the version this package writes and accepts.
+	FormatVersion = 1
+
+	headerSize = 56
+	footerSize = 16
+
+	// maxNameLen bounds the stored graph name; anything bigger is a
+	// corrupt or hostile header, not a real graph label.
+	maxNameLen = 1 << 12
+)
+
+var (
+	fileMagic = [8]byte{0x89, 'C', 'S', 'R', 'G', 'R', 'F', '\n'}
+	endMagic  = [8]byte{'C', 'S', 'R', 'G', 'E', 'N', 'D', '\n'}
+)
+
+// Typed load errors. Callers branch on these with errors.Is: the
+// graphcache disk tier falls back to the generator on any of them, the
+// fuzz harness asserts rejection is always one of them, and tools print
+// them verbatim.
+var (
+	// ErrNotStore marks a file that does not begin with the store magic.
+	ErrNotStore = errors.New("graphstore: not a graph store file")
+	// ErrVersion marks a store written by an incompatible format version.
+	ErrVersion = errors.New("graphstore: unsupported store version")
+	// ErrTruncated marks a file shorter than its header claims.
+	ErrTruncated = errors.New("graphstore: truncated store file")
+	// ErrChecksum marks a header or data checksum mismatch (bit flips,
+	// torn writes).
+	ErrChecksum = errors.New("graphstore: checksum mismatch")
+	// ErrCorrupt marks a structurally impossible header (oversized name,
+	// vertex count beyond int32 ids, odd arc count, ...).
+	ErrCorrupt = errors.New("graphstore: corrupt store file")
+)
+
+// Header is the store file's metadata, readable without touching the
+// adjacency arrays (see ReadHeader): everything cmd/graphinfo prints and
+// everything a scheduler needs to size a load.
+type Header struct {
+	// Version is the format version the file was written with.
+	Version uint32 `json:"version"`
+	// Name is the graph's human-readable family label.
+	Name string `json:"name"`
+	// N is the vertex count, Arcs the directed arc count (2·edges).
+	N    int   `json:"n"`
+	Arcs int64 `json:"arcs"`
+	// MinDeg and MaxDeg are the degree extremes (equal for regular graphs).
+	MinDeg int `json:"min_degree"`
+	MaxDeg int `json:"max_degree"`
+}
+
+// M returns the undirected edge count.
+func (h Header) M() int64 { return h.Arcs / 2 }
+
+// Regular returns the common degree and true when the stored graph is
+// regular.
+func (h Header) Regular() (int, bool) {
+	return h.MinDeg, h.MinDeg == h.MaxDeg && h.N > 0
+}
+
+// pad8 rounds n up to the next multiple of 8.
+func pad8(n int64) int64 { return (n + 7) &^ 7 }
+
+// rawHeader is the parsed fixed prefix, checksums included.
+type rawHeader struct {
+	Header
+	nameLen   int64
+	headerSum uint64
+}
+
+// sectionSizes returns the byte extents implied by the header: start of
+// the offsets section, start of the neighbors section, start of the
+// footer, and the total file size.
+func (h rawHeader) sectionSizes() (offStart, nbrStart, footStart, total int64) {
+	offStart = headerSize + pad8(h.nameLen)
+	nbrStart = offStart + (int64(h.N)+1)*8
+	footStart = nbrStart + pad8(h.Arcs*4)
+	return offStart, nbrStart, footStart, footStart + footerSize
+}
+
+// encodeHeader renders the fixed 56-byte prefix (checksum included).
+func encodeHeader(h rawHeader) [headerSize]byte {
+	var b [headerSize]byte
+	copy(b[0:8], fileMagic[:])
+	binary.LittleEndian.PutUint32(b[8:12], h.Version)
+	binary.LittleEndian.PutUint32(b[12:16], 0) // flags
+	binary.LittleEndian.PutUint64(b[16:24], uint64(h.N))
+	binary.LittleEndian.PutUint64(b[24:32], uint64(h.Arcs))
+	binary.LittleEndian.PutUint32(b[32:36], uint32(h.MinDeg))
+	binary.LittleEndian.PutUint32(b[36:40], uint32(h.MaxDeg))
+	binary.LittleEndian.PutUint32(b[40:44], uint32(h.nameLen))
+	binary.LittleEndian.PutUint32(b[44:48], 0) // reserved
+	binary.LittleEndian.PutUint64(b[48:56], xxh64(b[0:48], 0))
+	return b
+}
+
+// parseHeader validates the fixed prefix: magic, header checksum,
+// version, and structural sanity of every size field. It does not read
+// the name (the caller slices that out once sizes are known).
+func parseHeader(b []byte) (rawHeader, error) {
+	if len(b) < headerSize {
+		return rawHeader{}, fmt.Errorf("%w: %d bytes, header needs %d", ErrTruncated, len(b), headerSize)
+	}
+	if [8]byte(b[0:8]) != fileMagic {
+		return rawHeader{}, ErrNotStore
+	}
+	// Checksum before interpreting: a bit-flipped size field must surface
+	// as a checksum error, not as a wild allocation or a bounds panic.
+	sum := binary.LittleEndian.Uint64(b[48:56])
+	if want := xxh64(b[0:48], 0); sum != want {
+		return rawHeader{}, fmt.Errorf("%w: header sum %#x, computed %#x", ErrChecksum, sum, want)
+	}
+	h := rawHeader{headerSum: sum}
+	h.Version = binary.LittleEndian.Uint32(b[8:12])
+	if h.Version != FormatVersion {
+		return rawHeader{}, fmt.Errorf("%w: file version %d, this build reads %d", ErrVersion, h.Version, FormatVersion)
+	}
+	n := binary.LittleEndian.Uint64(b[16:24])
+	arcs := binary.LittleEndian.Uint64(b[24:32])
+	const maxN = 1 << 31 // vertex ids are int32
+	if n >= maxN {
+		return rawHeader{}, fmt.Errorf("%w: %d vertices exceeds int32 vertex ids", ErrCorrupt, n)
+	}
+	if arcs%2 != 0 || arcs > uint64(n)*maxN {
+		return rawHeader{}, fmt.Errorf("%w: impossible arc count %d for %d vertices", ErrCorrupt, arcs, n)
+	}
+	h.N = int(n)
+	h.Arcs = int64(arcs)
+	h.MinDeg = int(binary.LittleEndian.Uint32(b[32:36]))
+	h.MaxDeg = int(binary.LittleEndian.Uint32(b[36:40]))
+	h.nameLen = int64(binary.LittleEndian.Uint32(b[40:44]))
+	if h.nameLen > maxNameLen {
+		return rawHeader{}, fmt.Errorf("%w: name length %d exceeds %d", ErrCorrupt, h.nameLen, maxNameLen)
+	}
+	return h, nil
+}
+
+// encodeFooter renders the 16-byte footer from the per-section sums.
+func encodeFooter(headerSum, nameSum, offSum, nbrSum uint64) [footerSize]byte {
+	var b [footerSize]byte
+	binary.LittleEndian.PutUint64(b[0:8], dataSum(headerSum, nameSum, offSum, nbrSum))
+	copy(b[8:16], endMagic[:])
+	return b
+}
+
+// dataSum binds the per-section checksums into the footer word.
+func dataSum(headerSum, nameSum, offSum, nbrSum uint64) uint64 {
+	var block [32]byte
+	binary.LittleEndian.PutUint64(block[0:8], headerSum)
+	binary.LittleEndian.PutUint64(block[8:16], nameSum)
+	binary.LittleEndian.PutUint64(block[16:24], offSum)
+	binary.LittleEndian.PutUint64(block[24:32], nbrSum)
+	return xxh64(block[:], 0)
+}

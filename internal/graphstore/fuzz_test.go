@@ -1,0 +1,98 @@
+package graphstore
+
+import (
+	"errors"
+	"testing"
+)
+
+// FuzzStoreHeader throws arbitrary bytes at the full load path (header
+// parse, size arithmetic, checksum verification, CSR adoption) and
+// asserts the contract the disk tier and the CLIs rely on: a store image
+// is either accepted — in which case the graph satisfies every
+// structural invariant including symmetry — or rejected with one of the
+// typed sentinel errors. No panic, no unclassified error, no
+// wild-allocation path for a hostile size field (the header checksum
+// gates all size interpretation).
+func FuzzStoreHeader(f *testing.F) {
+	// Seed with a valid image and the corruption archetypes the parser
+	// must classify: truncations at each section boundary, bit flips in
+	// the sealed and unsealed regions, version skew, magic damage.
+	valid := encodeSeedImage()
+	f.Add(valid)
+	f.Add(valid[:headerSize-1])
+	f.Add(valid[:headerSize])
+	f.Add(valid[:len(valid)-footerSize])
+	f.Add(valid[:len(valid)-1])
+	f.Add(append(append([]byte{}, valid...), 0x00))
+	flip := func(i int, bit byte) []byte {
+		b := append([]byte{}, valid...)
+		b[i] ^= bit
+		return b
+	}
+	f.Add(flip(0, 0x89))             // magic
+	f.Add(flip(8, 0x02))             // version (checksum catches)
+	f.Add(flip(16, 0xff))            // n
+	f.Add(flip(headerSize+8, 0x01))  // offsets section
+	f.Add(flip(len(valid)-10, 0x80)) // footer magic
+	f.Add(flip(len(valid)-16, 0x01)) // data checksum word
+	f.Add([]byte{})
+	f.Add([]byte("not a store file at all, but long enough to look at"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g, h, _, err := load(data)
+		if err != nil {
+			for _, sentinel := range []error{ErrNotStore, ErrVersion, ErrTruncated, ErrChecksum, ErrCorrupt} {
+				if errors.Is(err, sentinel) {
+					return
+				}
+			}
+			t.Fatalf("rejection not typed: %v", err)
+		}
+		// Acceptance promises the linear invariants (what the engines need
+		// for memory safety); symmetry is the writer's obligation, sealed
+		// by the checksum, so it is not re-proven here. Walk the whole
+		// adjacency through the public API: any out-of-range index would
+		// panic, any ordering violation is a failure.
+		n := int32(g.N())
+		for v := int32(0); v < n; v++ {
+			adj := g.Neighbors(v)
+			for i, u := range adj {
+				if u < 0 || u >= n || u == v {
+					t.Fatalf("vertex %d has invalid neighbour %d", v, u)
+				}
+				if i > 0 && adj[i-1] >= u {
+					t.Fatalf("adjacency of %d not strictly sorted", v)
+				}
+			}
+		}
+		if g.N() != h.N || int64(2*g.M()) != h.Arcs {
+			t.Fatalf("header (n=%d arcs=%d) disagrees with graph (n=%d m=%d)", h.N, h.Arcs, g.N(), g.M())
+		}
+	})
+}
+
+// encodeSeedImage builds a small valid store image (path graph on 4
+// vertices) without touching the filesystem.
+func encodeSeedImage() []byte {
+	offsets := []int64{0, 1, 3, 5, 6}
+	neighbors := []int32{1, 0, 2, 1, 3, 2}
+	rh := rawHeader{
+		Header: Header{
+			Version: FormatVersion, Name: "seed", N: 4, Arcs: 6, MinDeg: 1, MaxDeg: 2,
+		},
+		nameLen: 4,
+	}
+	hdr := encodeHeader(rh)
+	var buf []byte
+	buf = append(buf, hdr[:]...)
+	name := []byte("seed")
+	buf = append(buf, name...)
+	buf = append(buf, make([]byte, 4)...) // pad name to 8
+	offBytes := int64LEBytes(offsets)
+	buf = append(buf, offBytes...)
+	nbrBytes := int32LEBytes(neighbors)
+	buf = append(buf, nbrBytes...)
+	foot := encodeFooter(xxh64(hdr[0:48], 0), xxh64(name, 0), xxh64(offBytes, 0), xxh64(nbrBytes, 0))
+	buf = append(buf, foot[:]...)
+	return buf
+}

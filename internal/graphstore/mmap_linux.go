@@ -1,0 +1,66 @@
+//go:build linux
+
+package graphstore
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"runtime"
+	"syscall"
+
+	"cobrawalk/internal/graph"
+)
+
+// Mmap loads a store file zero-copy: the returned graph's CSR slices
+// alias a read-only MAP_SHARED mapping of the file, so the adjacency
+// lives in the page cache — loads after the first are limited by
+// checksum verification speed, not disk, and every process mapping the
+// same file shares one set of physical pages.
+//
+// Lifetime: the mapping is released when the graph becomes unreachable
+// (a GC cleanup calls munmap), so the graph itself needs no Close. The
+// corollary is that slices extracted via CSR() or Neighbors() must not
+// outlive the graph — after the cleanup runs they point into unmapped
+// memory. Hold the *graph.Graph for as long as any derived slice is in
+// use (the graphcache does this naturally by owning the reference).
+//
+// Both checksum levels and the linear CSR invariants are verified before
+// the graph is returned, same as ReadAll.
+func Mmap(path string) (*graph.Graph, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("graphstore: %w", err)
+	}
+	defer f.Close()
+	fi, err := f.Stat()
+	if err != nil {
+		return nil, fmt.Errorf("graphstore: %w", err)
+	}
+	size := fi.Size()
+	if size < headerSize+footerSize {
+		return nil, fmt.Errorf("%w: %s is %d bytes", ErrTruncated, path, size)
+	}
+	if size > math.MaxInt {
+		return nil, fmt.Errorf("%w: %s is %d bytes, beyond addressable range", ErrCorrupt, path, size)
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, fmt.Errorf("graphstore: mmap %s: %w", path, err)
+	}
+	g, _, aliased, err := load(data)
+	if err != nil {
+		syscall.Munmap(data)
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if !aliased {
+		// The loader copy-decoded (misaligned or big-endian — neither
+		// should occur for a page-aligned mapping on linux, but the
+		// fallback is load's contract): the graph owns heap arrays and
+		// the mapping is dead weight.
+		syscall.Munmap(data)
+		return g, nil
+	}
+	runtime.AddCleanup(g, func(m []byte) { syscall.Munmap(m) }, data)
+	return g, nil
+}

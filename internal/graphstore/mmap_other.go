@@ -1,0 +1,12 @@
+//go:build !linux
+
+package graphstore
+
+import "cobrawalk/internal/graph"
+
+// Mmap falls back to the portable heap load on platforms without the
+// linux mmap path. Semantics (verification, returned graph) are
+// identical; only the zero-copy page-cache sharing is lost.
+func Mmap(path string) (*graph.Graph, error) {
+	return ReadAll(path)
+}

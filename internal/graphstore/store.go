@@ -1,0 +1,196 @@
+package graphstore
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"cobrawalk/internal/graph"
+)
+
+// Write serialises g to path in store format. The write is atomic: bytes
+// stream through a temp file in path's directory which is fsynced and
+// renamed into place, so a concurrent reader (or a crash mid-write)
+// never observes a partial store — it sees either the old file or the
+// new one. Section checksums are computed from the same memory being
+// written, so Write makes one pass over the graph.
+func Write(path string, g *graph.Graph) (err error) {
+	offsets, neighbors := g.CSR()
+	if len(offsets) == 0 {
+		// The zero-value empty graph has nil arrays; its file form is the
+		// canonical one-offset CSR.
+		offsets = []int64{0}
+	}
+	name := g.Name()
+	if len(name) > maxNameLen {
+		name = name[:maxNameLen]
+	}
+	rh := rawHeader{
+		Header: Header{
+			Version: FormatVersion,
+			Name:    name,
+			N:       g.N(),
+			Arcs:    int64(len(neighbors)),
+			MinDeg:  g.MinDegree(),
+			MaxDeg:  g.MaxDegree(),
+		},
+		nameLen: int64(len(name)),
+	}
+	hdr := encodeHeader(rh)
+	headerSum := binary.LittleEndian.Uint64(hdr[48:56])
+
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".csrg-tmp-*")
+	if err != nil {
+		return fmt.Errorf("graphstore: creating temp file: %w", err)
+	}
+	defer func() {
+		if tmp != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+		}
+	}()
+
+	var pad [8]byte
+	bw := bufio.NewWriterSize(tmp, 1<<20)
+	bw.Write(hdr[:])
+
+	nameBytes := []byte(name)
+	nameSum := xxh64(nameBytes, 0)
+	bw.Write(nameBytes)
+	bw.Write(pad[:pad8(int64(len(nameBytes)))-int64(len(nameBytes))])
+
+	offBytes := int64LEBytes(offsets)
+	offSum := xxh64(offBytes, 0)
+	bw.Write(offBytes)
+
+	nbrBytes := int32LEBytes(neighbors)
+	nbrSum := xxh64(nbrBytes, 0)
+	bw.Write(nbrBytes)
+	bw.Write(pad[:pad8(int64(len(nbrBytes)))-int64(len(nbrBytes))])
+
+	foot := encodeFooter(headerSum, nameSum, offSum, nbrSum)
+	if _, err := bw.Write(foot[:]); err != nil {
+		return fmt.Errorf("graphstore: writing %s: %w", path, err)
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("graphstore: writing %s: %w", path, err)
+	}
+	if err := tmp.Sync(); err != nil {
+		return fmt.Errorf("graphstore: syncing %s: %w", path, err)
+	}
+	tmpName := tmp.Name()
+	if err := tmp.Close(); err != nil {
+		tmp = nil
+		os.Remove(tmpName)
+		return fmt.Errorf("graphstore: closing temp for %s: %w", path, err)
+	}
+	tmp = nil
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("graphstore: publishing %s: %w", path, err)
+	}
+	return nil
+}
+
+// ReadHeader reads and verifies a store file's header without touching
+// the adjacency arrays: O(1) I/O regardless of graph size. It checks the
+// magic, header checksum, version, structural sanity, and that the file
+// size matches what the header implies — but not the data checksum
+// (verifying that is the loaders' job, since it costs a full scan).
+func ReadHeader(path string) (Header, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return Header{}, fmt.Errorf("graphstore: %w", err)
+	}
+	defer f.Close()
+	var buf [headerSize]byte
+	if _, err := io.ReadFull(f, buf[:]); err != nil {
+		return Header{}, fmt.Errorf("%w: %s: %v", ErrTruncated, path, err)
+	}
+	rh, err := parseHeader(buf[:])
+	if err != nil {
+		return Header{}, err
+	}
+	name := make([]byte, rh.nameLen)
+	if _, err := io.ReadFull(f, name); err != nil {
+		return Header{}, fmt.Errorf("%w: %s: name cut short: %v", ErrTruncated, path, err)
+	}
+	rh.Name = string(name)
+	_, _, _, total := rh.sectionSizes()
+	fi, err := f.Stat()
+	if err != nil {
+		return Header{}, fmt.Errorf("graphstore: %w", err)
+	}
+	if fi.Size() < total {
+		return Header{}, fmt.Errorf("%w: %s is %d bytes, header implies %d", ErrTruncated, path, fi.Size(), total)
+	}
+	if fi.Size() > total {
+		return Header{}, fmt.Errorf("%w: %s has %d trailing bytes", ErrCorrupt, path, fi.Size()-total)
+	}
+	return rh.Header, nil
+}
+
+// ReadAll loads a store file into heap memory, verifying both checksum
+// levels and the linear CSR invariants. It works on every platform and
+// byte order; prefer Mmap where available — it shares pages across
+// processes and defers I/O to first touch.
+func ReadAll(path string) (*graph.Graph, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("graphstore: %w", err)
+	}
+	g, _, _, err := load(data)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return g, nil
+}
+
+// load parses, verifies and adopts a complete in-memory store image.
+// aliased reports whether the graph's CSR slices share data's memory
+// (the little-endian aligned fast path): when true, data must stay
+// mapped/alive for the graph's lifetime; when false the graph owns heap
+// copies and data may be released immediately. Verification order is
+// header checksum → size arithmetic → data checksum → linear CSR
+// validation, so no byte of the adjacency sections is ever interpreted
+// before it has been both bounds-checked and checksummed.
+func load(data []byte) (g *graph.Graph, h Header, aliased bool, err error) {
+	rh, err := parseHeader(data)
+	if err != nil {
+		return nil, Header{}, false, err
+	}
+	offStart, nbrStart, footStart, total := rh.sectionSizes()
+	if int64(len(data)) < total {
+		return nil, Header{}, false, fmt.Errorf("%w: %d bytes, header implies %d", ErrTruncated, len(data), total)
+	}
+	if int64(len(data)) > total {
+		return nil, Header{}, false, fmt.Errorf("%w: %d trailing bytes past footer", ErrCorrupt, int64(len(data))-total)
+	}
+	foot := data[footStart:total]
+	if [8]byte(foot[8:16]) != endMagic {
+		return nil, Header{}, false, fmt.Errorf("%w: footer magic missing", ErrCorrupt)
+	}
+	nameBytes := data[headerSize : headerSize+rh.nameLen]
+	offBytes := data[offStart:nbrStart]
+	nbrBytes := data[nbrStart : nbrStart+rh.Arcs*4]
+	want := dataSum(rh.headerSum, xxh64(nameBytes, 0), xxh64(offBytes, 0), xxh64(nbrBytes, 0))
+	if got := binary.LittleEndian.Uint64(foot[0:8]); got != want {
+		return nil, Header{}, false, fmt.Errorf("%w: data sum %#x, computed %#x", ErrChecksum, got, want)
+	}
+	rh.Name = string(nameBytes)
+
+	offsets, offAliased := bytesToInt64LE(offBytes)
+	neighbors, nbrAliased := bytesToInt32LE(nbrBytes)
+	// The checksum proves the bytes are the writer's bytes; the linear
+	// validation proves those bytes describe a CSR the engines can index
+	// safely (a buggy or adversarial writer can produce a correctly
+	// checksummed file of garbage).
+	g, err = graph.FromCSRTrusted(rh.Name, offsets, neighbors)
+	if err != nil {
+		return nil, Header{}, false, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	return g, rh.Header, offAliased || nbrAliased, nil
+}

@@ -1,0 +1,90 @@
+package graphstore
+
+import "math/bits"
+
+// XXH64 (Collet's xxHash, 64-bit variant) is the store format's checksum
+// primitive: a non-cryptographic hash that runs at memory bandwidth in
+// pure Go, which matters because verifying a 10⁸-vertex store touches
+// ~2 GB. The implementation is self-contained (one-shot over a byte
+// slice, no streaming state) because the format never hashes data it
+// does not already hold contiguously: each section (name, offsets,
+// neighbors) is hashed on its own and the footer checksum binds the
+// per-section sums together (see format.go).
+
+const (
+	xxPrime1 uint64 = 11400714785074694791
+	xxPrime2 uint64 = 14029467366897019727
+	xxPrime3 uint64 = 1609587929392839161
+	xxPrime4 uint64 = 9650029242287828579
+	xxPrime5 uint64 = 2870177450012600261
+)
+
+func xxLE64(b []byte) uint64 {
+	_ = b[7]
+	return uint64(b[0]) | uint64(b[1])<<8 | uint64(b[2])<<16 | uint64(b[3])<<24 |
+		uint64(b[4])<<32 | uint64(b[5])<<40 | uint64(b[6])<<48 | uint64(b[7])<<56
+}
+
+func xxLE32(b []byte) uint32 {
+	_ = b[3]
+	return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24
+}
+
+func xxRound(acc, input uint64) uint64 {
+	acc += input * xxPrime2
+	acc = bits.RotateLeft64(acc, 31)
+	return acc * xxPrime1
+}
+
+func xxMergeRound(acc, val uint64) uint64 {
+	acc ^= xxRound(0, val)
+	return acc*xxPrime1 + xxPrime4
+}
+
+// xxh64 returns the XXH64 hash of b with the given seed.
+func xxh64(b []byte, seed uint64) uint64 {
+	n := uint64(len(b))
+	var h uint64
+	if len(b) >= 32 {
+		v1 := seed + xxPrime1 + xxPrime2
+		v2 := seed + xxPrime2
+		v3 := seed
+		v4 := seed - xxPrime1
+		for len(b) >= 32 {
+			v1 = xxRound(v1, xxLE64(b[0:8]))
+			v2 = xxRound(v2, xxLE64(b[8:16]))
+			v3 = xxRound(v3, xxLE64(b[16:24]))
+			v4 = xxRound(v4, xxLE64(b[24:32]))
+			b = b[32:]
+		}
+		h = bits.RotateLeft64(v1, 1) + bits.RotateLeft64(v2, 7) +
+			bits.RotateLeft64(v3, 12) + bits.RotateLeft64(v4, 18)
+		h = xxMergeRound(h, v1)
+		h = xxMergeRound(h, v2)
+		h = xxMergeRound(h, v3)
+		h = xxMergeRound(h, v4)
+	} else {
+		h = seed + xxPrime5
+	}
+	h += n
+	for len(b) >= 8 {
+		h ^= xxRound(0, xxLE64(b))
+		h = bits.RotateLeft64(h, 27)*xxPrime1 + xxPrime4
+		b = b[8:]
+	}
+	if len(b) >= 4 {
+		h ^= uint64(xxLE32(b)) * xxPrime1
+		h = bits.RotateLeft64(h, 23)*xxPrime2 + xxPrime3
+		b = b[4:]
+	}
+	for _, c := range b {
+		h ^= uint64(c) * xxPrime5
+		h = bits.RotateLeft64(h, 11) * xxPrime1
+	}
+	h ^= h >> 33
+	h *= xxPrime2
+	h ^= h >> 29
+	h *= xxPrime3
+	h ^= h >> 32
+	return h
+}

@@ -133,6 +133,11 @@ type Config struct {
 	// CacheBudget is the shared graph cache's vertex budget
 	// (0 = graphcache.DefaultBudget).
 	CacheBudget int
+	// GraphDir, when non-empty, enables the cache's disk tier: built
+	// graphs spill there as graphstore files and cache misses mmap them
+	// back instead of re-running generators. Pre-populate it with
+	// cmd/graphbuild to make even the first job's graph load O(1).
+	GraphDir string
 	// Logger receives structured job-lifecycle logs with job_id fields
 	// (nil = discard). Request logs ride the same logger via NewHandler.
 	Logger *slog.Logger
@@ -187,9 +192,16 @@ func NewManager(cfg Config) (*Manager, error) {
 	if err := os.MkdirAll(filepath.Join(cfg.Dir, jobsDirName), 0o755); err != nil {
 		return nil, fmt.Errorf("server: creating data dir: %w", err)
 	}
+	cache, err := graphcache.NewWithOptions(graphcache.Options{
+		BudgetVertices: cfg.CacheBudget,
+		StoreDir:       cfg.GraphDir,
+	})
+	if err != nil {
+		return nil, err
+	}
 	m := &Manager{
 		cfg:    cfg,
-		cache:  graphcache.New(cfg.CacheBudget),
+		cache:  cache,
 		sem:    make(chan struct{}, cfg.MaxConcurrent),
 		start:  time.Now(),
 		logger: cfg.Logger,

@@ -77,6 +77,12 @@ func newServerMetrics(m *Manager, reg *obs.Registry) *serverMetrics {
 	reg.CounterFunc("cobrawalkd_graphcache_evictions_total",
 		"Graphs evicted to fit the vertex budget.",
 		func() float64 { return float64(m.CacheStats().Evictions) })
+	reg.CounterFunc("cobrawalkd_graphcache_disk_hits_total",
+		"Cache misses served by mmapping a store file from the disk tier (-graph-dir).",
+		func() float64 { return float64(m.CacheStats().DiskHits) })
+	reg.CounterFunc("cobrawalkd_graphcache_disk_writes_total",
+		"Built graphs spilled to disk-tier store files.",
+		func() float64 { return float64(m.CacheStats().DiskWrites) })
 	reg.GaugeFunc("cobrawalkd_graphcache_entries",
 		"Graphs resident in the cache.",
 		func() float64 { return float64(m.CacheStats().Entries) })

@@ -61,6 +61,8 @@ func TestMetricsGoldenFamilies(t *testing.T) {
 
 	fams, body := metricFamilies(t, ts.URL)
 	want := []string{
+		"cobrawalkd_graphcache_disk_hits_total counter",
+		"cobrawalkd_graphcache_disk_writes_total counter",
 		"cobrawalkd_graphcache_entries gauge",
 		"cobrawalkd_graphcache_evictions_total counter",
 		"cobrawalkd_graphcache_hits_total counter",

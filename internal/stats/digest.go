@@ -67,6 +67,9 @@ func (d *Digest) Summary() (DigestSummary, error) {
 	if d.Stream.N() == 0 {
 		return DigestSummary{}, ErrEmpty
 	}
+	qs := [4]float64{0.50, 0.90, 0.95, 0.99}
+	var p [4]float64
+	d.Sketch.mustQuantiles(qs[:], p[:])
 	return DigestSummary{
 		N:        d.Stream.N(),
 		Mean:     d.Stream.Mean(),
@@ -75,10 +78,10 @@ func (d *Digest) Summary() (DigestSummary, error) {
 		SE:       d.Stream.SE(),
 		Min:      d.Stream.Min(),
 		Max:      d.Stream.Max(),
-		P50:      d.Sketch.mustQuantile(0.50),
-		P90:      d.Sketch.mustQuantile(0.90),
-		P95:      d.Sketch.mustQuantile(0.95),
-		P99:      d.Sketch.mustQuantile(0.99),
+		P50:      p[0],
+		P90:      p[1],
+		P95:      p[2],
+		P99:      p[3],
 	}, nil
 }
 

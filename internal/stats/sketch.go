@@ -42,14 +42,39 @@ func NewQuantileSketch(alpha float64) (*QuantileSketch, error) {
 	if !(alpha > 0 && alpha < 1) {
 		return nil, fmt.Errorf("stats: sketch accuracy %v outside (0,1)", alpha)
 	}
+	s := new(QuantileSketch)
+	s.init(alpha)
+	return s, nil
+}
+
+// init prepares a zero sketch in place with the given (already validated)
+// accuracy. The bucket maps stay nil until first use — a trajectory
+// ensemble batch-allocates hundreds of column sketches, most of which see
+// only a handful of distinct buckets, so eager maps were pure overhead.
+func (s *QuantileSketch) init(alpha float64) {
 	g := (1 + alpha) / (1 - alpha)
-	return &QuantileSketch{
-		alpha: alpha,
-		gamma: g,
-		lnG:   math.Log(g),
-		pos:   make(map[int]int64),
-		neg:   make(map[int]int64),
-	}, nil
+	s.alpha = alpha
+	s.gamma = g
+	s.lnG = math.Log(g)
+}
+
+// posMap and negMap create their bucket map on first use, without a size
+// hint: hintless small maps stay on the runtime's cheap single-group path
+// until they actually grow, where a larger hint pays three allocations up
+// front for every sketch that might never see that side of zero.
+
+func (s *QuantileSketch) posMap() map[int]int64 {
+	if s.pos == nil {
+		s.pos = make(map[int]int64)
+	}
+	return s.pos
+}
+
+func (s *QuantileSketch) negMap() map[int]int64 {
+	if s.neg == nil {
+		s.neg = make(map[int]int64)
+	}
+	return s.neg
 }
 
 // NewDefaultSketch returns an empty sketch with DefaultSketchAlpha
@@ -78,9 +103,9 @@ func (s *QuantileSketch) Add(x float64) {
 	case math.IsInf(x, -1):
 		s.negInf++
 	case x > 0:
-		s.pos[s.bucket(x)]++
+		s.posMap()[s.bucket(x)]++
 	case x < 0:
-		s.neg[s.bucket(-x)]++
+		s.negMap()[s.bucket(-x)]++
 	default:
 		s.zeros++
 	}
@@ -102,11 +127,17 @@ func (s *QuantileSketch) Merge(o *QuantileSketch) error {
 	if o.alpha != s.alpha {
 		return fmt.Errorf("stats: merging sketches with accuracies %v and %v", s.alpha, o.alpha)
 	}
-	for b, c := range o.pos {
-		s.pos[b] += c
+	if len(o.pos) > 0 {
+		dst := s.posMap()
+		for b, c := range o.pos {
+			dst[b] += c
+		}
 	}
-	for b, c := range o.neg {
-		s.neg[b] += c
+	if len(o.neg) > 0 {
+		dst := s.negMap()
+		for b, c := range o.neg {
+			dst[b] += c
+		}
 	}
 	s.zeros += o.zeros
 	s.posInf += o.posInf
@@ -125,54 +156,109 @@ func (s *QuantileSketch) value(b int) float64 {
 // Quantile returns the q-th quantile (0 <= q <= 1) with relative error at
 // most Alpha. It returns ErrEmpty for an empty sketch.
 func (s *QuantileSketch) Quantile(q float64) (float64, error) {
+	var (
+		qs  = [1]float64{q}
+		out [1]float64
+	)
+	if err := s.Quantiles(qs[:], out[:]); err != nil {
+		return 0, err
+	}
+	return out[0], nil
+}
+
+// Quantiles fills out[i] with the qs[i]-th quantile for every requested
+// quantile in one walk over the buckets — each out[i] is exactly what
+// Quantile(qs[i]) returns, at a fraction of the cost when several
+// quantiles are wanted from the same sketch (summary rows, trajectory
+// bands). qs must be sorted ascending, with every entry in [0, 1], and
+// out must have the same length. It returns ErrEmpty for an empty sketch.
+func (s *QuantileSketch) Quantiles(qs []float64, out []float64) error {
+	if len(out) != len(qs) {
+		return fmt.Errorf("stats: Quantiles got %d outputs for %d quantiles", len(out), len(qs))
+	}
 	if s.total == 0 {
-		return 0, ErrEmpty
+		return ErrEmpty
 	}
-	if q < 0 || q > 1 {
-		return 0, fmt.Errorf("stats: quantile %v outside [0,1]", q)
+	var ranksBuf [8]int64
+	ranks := ranksBuf[:0]
+	if len(qs) > len(ranksBuf) {
+		ranks = make([]int64, 0, len(qs))
 	}
-	// Rank of the q-th order statistic among total observations.
-	rank := int64(math.Ceil(q * float64(s.total)))
-	if rank < 1 {
-		rank = 1
+	for i, q := range qs {
+		if q < 0 || q > 1 {
+			return fmt.Errorf("stats: quantile %v outside [0,1]", q)
+		}
+		if i > 0 && q < qs[i-1] {
+			return fmt.Errorf("stats: Quantiles wants ascending quantiles, got %v after %v", q, qs[i-1])
+		}
+		// Rank of the q-th order statistic among total observations.
+		rank := int64(math.Ceil(q * float64(s.total)))
+		if rank < 1 {
+			rank = 1
+		}
+		ranks = append(ranks, rank)
 	}
-	// Walk buckets in ascending value order: -Inf, negatives (descending
-	// index), zeros, positives (ascending index), +Inf.
+	s.quantileWalk(ranks, out)
+	return nil
+}
+
+// quantileWalk resolves ascending ranks against the bucket cumulative
+// distribution in one pass, in ascending value order: -Inf, negatives
+// (descending index), zeros, positives (ascending index), +Inf.
+func (s *QuantileSketch) quantileWalk(ranks []int64, out []float64) {
+	i := 0
 	cum := s.negInf
-	if cum >= rank {
-		return math.Inf(-1), nil
+	for i < len(ranks) && cum >= ranks[i] {
+		out[i] = math.Inf(-1)
+		i++
 	}
 	for _, b := range sortedKeys(s.neg, true) {
+		if i == len(ranks) {
+			return
+		}
 		cum += s.neg[b]
-		if cum >= rank {
-			return -s.value(b), nil
+		for i < len(ranks) && cum >= ranks[i] {
+			out[i] = -s.value(b)
+			i++
 		}
 	}
 	cum += s.zeros
-	if cum >= rank {
-		return 0, nil
+	for i < len(ranks) && cum >= ranks[i] {
+		out[i] = 0
+		i++
 	}
 	posKeys := sortedKeys(s.pos, false)
 	for _, b := range posKeys {
+		if i == len(ranks) {
+			return
+		}
 		cum += s.pos[b]
-		if cum >= rank {
-			return s.value(b), nil
+		for i < len(ranks) && cum >= ranks[i] {
+			out[i] = s.value(b)
+			i++
 		}
 	}
-	if s.posInf > 0 {
-		return math.Inf(1), nil
+	if i == len(ranks) {
+		return
 	}
-	// Rounding pathologies only: fall back to the largest finite bucket.
-	if len(posKeys) > 0 {
-		return s.value(posKeys[len(posKeys)-1]), nil
+	// Ranks past the whole distribution: +Inf when the stream held any,
+	// else (rounding pathologies only) the largest finite bucket.
+	tail := math.Inf(-1)
+	switch {
+	case s.posInf > 0:
+		tail = math.Inf(1)
+	case len(posKeys) > 0:
+		tail = s.value(posKeys[len(posKeys)-1])
+	case s.zeros > 0:
+		tail = 0
+	default:
+		if keys := sortedKeys(s.neg, false); len(keys) > 0 {
+			tail = -s.value(keys[len(keys)-1])
+		}
 	}
-	if s.zeros > 0 {
-		return 0, nil
+	for ; i < len(ranks); i++ {
+		out[i] = tail
 	}
-	if keys := sortedKeys(s.neg, false); len(keys) > 0 {
-		return -s.value(keys[len(keys)-1]), nil
-	}
-	return math.Inf(-1), nil
 }
 
 // mustQuantile is Quantile for internal callers that have already checked
@@ -183,6 +269,16 @@ func (s *QuantileSketch) mustQuantile(q float64) float64 {
 		return math.NaN()
 	}
 	return v
+}
+
+// mustQuantiles is Quantiles for internal callers with pre-sorted inputs;
+// on error the outputs are NaN.
+func (s *QuantileSketch) mustQuantiles(qs []float64, out []float64) {
+	if err := s.Quantiles(qs, out); err != nil {
+		for i := range out {
+			out[i] = math.NaN()
+		}
+	}
 }
 
 // FixedHistogram redistributes the sketch's buckets into a fixed-bin

@@ -556,3 +556,51 @@ func TestSketchAllEqual(t *testing.T) {
 		t.Fatalf("constant quantiles differ: %+v", s)
 	}
 }
+
+// TestSketchQuantilesBatch pins the contract of the one-pass batch
+// accessor: for sorted quantiles it returns exactly what per-quantile
+// Quantile calls return, across sign mixes and infinities.
+func TestSketchQuantilesBatch(t *testing.T) {
+	streams := map[string][]float64{
+		"positive":  randomSample(5000, 3),
+		"mixed":     {-50, -3, -3, 0, 0, 0, 0.25, 1, 1, 7, 1e6},
+		"signs+inf": {math.Inf(-1), -2, 0, 5, math.Inf(1), math.Inf(1)},
+		"zeros":     {0, 0, 0},
+	}
+	qs := []float64{0, 0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1}
+	for name, xs := range streams {
+		sk := NewDefaultSketch()
+		for _, x := range xs {
+			sk.Add(x)
+		}
+		out := make([]float64, len(qs))
+		if err := sk.Quantiles(qs, out); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		for i, q := range qs {
+			want, err := sk.Quantile(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if out[i] != want && !(math.IsNaN(out[i]) && math.IsNaN(want)) {
+				t.Fatalf("%s q=%v: batch %v, single %v", name, q, out[i], want)
+			}
+		}
+	}
+
+	sk := NewDefaultSketch()
+	sk.Add(1)
+	out := make([]float64, 2)
+	if err := sk.Quantiles([]float64{0.9, 0.1}, out); err == nil {
+		t.Fatal("descending quantiles accepted")
+	}
+	if err := sk.Quantiles([]float64{0.5}, out); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	if err := sk.Quantiles([]float64{0.1, 1.5}, out); err == nil {
+		t.Fatal("q>1 accepted")
+	}
+	if err := NewDefaultSketch().Quantiles([]float64{0.5}, out[:1]); err != ErrEmpty {
+		t.Fatalf("empty sketch: got %v, want ErrEmpty", err)
+	}
+}

@@ -3,6 +3,7 @@ package stats
 import (
 	"fmt"
 	"math"
+	"sort"
 )
 
 // TrajectoryDigest aggregates per-round trajectories (|A_t| curves,
@@ -25,6 +26,13 @@ import (
 // The zero value is not usable; construct with NewTrajectoryDigest.
 type TrajectoryDigest struct {
 	cols []*Digest
+	// spareD/spareS hold pre-allocated column storage: grow carves new
+	// columns out of these slabs and refills them with geometrically
+	// growing chunks, so extending the column set one round at a time (a
+	// trial slightly longer than every previous one — the common case)
+	// costs amortised O(1) allocations instead of a slab pair per call.
+	spareD []Digest
+	spareS []QuantileSketch
 }
 
 const (
@@ -41,6 +49,21 @@ const (
 	TrajectoryMaxColumns = 384
 )
 
+// trajectoryRounds is the precomputed sample-round axis — a fixed
+// function of the constants above, tabulated once so the hot fold path
+// does table lookups and a binary search instead of math.Pow per column.
+var trajectoryRounds = func() [TrajectoryMaxColumns]int {
+	var r [TrajectoryMaxColumns]int
+	for k := range r {
+		if k <= TrajectoryBaseRounds {
+			r[k] = k
+		} else {
+			r[k] = int(math.Ceil(TrajectoryBaseRounds * math.Pow(TrajectoryGrowth, float64(k-TrajectoryBaseRounds))))
+		}
+	}
+	return r
+}()
+
 // TrajectoryRound returns the sample round of column k: k itself for
 // k <= TrajectoryBaseRounds, then ⌈base·growth^(k-base)⌉, strictly
 // increasing. It returns -1 for k outside [0, TrajectoryMaxColumns).
@@ -48,10 +71,13 @@ func TrajectoryRound(k int) int {
 	if k < 0 || k >= TrajectoryMaxColumns {
 		return -1
 	}
-	if k <= TrajectoryBaseRounds {
-		return k
-	}
-	return int(math.Ceil(TrajectoryBaseRounds * math.Pow(TrajectoryGrowth, float64(k-TrajectoryBaseRounds))))
+	return trajectoryRounds[k]
+}
+
+// trajectoryColumnsFor returns the number of columns a series of the
+// given length populates: the count of sample rounds < seriesLen.
+func trajectoryColumnsFor(seriesLen int) int {
+	return sort.SearchInts(trajectoryRounds[:], seriesLen)
 }
 
 // NewTrajectoryDigest returns an empty trajectory digest.
@@ -66,15 +92,35 @@ func NewTrajectoryDigest() *TrajectoryDigest {
 // prefixes, and each column's N counts the trials that ran at least that
 // long.
 func (t *TrajectoryDigest) AddTrial(series []int) {
-	for k := 0; ; k++ {
-		r := TrajectoryRound(k)
-		if r < 0 || r >= len(series) {
-			return
+	need := trajectoryColumnsFor(len(series))
+	t.grow(need)
+	for k := 0; k < need; k++ {
+		t.cols[k].Add(float64(series[trajectoryRounds[k]]))
+	}
+}
+
+// grow extends the column set to at least need columns, drawing storage
+// from the spare slabs.
+func (t *TrajectoryDigest) grow(need int) {
+	for len(t.cols) < need {
+		if len(t.spareD) == 0 {
+			// One slab pair covers the whole request plus a small reserve:
+			// the geometric round axis keeps later extensions to a column
+			// or two, so a fixed reserve beats doubling here (columns are
+			// ~140 B each — over-reserving across hundreds of per-worker
+			// digests costs real memory).
+			chunk := max(need-len(t.cols), 8)
+			if room := TrajectoryMaxColumns - len(t.cols); chunk > room {
+				chunk = room
+			}
+			t.spareD = make([]Digest, chunk)
+			t.spareS = make([]QuantileSketch, chunk)
 		}
-		if k == len(t.cols) {
-			t.cols = append(t.cols, NewDigest())
-		}
-		t.cols[k].Add(float64(series[r]))
+		d, s := &t.spareD[0], &t.spareS[0]
+		t.spareD, t.spareS = t.spareD[1:], t.spareS[1:]
+		s.init(DefaultSketchAlpha)
+		d.Sketch = s
+		t.cols = append(t.cols, d)
 	}
 }
 
@@ -97,10 +143,8 @@ func (t *TrajectoryDigest) Merge(o *TrajectoryDigest) error {
 	if o == nil {
 		return nil
 	}
+	t.grow(len(o.cols))
 	for k, col := range o.cols {
-		if k == len(t.cols) {
-			t.cols = append(t.cols, NewDigest())
-		}
 		if err := t.cols[k].Merge(col); err != nil {
 			return fmt.Errorf("stats: merging trajectory column %d: %w", k, err)
 		}
@@ -140,13 +184,14 @@ func (t *TrajectoryDigest) Summary() (TrajectorySummary, error) {
 		P50:    make([]float64, len(t.cols)),
 		P90:    make([]float64, len(t.cols)),
 	}
+	qs := [3]float64{0.10, 0.50, 0.90}
+	var band [3]float64
 	for k, col := range t.cols {
 		s.Rounds[k] = TrajectoryRound(k)
 		s.N[k] = col.N()
 		s.Mean[k] = col.Stream.Mean()
-		s.P10[k] = col.Sketch.mustQuantile(0.10)
-		s.P50[k] = col.Sketch.mustQuantile(0.50)
-		s.P90[k] = col.Sketch.mustQuantile(0.90)
+		col.Sketch.mustQuantiles(qs[:], band[:])
+		s.P10[k], s.P50[k], s.P90[k] = band[0], band[1], band[2]
 	}
 	return s, nil
 }

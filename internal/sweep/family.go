@@ -5,6 +5,8 @@ import (
 	"strings"
 
 	"cobrawalk/internal/graph"
+	"cobrawalk/internal/graphcache"
+	"cobrawalk/internal/graphstore"
 	"cobrawalk/internal/rng"
 )
 
@@ -81,15 +83,59 @@ func FamilyNames() []string {
 	return names
 }
 
-// LookupFamily finds a family by name.
+// LookupFamily finds a family by name. Beyond the static registry it
+// resolves "file:<path>" to a dynamic pseudo-family whose Build mmaps a
+// graphstore file: the spec's size axis is advisory for these (the
+// record carries the file's realised size, the same rounding contract as
+// torus/hypercube), the degree axis is unused, and no rng is drawn. The
+// store header is checked at lookup time so a bad path fails spec
+// validation, not a worker mid-sweep.
 func LookupFamily(name string) (Family, error) {
+	if path, ok := strings.CutPrefix(name, "file:"); ok {
+		if path == "" {
+			return Family{}, fmt.Errorf("sweep: family %q has no path after file:", name)
+		}
+		if _, err := graphstore.ReadHeader(path); err != nil {
+			return Family{}, fmt.Errorf("sweep: family %q: %w", name, err)
+		}
+		return Family{
+			Name: name,
+			Build: func(_, _ int, _ *rng.Rand) (*graph.Graph, error) {
+				return graphstore.Mmap(path)
+			},
+		}, nil
+	}
 	for _, f := range Families() {
 		if f.Name == name {
 			return f, nil
 		}
 	}
-	return Family{}, fmt.Errorf("sweep: unknown family %q (want one of %s)",
+	return Family{}, fmt.Errorf("sweep: unknown family %q (want one of %s, or file:<path.csrg>)",
 		name, strings.Join(FamilyNames(), ", "))
+}
+
+// BuildTopology realises the graph a sweep with master seed sweepSeed
+// uses for (family, size, degree), plus the cache key the serving stack
+// files it under. This is the exact derivation runPoint performs —
+// GraphSeed from the topology identity, generator rng from the reserved
+// graph stream — exported so cmd/graphbuild can pre-build the very store
+// files the daemon's disk tier will look for.
+func BuildTopology(family string, size, degree int, sweepSeed uint64) (*graph.Graph, graphcache.Key, error) {
+	fam, err := LookupFamily(family)
+	if err != nil {
+		return nil, graphcache.Key{}, err
+	}
+	if !fam.Degreed {
+		degree = 0
+	}
+	pt := Point{Family: family, Size: size, Degree: degree}
+	seed := pointSeed(sweepSeed, pt.topologyID())
+	key := graphcache.Key{Family: family, Size: size, Degree: degree, Seed: seed}
+	g, err := fam.Build(size, degree, rng.NewStream(seed, graphStream))
+	if err != nil {
+		return nil, graphcache.Key{}, err
+	}
+	return g, key, nil
 }
 
 // IntSqrt returns ⌊√n⌋ — the torus-sizing helper shared with the

@@ -215,10 +215,26 @@ type Point struct {
 	MeasureLambda bool `json:"measure_lambda,omitempty"`
 }
 
+// fsSafe flattens every rune outside [A-Za-z0-9._-] to '_'. Point IDs
+// become artifact file names (points/<id>.json), so family names with
+// path structure — "file:/runs/g.csrg" — must collapse to one path
+// component. Registry family names pass through unchanged, which keeps
+// every existing ID (and therefore every derived seed) stable.
+func fsSafe(s string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '.', r == '_', r == '-':
+			return r
+		}
+		return '_'
+	}, s)
+}
+
 // id renders the canonical point handle from the axis values.
 func (p Point) id() string {
 	var sb strings.Builder
-	fmt.Fprintf(&sb, "%s-%s-n%d", p.Process, p.Family, p.Size)
+	fmt.Fprintf(&sb, "%s-%s-n%d", p.Process, fsSafe(p.Family), p.Size)
 	if p.Degree > 0 {
 		fmt.Fprintf(&sb, "-d%d", p.Degree)
 	}
@@ -237,9 +253,9 @@ func (p Point) id() string {
 // process name, never a family name).
 func (p Point) topologyID() string {
 	if p.Degree > 0 {
-		return fmt.Sprintf("%s-n%d-d%d", p.Family, p.Size, p.Degree)
+		return fmt.Sprintf("%s-n%d-d%d", fsSafe(p.Family), p.Size, p.Degree)
 	}
-	return fmt.Sprintf("%s-n%d", p.Family, p.Size)
+	return fmt.Sprintf("%s-n%d", fsSafe(p.Family), p.Size)
 }
 
 // pointSeed derives a point's master seed from the sweep seed and the
