@@ -204,7 +204,7 @@ func runHTTPGate(baselinePath string, tolerance float64, duration time.Duration)
 		return err
 	}
 	defer os.RemoveAll(dir)
-	url, stop, err := loadgen.SelfServe(dir, 2, 0)
+	url, stop, err := loadgen.SelfServe(dir, 2, 0, 0)
 	if err != nil {
 		return err
 	}

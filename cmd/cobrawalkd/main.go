@@ -15,7 +15,11 @@
 //	GET    /v1/jobs/{id}/trajectories
 //	                              NDJSON per-round quantile bands
 //	GET    /v1/jobs/{id}/events   span-event trace (queued → running →
-//	                              per-point progress → terminal)
+//	                              per-point progress → terminal);
+//	                              ?after=<seq> polls incrementally
+//	GET    /v1/jobs/{id}/stream   live SSE stream: lifecycle, in-flight
+//	                              digest snapshots, completed bands
+//	GET    /v1/watch              live SSE firehose across all jobs
 //	GET    /v1/processes          process registry
 //	GET    /v1/families           graph family registry
 //	GET    /v1/metrics            sweep metric registry
@@ -76,6 +80,8 @@ func run(args []string, out, errw io.Writer) error {
 		workers   = fs.Int("workers", 0, "trial worker goroutines per point (0 = GOMAXPROCS)")
 		cacheCap  = fs.Int("graph-cache", 0, "graph cache vertex budget (0 = default)")
 		graphDir  = fs.String("graph-dir", "", "graph store directory: cache misses mmap .csrg files from here and built graphs spill back (see cmd/graphbuild)")
+		snapEvery = fs.Duration("snapshot-interval", 0, "spacing of in-flight digest snapshots on job streams (0 = default 500ms)")
+		streamBuf = fs.Int("stream-buffer", 0, "per-subscriber SSE buffer; a subscriber that falls behind drops oldest events (0 = default 64)")
 		logLevel  = fs.String("log-level", "info", "log level: debug, info, warn or error")
 		logFormat = fs.String("log-format", "text", "log format: text or json")
 		pprofOn   = fs.Bool("pprof", false, "serve Go profiling endpoints under /debug/pprof/")
@@ -101,13 +107,15 @@ func run(args []string, out, errw io.Writer) error {
 	}
 
 	m, err := server.NewManager(server.Config{
-		Dir:           *data,
-		MaxConcurrent: *maxJobs,
-		PointWorkers:  *pointWrk,
-		TrialWorkers:  *workers,
-		CacheBudget:   *cacheCap,
-		GraphDir:      *graphDir,
-		Logger:        logger,
+		Dir:              *data,
+		MaxConcurrent:    *maxJobs,
+		PointWorkers:     *pointWrk,
+		TrialWorkers:     *workers,
+		CacheBudget:      *cacheCap,
+		GraphDir:         *graphDir,
+		SnapshotInterval: *snapEvery,
+		StreamBuffer:     *streamBuf,
+		Logger:           logger,
 	})
 	if err != nil {
 		return err

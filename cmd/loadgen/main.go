@@ -11,11 +11,19 @@
 //	job     POST a tiny sweep spec, poll to done, fetch results — the
 //	        full job lifecycle including persistence and scheduling
 //
+// With -stream-subscribers N the harness additionally holds N concurrent
+// SSE subscriptions on one endless job and reports fan-out latency
+// quantiles and drop-policy health as a separate "streaming" block (not
+// a scenario, so benchgate's scenario gate is unaffected). Large N wants
+// a separate daemon process: loadgen and daemon each hold one fd per
+// subscription, so -self halves the headroom under the fd limit.
+//
 // Usage:
 //
 //	loadgen -self                         boot an in-process daemon and load it
 //	loadgen -addr http://127.0.0.1:8321   load a running daemon
 //	loadgen -self -clients 16 -duration 10s -out BENCH_http.json
+//	loadgen -addr http://127.0.0.1:8321 -stream-subscribers 10000
 package main
 
 import (
@@ -50,10 +58,12 @@ func run(args []string, out, errw io.Writer) error {
 		clients   = fs.Int("clients", 8, "closed-loop concurrent clients")
 		duration  = fs.Duration("duration", 5*time.Second, "measurement window per scenario")
 		warmup    = fs.Duration("warmup", 0, "untimed warm-up window per scenario before measuring")
-		scenarios = fs.String("scenarios", "status,job", "comma-separated scenarios to run")
+		scenarios = fs.String("scenarios", "status,job", "comma-separated scenarios to run (\"none\" = only the streaming block)")
 		outPath   = fs.String("out", "", "write the JSON report here instead of stdout")
 		maxJobs   = fs.Int("max-jobs", 2, "job slots for the -self daemon")
 		workers   = fs.Int("workers", 0, "trial workers for the -self daemon (0 = GOMAXPROCS)")
+		subs      = fs.Int("stream-subscribers", 0, "also hold N concurrent SSE subscribers on an in-flight job and measure fan-out")
+		snapEvery = fs.Duration("snapshot-interval", 100*time.Millisecond, "stream snapshot interval for the -self daemon")
 		logLevel  = fs.String("log-level", "info", "log level: debug, info, warn or error")
 		logFormat = fs.String("log-format", "text", "log format: text or json")
 		version   = fs.Bool("version", false, "print build info and exit")
@@ -81,7 +91,7 @@ func run(args []string, out, errw io.Writer) error {
 		}
 		defer os.RemoveAll(dir)
 		var stop func()
-		base, stop, err = loadgen.SelfServe(dir, *maxJobs, *workers)
+		base, stop, err = loadgen.SelfServe(dir, *maxJobs, *workers, *snapEvery)
 		if err != nil {
 			return err
 		}
@@ -91,17 +101,32 @@ func run(args []string, out, errw io.Writer) error {
 	if base == "" {
 		return errors.New("one of -addr or -self is required")
 	}
+	if *subs > 0 {
+		// Each subscription holds a client-side fd (plus a server-side
+		// one under -self); lift the soft fd limit to the hard cap.
+		if limit, err := raiseFDLimit(); err != nil {
+			logger.Warn("raising fd limit failed", "err", err)
+		} else if limit > 0 {
+			logger.Info("fd limit", "nofile", limit)
+		}
+	}
 
+	scens := strings.Split(*scenarios, ",")
+	if *scenarios == "" || *scenarios == "none" {
+		scens = []string{}
+	}
 	cfg := loadgen.Config{
-		BaseURL:   base,
-		Clients:   *clients,
-		Duration:  *duration,
-		Scenarios: strings.Split(*scenarios, ","),
+		BaseURL:           base,
+		Clients:           *clients,
+		Duration:          *duration,
+		Scenarios:         scens,
+		StreamSubscribers: *subs,
 	}
 	if *warmup > 0 {
 		logger.Info("warming up", "duration", warmup.String())
 		wcfg := cfg
 		wcfg.Duration = *warmup
+		wcfg.StreamSubscribers = 0 // warm the closed-loop scenarios only
 		if _, err := loadgen.Run(context.Background(), wcfg); err != nil {
 			return fmt.Errorf("warm-up: %w", err)
 		}
@@ -116,6 +141,13 @@ func run(args []string, out, errw io.Writer) error {
 		logger.Info("scenario done", "scenario", s.Name, "ops", s.Ops, "errors", s.Errors,
 			"per_second", fmt.Sprintf("%.1f", s.PerSecond),
 			"p50_ms", fmt.Sprintf("%.3f", s.P50Ms), "p99_ms", fmt.Sprintf("%.3f", s.P99Ms))
+	}
+	if sr := rep.Streaming; sr != nil {
+		logger.Info("streaming done", "subscribers", sr.Subscribers, "connected", sr.Connected,
+			"events", sr.Events, "snapshots", sr.Snapshots,
+			"gapped", sr.GappedSubscribers, "errors", sr.Errors,
+			"fanout_p50_ms", fmt.Sprintf("%.3f", sr.FanoutP50Ms),
+			"fanout_p99_ms", fmt.Sprintf("%.3f", sr.FanoutP99Ms))
 	}
 
 	blob, err := json.MarshalIndent(rep, "", "  ")

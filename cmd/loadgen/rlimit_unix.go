@@ -1,0 +1,22 @@
+//go:build unix
+
+package main
+
+import "syscall"
+
+// raiseFDLimit lifts the soft RLIMIT_NOFILE to the hard cap and returns
+// the resulting soft limit — ten thousand SSE subscriptions are ten
+// thousand client fds, usually past the default soft limit.
+func raiseFDLimit() (uint64, error) {
+	var rl syscall.Rlimit
+	if err := syscall.Getrlimit(syscall.RLIMIT_NOFILE, &rl); err != nil {
+		return 0, err
+	}
+	if rl.Cur < rl.Max {
+		rl.Cur = rl.Max
+		if err := syscall.Setrlimit(syscall.RLIMIT_NOFILE, &rl); err != nil {
+			return 0, err
+		}
+	}
+	return rl.Cur, nil
+}

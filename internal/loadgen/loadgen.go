@@ -42,6 +42,14 @@ type Config struct {
 	// read path (GET /v1/healthz), "job" the full write path (submit →
 	// poll to done → fetch results).
 	Scenarios []string
+	// StreamSubscribers > 0 additionally runs the streaming scenario:
+	// that many concurrent SSE subscribers held on one in-flight job for
+	// Duration, measuring fan-out latency and drop-policy health (see
+	// stream.go). Reported as Report.Streaming, outside Scenarios.
+	StreamSubscribers int
+	// StreamSpec is the job the streaming scenario watches; zero value =
+	// DefaultStreamSpec (endless by design — it is cancelled afterwards).
+	StreamSpec sweep.Spec
 }
 
 // DefaultJobSpec is a deliberately tiny sweep — one complete-graph push
@@ -84,6 +92,10 @@ type Report struct {
 	Target    string           `json:"target"`
 	Clients   int              `json:"clients"`
 	Scenarios []ScenarioResult `json:"scenarios"`
+	// Streaming is the SSE fan-out measurement, present when
+	// Config.StreamSubscribers > 0. It lives outside Scenarios so the
+	// benchgate scenario gate is unaffected by streaming runs.
+	Streaming *StreamingResult `json:"streaming,omitempty"`
 }
 
 // Scenario returns the named scenario's result.
@@ -131,6 +143,13 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 			return nil, err
 		}
 		rep.Scenarios = append(rep.Scenarios, res)
+	}
+	if cfg.StreamSubscribers > 0 {
+		sr, err := runStreaming(ctx, cfg)
+		if err != nil {
+			return nil, err
+		}
+		rep.Streaming = sr
 	}
 	return rep, nil
 }
@@ -269,11 +288,14 @@ func jobRoundTrip(c *http.Client, base string, spec sweep.Spec) error {
 // full instrumented handler — on a loopback listener, returning its base
 // URL and a shutdown function. It is how cmd/loadgen -self and the CI
 // smoke measure the serving path without managing a separate process.
-func SelfServe(dir string, maxJobs, trialWorkers int) (string, func(), error) {
+// snapshotInterval spaces the daemon's mid-ensemble stream snapshots
+// (0 = the server default).
+func SelfServe(dir string, maxJobs, trialWorkers int, snapshotInterval time.Duration) (string, func(), error) {
 	m, err := server.NewManager(server.Config{
-		Dir:           dir,
-		MaxConcurrent: maxJobs,
-		TrialWorkers:  trialWorkers,
+		Dir:              dir,
+		MaxConcurrent:    maxJobs,
+		TrialWorkers:     trialWorkers,
+		SnapshotInterval: snapshotInterval,
 	})
 	if err != nil {
 		return "", nil, err

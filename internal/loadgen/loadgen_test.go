@@ -4,6 +4,8 @@ import (
 	"context"
 	"testing"
 	"time"
+
+	"cobrawalk/internal/sweep"
 )
 
 func TestQuantileNearestRank(t *testing.T) {
@@ -41,7 +43,7 @@ func TestRunValidation(t *testing.T) {
 // daemon: both scenarios complete operations, error-free, and the
 // report carries coherent latency quantiles.
 func TestSelfServeRoundTrip(t *testing.T) {
-	base, stop, err := SelfServe(t.TempDir(), 2, 2)
+	base, stop, err := SelfServe(t.TempDir(), 2, 2, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -72,5 +74,61 @@ func TestSelfServeRoundTrip(t *testing.T) {
 		if s.PerSecond <= 0 {
 			t.Errorf("%s: per_second=%v", name, s.PerSecond)
 		}
+	}
+	if rep.Streaming != nil {
+		t.Fatalf("streaming block present without StreamSubscribers: %+v", rep.Streaming)
+	}
+}
+
+// TestStreamingScenario holds a small subscriber pool on an in-flight
+// job against an in-process daemon: every subscriber connects, sees
+// timestamped snapshot events, and — being local loopback readers —
+// keeps up with zero sequence gaps.
+func TestStreamingScenario(t *testing.T) {
+	base, stop, err := SelfServe(t.TempDir(), 2, 2, 5*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stop()
+
+	// A fast-folding endless job: trials are near-instant on a small
+	// complete graph, so snapshots arrive every interval regardless of
+	// scheduling noise (the default cycle walk has long trials, and
+	// snapshots deliver at trial folds).
+	streamSpec := sweep.Spec{
+		Name:      "stream-test",
+		Families:  []string{"complete"},
+		Sizes:     []int{64},
+		Processes: []string{"push"},
+		Metrics:   []string{"rounds"},
+		Trials:    1 << 30,
+		Seed:      1,
+	}
+	rep, err := Run(context.Background(), Config{
+		BaseURL:           base,
+		Clients:           2,
+		Duration:          700 * time.Millisecond,
+		Scenarios:         []string{"status"},
+		StreamSubscribers: 32,
+		StreamSpec:        streamSpec,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sr := rep.Streaming
+	if sr == nil {
+		t.Fatal("report has no streaming block")
+	}
+	if sr.Subscribers != 32 || sr.Connected != 32 || sr.Errors != 0 {
+		t.Fatalf("subscribers=%d connected=%d errors=%d, want 32/32/0", sr.Subscribers, sr.Connected, sr.Errors)
+	}
+	if sr.Events == 0 || sr.Snapshots == 0 {
+		t.Fatalf("events=%d snapshots=%d, want both > 0", sr.Events, sr.Snapshots)
+	}
+	if sr.GappedSubscribers != 0 {
+		t.Fatalf("%d keeping-up subscribers saw sequence gaps", sr.GappedSubscribers)
+	}
+	if sr.FanoutP50Ms <= 0 || sr.FanoutP99Ms < sr.FanoutP50Ms || sr.FanoutMaxMs < sr.FanoutP99Ms {
+		t.Fatalf("incoherent fan-out quantiles p50=%v p99=%v max=%v", sr.FanoutP50Ms, sr.FanoutP99Ms, sr.FanoutMaxMs)
 	}
 }

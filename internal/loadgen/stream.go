@@ -1,0 +1,259 @@
+package loadgen
+
+// stream.go is the fan-out half of the harness: it holds thousands of
+// concurrent SSE subscriptions on one in-flight job and measures what
+// the hub actually delivers — per-event fan-out latency (publish
+// timestamp to client receipt, from the snapshot payload's "t" field)
+// and drop-policy health (a keeping-up client must see gapless event
+// ids). The job watched is deliberately endless (DefaultStreamSpec), so
+// the event source stays live for the whole window; it is cancelled
+// when the measurement ends.
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"cobrawalk/internal/core"
+	"cobrawalk/internal/server"
+	"cobrawalk/internal/sweep"
+)
+
+// DefaultStreamSpec is the job the streaming scenario watches: one
+// walker on a long cycle is a slow cover — minutes of trials at an
+// effectively unbounded trials count — with scalar-only metrics, so
+// each snapshot frame stays a few hundred bytes no matter how many
+// subscribers it fans out to.
+func DefaultStreamSpec() sweep.Spec {
+	return sweep.Spec{
+		Name:       "loadgen-stream",
+		Families:   []string{"cycle"},
+		Sizes:      []int{4096},
+		Processes:  []string{"kwalk"},
+		Branchings: []core.Branching{{K: 1}},
+		Metrics:    []string{"rounds"},
+		Trials:     1 << 30,
+		Seed:       1,
+		MaxRounds:  1 << 40,
+	}
+}
+
+// StreamingResult is the streaming scenario's measurement, reported as
+// a top-level block beside the closed-loop scenarios (benchgate gates
+// only Scenarios, so this block can grow freely).
+type StreamingResult struct {
+	// Subscribers is the requested concurrent subscription count;
+	// Connected is how many attached successfully.
+	Subscribers int `json:"subscribers"`
+	Connected   int `json:"connected"`
+	// Events / Snapshots count SSE events received across all
+	// subscribers (snapshots are the timestamped subset).
+	Events    int64 `json:"events"`
+	Snapshots int64 `json:"snapshots"`
+	// GappedSubscribers counts clients that observed a hole in the
+	// event-id sequence — events dropped by the hub's drop-slowest
+	// policy because that client fell behind. Keeping-up clients must
+	// report zero.
+	GappedSubscribers int `json:"gapped_subscribers"`
+	Errors            int `json:"errors,omitempty"`
+	// DurationSeconds is the measured window (connect to teardown).
+	DurationSeconds float64 `json:"duration_seconds"`
+	// Fan-out latency quantiles in milliseconds: snapshot publish
+	// timestamp to client receipt, across every snapshot × subscriber.
+	FanoutP50Ms float64 `json:"fanout_p50_ms"`
+	FanoutP99Ms float64 `json:"fanout_p99_ms"`
+	FanoutMaxMs float64 `json:"fanout_max_ms"`
+}
+
+// subOut is one subscriber's tally.
+type subOut struct {
+	events    int64
+	snapshots int64
+	lat       []time.Duration
+	gapped    bool
+	err       error
+}
+
+// runStreaming submits the endless stream job, attaches
+// cfg.StreamSubscribers concurrent SSE clients in staggered batches,
+// holds them for cfg.Duration, then tears everything down and folds
+// the per-subscriber tallies.
+func runStreaming(ctx context.Context, cfg Config) (*StreamingResult, error) {
+	spec := cfg.StreamSpec
+	if spec.Families == nil {
+		spec = DefaultStreamSpec()
+	}
+	blob, err := json.Marshal(spec)
+	if err != nil {
+		return nil, err
+	}
+	submit := &http.Client{Timeout: 30 * time.Second}
+	resp, err := submit.Post(cfg.BaseURL+"/v1/jobs", "application/json", bytes.NewReader(blob))
+	if err != nil {
+		return nil, fmt.Errorf("loadgen: submitting stream job: %w", err)
+	}
+	var st server.Status
+	err = json.NewDecoder(resp.Body).Decode(&st)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusAccepted {
+		return nil, fmt.Errorf("loadgen: submitting stream job: status %d, %v", resp.StatusCode, err)
+	}
+	defer func() {
+		// Best-effort cancel: the watched job is endless by design.
+		req, _ := http.NewRequest(http.MethodDelete, cfg.BaseURL+"/v1/jobs/"+st.ID, nil)
+		if resp, err := submit.Do(req); err == nil {
+			resp.Body.Close()
+		}
+	}()
+
+	// Streams outlive any sane request timeout: a dedicated client with
+	// no Timeout, bounded by the subscriber context instead, over a
+	// transport that tolerates the connection count.
+	streamClient := &http.Client{Transport: &http.Transport{
+		MaxIdleConnsPerHost: cfg.StreamSubscribers,
+		MaxConnsPerHost:     0,
+	}}
+	sctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	url := cfg.BaseURL + "/v1/jobs/" + st.ID + "/stream"
+	outs := make([]subOut, cfg.StreamSubscribers)
+	start := time.Now()
+	var wg sync.WaitGroup
+	const batch = 256
+	for i := range outs {
+		wg.Add(1)
+		go func(out *subOut) {
+			defer wg.Done()
+			streamSubscriber(sctx, streamClient, url, out)
+		}(&outs[i])
+		if (i+1)%batch == 0 {
+			time.Sleep(10 * time.Millisecond) // stagger the dial burst
+		}
+	}
+	timer := time.NewTimer(cfg.Duration)
+	select {
+	case <-timer.C:
+	case <-ctx.Done():
+		timer.Stop()
+	}
+	cancel()
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	res := &StreamingResult{
+		Subscribers:     cfg.StreamSubscribers,
+		DurationSeconds: elapsed.Seconds(),
+	}
+	var lats []time.Duration
+	for i := range outs {
+		o := &outs[i]
+		if o.err != nil {
+			res.Errors++
+			continue
+		}
+		res.Connected++
+		res.Events += o.events
+		res.Snapshots += o.snapshots
+		if o.gapped {
+			res.GappedSubscribers++
+		}
+		lats = append(lats, o.lat...)
+	}
+	if res.Connected == 0 {
+		return nil, fmt.Errorf("loadgen: no stream subscriber connected (%d errors, first: %v)", res.Errors, firstErr(outs))
+	}
+	if len(lats) > 0 {
+		sort.Slice(lats, func(a, b int) bool { return lats[a] < lats[b] })
+		ms := func(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }
+		res.FanoutP50Ms = ms(quantile(lats, 0.50))
+		res.FanoutP99Ms = ms(quantile(lats, 0.99))
+		res.FanoutMaxMs = ms(lats[len(lats)-1])
+	}
+	return res, nil
+}
+
+func firstErr(outs []subOut) error {
+	for i := range outs {
+		if outs[i].err != nil {
+			return outs[i].err
+		}
+	}
+	return nil
+}
+
+// streamSubscriber holds one SSE subscription until ctx cancels,
+// tallying events, sequence gaps and snapshot fan-out latencies. The
+// event-id stream within one job is consecutive, so any hole after the
+// first received id is a server-side drop (this client fell behind).
+func streamSubscriber(ctx context.Context, client *http.Client, url string, out *subOut) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		out.err = err
+		return
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		if ctx.Err() == nil {
+			out.err = err
+		}
+		return
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		out.err = fmt.Errorf("GET stream: %s", resp.Status)
+		return
+	}
+
+	var lastSeq uint64
+	var isSnapshot bool
+	var publishT int64
+	// Small initial buffer: snapshot frames are a few hundred bytes and
+	// ten thousand subscribers each hold one of these.
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 4<<10), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case line == "":
+			out.events++
+			if isSnapshot {
+				out.snapshots++
+				if publishT > 0 {
+					out.lat = append(out.lat, time.Since(time.Unix(0, publishT)))
+				}
+			}
+			isSnapshot, publishT = false, 0
+		case strings.HasPrefix(line, "id: "):
+			seq, err := strconv.ParseUint(line[len("id: "):], 10, 64)
+			if err == nil {
+				if lastSeq != 0 && seq != lastSeq+1 {
+					out.gapped = true
+				}
+				lastSeq = seq
+			}
+		case strings.HasPrefix(line, "event: "):
+			isSnapshot = line[len("event: "):] == "snapshot"
+		case strings.HasPrefix(line, "data: ") && isSnapshot:
+			var snap struct {
+				T int64 `json:"t"`
+			}
+			if json.Unmarshal([]byte(line[len("data: "):]), &snap) == nil {
+				publishT = snap.T
+			}
+		}
+	}
+	// The stream ends when ctx cancels (expected) or the connection
+	// breaks (an error only if we never saw the cancel).
+	if err := sc.Err(); err != nil && ctx.Err() == nil {
+		out.err = err
+	}
+}

@@ -11,6 +11,12 @@ import (
 // progress → terminal) and persists them into job.json, so a stuck or
 // slow job can be diagnosed from its artifacts alone.
 type Event struct {
+	// Seq is the event's position in its trace's total history: 1, 2,
+	// 3, … assigned by Add and never reused, even when the bounded
+	// buffer overwrites old events. The serving layer uses it as the
+	// SSE event id and as the /events?after incremental cursor, so a
+	// client can resume exactly where it left off.
+	Seq  uint64    `json:"seq,omitempty"`
 	Time time.Time `json:"time"`
 	// Name is the step ("queued", "running", "point-start", "point",
 	// "done", "failed", "cancelled", ...).
@@ -27,6 +33,7 @@ type Event struct {
 type Trace struct {
 	mu     sync.Mutex
 	max    int
+	seq    uint64
 	events []Event
 	// clipped counts events that landed in the overwrite slot.
 	clipped int
@@ -45,24 +52,28 @@ func NewTrace(max int) *Trace {
 	return &Trace{max: max}
 }
 
-// Add records an event at time.Now.
-func (t *Trace) Add(name, detail string) {
-	t.add(Event{Time: time.Now().UTC(), Name: name, Detail: detail})
-}
-
-func (t *Trace) add(ev Event) {
+// Add records an event at time.Now, assigns it the next sequence
+// number, and returns it — callers that broadcast the event elsewhere
+// (the serving layer's stream hub) reuse the same Seq, so the trace
+// poll path and the live stream share one cursor space.
+func (t *Trace) Add(name, detail string) Event {
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	t.seq++
+	ev := Event{Seq: t.seq, Time: time.Now().UTC(), Name: name, Detail: detail}
 	if len(t.events) < t.max {
 		t.events = append(t.events, ev)
-		return
+		return ev
 	}
 	t.events[len(t.events)-1] = ev
 	t.clipped++
+	return ev
 }
 
 // Seed replaces the trace contents — used when restoring a persisted
-// job's events so post-restart appends continue the same history.
+// job's events so post-restart appends continue the same history. The
+// sequence counter resumes past the largest seeded Seq, so cursors
+// handed out before a restart stay valid after it.
 func (t *Trace) Seed(events []Event) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
@@ -70,6 +81,11 @@ func (t *Trace) Seed(events []Event) {
 		events = events[:t.max]
 	}
 	t.events = append(t.events[:0], events...)
+	for _, ev := range t.events {
+		if ev.Seq > t.seq {
+			t.seq = ev.Seq
+		}
+	}
 }
 
 // Events returns a copy of the recorded events in order.
@@ -78,6 +94,21 @@ func (t *Trace) Events() []Event {
 	defer t.mu.Unlock()
 	out := make([]Event, len(t.events))
 	copy(out, t.events)
+	return out
+}
+
+// EventsAfter returns a copy of the recorded events with Seq > after,
+// in order — the incremental form behind the /events?after cursor.
+// EventsAfter(0) is Events().
+func (t *Trace) EventsAfter(after uint64) []Event {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Event, 0, len(t.events))
+	for _, ev := range t.events {
+		if ev.Seq > after {
+			out = append(out, ev)
+		}
+	}
 	return out
 }
 

@@ -20,11 +20,14 @@ package server
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"log/slog"
+	"maps"
 	"os"
 	"path/filepath"
+	"slices"
 	"sort"
 	"strconv"
 	"sync"
@@ -33,6 +36,7 @@ import (
 
 	"cobrawalk/internal/graphcache"
 	"cobrawalk/internal/obs"
+	"cobrawalk/internal/stats"
 	"cobrawalk/internal/sweep"
 )
 
@@ -147,6 +151,16 @@ type Config struct {
 	// Manager.Registry. One registry serves at most one manager —
 	// family names collide otherwise.
 	Metrics *obs.Registry
+	// SnapshotInterval spaces each running point's mid-ensemble digest
+	// snapshots broadcast to stream subscribers
+	// (<= 0 = sweep.DefaultSnapshotInterval). An observability knob
+	// only — per the sweep Options contract it never affects results.
+	SnapshotInterval time.Duration
+	// StreamBuffer is each SSE subscriber's buffered-event capacity
+	// (<= 0 = DefaultStreamBuffer). A subscriber that falls behind has
+	// its oldest buffered events dropped rather than stalling the job
+	// or other subscribers.
+	StreamBuffer int
 }
 
 // Manager owns the job set: submission, the bounded scheduler,
@@ -162,6 +176,10 @@ type Manager struct {
 	start  time.Time
 	logger *slog.Logger
 	met    *serverMetrics
+	// hub fans job events out to SSE subscribers; readCache dedups
+	// completed-artifact reads by spec hash.
+	hub       *hub
+	readCache *readCache
 
 	mu     sync.Mutex
 	jobs   map[string]*job
@@ -209,11 +227,49 @@ func NewManager(cfg Config) (*Manager, error) {
 		nextID: 1,
 	}
 	m.met = newServerMetrics(m, cfg.Metrics)
+	m.hub = newHub(cfg.StreamBuffer, m.met.streamDropped, m.met.streamSlow)
+	m.readCache = newReadCache(0, m.met.cacheHits, m.met.cacheMisses)
 	m.ctx, m.cancel = context.WithCancel(context.Background())
 	if err := m.restore(); err != nil {
 		return nil, err
 	}
 	return m, nil
+}
+
+// pointProgress is the stream payload of point-start and point events.
+type pointProgress struct {
+	Point   string `json:"point"`
+	Done    int    `json:"done,omitempty"`
+	Total   int    `json:"total,omitempty"`
+	Resumed bool   `json:"resumed,omitempty"`
+}
+
+// snapshotEvent is the stream payload of snapshot events: a running
+// point's partial digests plus the publish timestamp (T, unix nanos)
+// that streaming clients subtract from their receive time to measure
+// fan-out latency.
+type snapshotEvent struct {
+	Point        string                             `json:"point"`
+	Trials       int                                `json:"trials"`
+	Total        int                                `json:"total"`
+	T            int64                              `json:"t"`
+	Metrics      map[string]stats.DigestSummary     `json:"metrics,omitempty"`
+	Trajectories map[string]stats.TrajectorySummary `json:"trajectories,omitempty"`
+}
+
+// event appends one step to the job's span trace and broadcasts it to
+// stream subscribers under the same sequence number, so the
+// /events?after poll cursor and the SSE event ids are one space.
+// payload is marshalled as the stream data (nil = empty object).
+func (m *Manager) event(j *job, name, detail string, payload any) {
+	ev := j.trace.Add(name, detail)
+	var data json.RawMessage
+	if payload != nil {
+		if blob, err := json.Marshal(payload); err == nil {
+			data = blob
+		}
+	}
+	m.hub.publish(StreamEvent{Seq: ev.Seq, Job: j.rec.ID, Type: name, Data: data})
 }
 
 // restore loads every persisted job and re-enqueues the non-terminal
@@ -262,7 +318,7 @@ func (m *Manager) restore() error {
 			// The previous process died mid-job (or before starting it):
 			// back to the queue; completed points resume from artifacts.
 			j.rec.State = StateQueued
-			j.trace.Add("recovered", fmt.Sprintf("re-enqueued after restart as %s", rec.State))
+			m.event(j, "recovered", fmt.Sprintf("re-enqueued after restart as %s", rec.State), nil)
 			m.met.jobsTotal.With(string(StateQueued)).Inc()
 			m.logger.Info("job recovered, resuming", "job_id", id, "points", rec.Points, "prev_state", string(rec.State))
 			m.enqueue(j)
@@ -311,7 +367,7 @@ func (m *Manager) Submit(spec sweep.Spec) (Status, error) {
 		Points:  len(pts),
 		Created: time.Now().UTC(),
 	}, filepath.Join(m.cfg.Dir, jobsDirName, id))
-	j.trace.Add("queued", fmt.Sprintf("%d points", len(pts)))
+	m.event(j, "queued", fmt.Sprintf("%d points", len(pts)), nil)
 	if err := os.MkdirAll(j.dir, 0o755); err != nil {
 		return Status{}, fmt.Errorf("server: creating job dir: %w", err)
 	}
@@ -365,7 +421,7 @@ func (m *Manager) enqueue(j *job) {
 		j.rec.State = StateRunning
 		j.rec.Started = &now
 		m.mu.Unlock()
-		j.trace.Add("running", "")
+		m.event(j, "running", "", m.snapshot(j))
 		if err := m.persist(j); err != nil {
 			m.settle(j, err)
 			return
@@ -382,7 +438,7 @@ func (m *Manager) enqueue(j *job) {
 			GraphCache:   m.cache,
 			PointStart: func(pt sweep.Point) {
 				j.pointStarts[pt.ID] = time.Now()
-				j.trace.Add("point-start", pt.ID)
+				m.event(j, "point-start", pt.ID, pointProgress{Point: pt.ID, Total: total})
 				m.logger.Debug("point start", "job_id", j.rec.ID, "point", pt.ID)
 			},
 			PointDone: func(res sweep.Result, resumed bool) {
@@ -398,11 +454,32 @@ func (m *Manager) enqueue(j *job) {
 					delete(j.pointStarts, res.ID)
 					m.met.pointSeconds.Observe(time.Since(start).Seconds())
 				}
-				j.trace.Add("point", detail)
+				m.event(j, "point", detail, pointProgress{
+					Point: res.ID, Done: int(done), Total: total, Resumed: resumed,
+				})
+				// Each completed trajectory metric streams as a band
+				// event whose data is exactly one /trajectories NDJSON
+				// line, so a stream client reassembles the same bytes
+				// the poll endpoint serves.
+				for _, name := range slices.Sorted(maps.Keys(res.Trajectories)) {
+					m.event(j, "band", res.ID+"/"+name, trajectoryBand{
+						ID: res.ID, Metric: name, TrajectorySummary: res.Trajectories[name],
+					})
+				}
 				m.logger.Debug("point done", "job_id", j.rec.ID, "point", res.ID,
 					"done", done, "total", total, "resumed", resumed)
 				m.persistProgress(j)
 			},
+			Snapshot: func(s sweep.Snapshot) {
+				begin := time.Now()
+				m.event(j, "snapshot", fmt.Sprintf("%s %d/%d trials", s.Point.ID, s.Trials, s.Point.Trials), snapshotEvent{
+					Point: s.Point.ID, Trials: s.Trials, Total: s.Point.Trials,
+					T: begin.UnixNano(), Metrics: s.Metrics, Trajectories: s.Trajectories,
+				})
+				m.met.snapshotSeconds.Observe(time.Since(begin).Seconds())
+				m.persistProgress(j)
+			},
+			SnapshotInterval: m.cfg.SnapshotInterval,
 		})
 		m.settle(j, err)
 	}()
@@ -456,7 +533,8 @@ func (m *Manager) settle(j *job, err error) {
 	}
 	m.mu.Unlock()
 
-	j.trace.Add(string(state), msg)
+	m.event(j, string(state), msg, m.snapshot(j))
+	m.hub.close(j.rec.ID)
 	m.met.jobsTotal.With(string(state)).Inc()
 	if ran > 0 {
 		m.met.jobSeconds.Observe(ran.Seconds())
@@ -541,7 +619,7 @@ func (m *Manager) Cancel(id string) (Status, error) {
 	j.userCancel = true
 	m.mu.Unlock()
 	j.cancel()
-	j.trace.Add("cancel-requested", "")
+	m.event(j, "cancel-requested", "", nil)
 	m.logger.Info("job cancellation requested", "job_id", id)
 	return m.snapshot(j), nil
 }
@@ -549,20 +627,90 @@ func (m *Manager) Cancel(id string) (Status, error) {
 // ResultsPath returns the job's results.ndjson path once the job is
 // done; before that it reports the current state in the error.
 func (m *Manager) ResultsPath(id string) (string, error) {
+	path, _, err := m.ResultsMeta(id)
+	return path, err
+}
+
+// ResultsMeta returns a done job's results.ndjson path plus the strong
+// ETag for its artifacts. The ETag is the spec hash — shared by every
+// job with the same normalised spec, whose completed artifacts are
+// byte-identical by the determinism contract — so conditional GETs and
+// the read cache dedupe identical reads across jobs, not just across
+// clients of one job.
+func (m *Manager) ResultsMeta(id string) (path, etag string, err error) {
 	m.mu.Lock()
 	j, ok := m.jobs[id]
 	var state State
+	var spec sweep.Spec
 	if ok {
 		state = j.rec.State
+		spec = j.rec.Spec
 	}
 	m.mu.Unlock()
 	if !ok {
-		return "", fmt.Errorf("server: no job %s", id)
+		return "", "", fmt.Errorf("server: no job %s", id)
 	}
 	if state != StateDone {
-		return "", fmt.Errorf("server: job %s is %s, results are available once done", id, state)
+		return "", "", fmt.Errorf("server: job %s is %s, results are available once done", id, state)
 	}
-	return filepath.Join(j.artifactsDir(), "results.ndjson"), nil
+	return filepath.Join(j.artifactsDir(), "results.ndjson"), `"` + spec.Hash() + `"`, nil
+}
+
+// Subscribe attaches a live-stream subscriber to a job: it returns the
+// replayable event history with Seq > after, a channel of subsequent
+// events — closed when the job settles or the manager shuts down — and
+// a cancel func the caller must invoke when done reading. Subscribing
+// to an already-terminal job returns its retained history and an
+// immediately-closed channel.
+func (m *Manager) Subscribe(id string, after uint64) ([]StreamEvent, <-chan StreamEvent, func(), error) {
+	m.mu.Lock()
+	j, ok := m.jobs[id]
+	m.mu.Unlock()
+	if !ok {
+		return nil, nil, nil, fmt.Errorf("server: no job %s", id)
+	}
+	if st := m.snapshot(j); st.State.Terminal() {
+		// Jobs restored from disk already terminal never published to
+		// their topic in this process: seal it around a synthesised
+		// terminal event so late subscribers still see an ending.
+		m.hub.ensureClosed(id, m.terminalEvent(j, st))
+	}
+	replay, ch, cancel := m.hub.subscribe(id, after)
+	return replay, ch, cancel, nil
+}
+
+// terminalEvent synthesises the terminal stream event for a job that
+// settled before this process started publishing, reusing the largest
+// persisted trace seq so cursors stay monotonic.
+func (m *Manager) terminalEvent(j *job, st Status) StreamEvent {
+	var seq uint64
+	events := j.trace.Events()
+	for _, ev := range events {
+		if ev.Seq > seq {
+			seq = ev.Seq
+		}
+	}
+	if seq == 0 {
+		// Records persisted before events carried seqs.
+		seq = uint64(len(events)) + 1
+	}
+	data, _ := json.Marshal(st)
+	return StreamEvent{Seq: seq, Job: st.ID, Type: string(st.State), Data: data}
+}
+
+// WatchSubscribe attaches a subscriber to the all-jobs watch stream: a
+// firehose of every job's live events with no replay (multi-job resume
+// has no single cursor). The channel closes on manager shutdown.
+func (m *Manager) WatchSubscribe() (<-chan StreamEvent, func()) {
+	_, ch, cancel := m.hub.subscribeTopic(m.hub.watch, ^uint64(0))
+	return ch, cancel
+}
+
+// streamSent records one SSE frame actually written to a subscriber
+// (the cobrawalkd_stream_events_total / _bytes_total counters).
+func (m *Manager) streamSent(frameBytes int) {
+	m.met.streamEvents.Inc()
+	m.met.streamBytes.Add(uint64(frameBytes))
 }
 
 // CacheStats snapshots the shared graph cache counters.
@@ -575,13 +723,21 @@ func (m *Manager) Registry() *obs.Registry { return m.met.reg }
 // for jobs this process has touched, which for restored jobs starts
 // from the events persisted in job.json.
 func (m *Manager) Events(id string) ([]obs.Event, error) {
+	return m.EventsAfter(id, 0)
+}
+
+// EventsAfter returns the stored events with Seq > after — the
+// incremental form behind GET /v1/jobs/{id}/events?after=N. The seqs
+// are the same numbers the SSE stream uses as event ids, so a client
+// can switch between polling and streaming without losing its place.
+func (m *Manager) EventsAfter(id string, after uint64) ([]obs.Event, error) {
 	m.mu.Lock()
 	j, ok := m.jobs[id]
 	m.mu.Unlock()
 	if !ok {
 		return nil, fmt.Errorf("server: no job %s", id)
 	}
-	return j.trace.Events(), nil
+	return j.trace.EventsAfter(after), nil
 }
 
 // Counts returns the number of jobs in each state.
@@ -600,9 +756,12 @@ func (m *Manager) Uptime() time.Duration { return time.Since(m.start) }
 
 // Close stops the manager: in-flight sweeps cancel promptly and their
 // persisted queued/running states are left intact, so a new Manager on
-// the same directory resumes them. Close blocks until every job
-// goroutine has returned.
+// the same directory resumes them. Every stream topic is sealed, so
+// attached SSE handlers end their responses instead of hanging a
+// server shutdown. Close blocks until every job goroutine has
+// returned; it is idempotent.
 func (m *Manager) Close() {
 	m.cancel()
 	m.wg.Wait()
+	m.hub.closeAll()
 }

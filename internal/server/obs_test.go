@@ -10,6 +10,7 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 
 	"cobrawalk/internal/obs"
 )
@@ -76,6 +77,16 @@ func TestMetricsGoldenFamilies(t *testing.T) {
 		"cobrawalkd_jobs_queue_depth gauge",
 		"cobrawalkd_jobs_running gauge",
 		"cobrawalkd_jobs_total counter",
+		"cobrawalkd_results_cache_bytes gauge",
+		"cobrawalkd_results_cache_entries gauge",
+		"cobrawalkd_results_cache_hits_total counter",
+		"cobrawalkd_results_cache_misses_total counter",
+		"cobrawalkd_snapshot_seconds histogram",
+		"cobrawalkd_stream_bytes_total counter",
+		"cobrawalkd_stream_dropped_events_total counter",
+		"cobrawalkd_stream_events_total counter",
+		"cobrawalkd_stream_slow_clients_total counter",
+		"cobrawalkd_stream_subscribers gauge",
 		"cobrawalkd_sweep_point_seconds histogram",
 		"cobrawalkd_sweep_points_resumed_total counter",
 		"cobrawalkd_sweep_points_total counter",
@@ -209,7 +220,10 @@ func TestHTTPErrorPaths(t *testing.T) {
 // post-mortems without a live daemon.
 func TestJobEventsLifecycle(t *testing.T) {
 	dir := t.TempDir()
-	m := newTestManager(t, dir, Config{TrialWorkers: 2})
+	// SnapshotInterval is pushed out so the asserted event sequence
+	// stays exact — smoke jobs finish in milliseconds, but a scheduling
+	// hiccup could otherwise sneak a snapshot event in.
+	m := newTestManager(t, dir, Config{TrialWorkers: 2, SnapshotInterval: time.Hour})
 	ts := httptest.NewServer(NewHandler(m))
 	defer ts.Close()
 

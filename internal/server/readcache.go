@@ -1,0 +1,114 @@
+package server
+
+// readcache.go collapses identical completed-artifact reads: results
+// and trajectory payloads are keyed by the job's spec-hash ETag, so N
+// clients — or N identical jobs — fetching the same completed sweep
+// cost one disk read and one render, the read-path analogue of
+// graphcache's single-flight build dedup. Entries are LRU-evicted
+// against a byte budget.
+
+import (
+	"container/list"
+	"sync"
+
+	"cobrawalk/internal/obs"
+)
+
+const (
+	// defaultReadCacheBudget bounds resident cached payload bytes.
+	defaultReadCacheBudget = 64 << 20
+	// maxReadCacheEntry keeps one giant artifact from evicting the
+	// whole cache: larger payloads are served but not retained (the
+	// HTTP layer streams anything above it straight from disk).
+	maxReadCacheEntry = 8 << 20
+)
+
+type readCacheEntry struct {
+	key string
+	// ready closes when blob/err are set; concurrent getters of an
+	// in-flight key wait on it instead of loading again.
+	ready chan struct{}
+	blob  []byte
+	err   error
+	elem  *list.Element
+}
+
+type readCache struct {
+	budget int64
+	hits   *obs.Counter
+	misses *obs.Counter
+
+	mu      sync.Mutex
+	size    int64
+	entries map[string]*readCacheEntry
+	lru     *list.List // front = most recently used
+}
+
+func newReadCache(budget int64, hits, misses *obs.Counter) *readCache {
+	if budget <= 0 {
+		budget = defaultReadCacheBudget
+	}
+	return &readCache{
+		budget:  budget,
+		hits:    hits,
+		misses:  misses,
+		entries: make(map[string]*readCacheEntry),
+		lru:     list.New(),
+	}
+}
+
+// get returns the payload for key, invoking load exactly once across
+// concurrent callers (single flight). Failed loads are not cached, so
+// a transient error never poisons the key; oversized payloads are
+// returned but not retained.
+func (c *readCache) get(key string, load func() ([]byte, error)) ([]byte, error) {
+	c.mu.Lock()
+	if e, ok := c.entries[key]; ok {
+		if e.elem != nil {
+			c.lru.MoveToFront(e.elem)
+		}
+		c.mu.Unlock()
+		<-e.ready
+		if e.err == nil && c.hits != nil {
+			c.hits.Inc()
+		}
+		return e.blob, e.err
+	}
+	e := &readCacheEntry{key: key, ready: make(chan struct{})}
+	c.entries[key] = e
+	c.mu.Unlock()
+	if c.misses != nil {
+		c.misses.Inc()
+	}
+
+	e.blob, e.err = load()
+	close(e.ready)
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e.err != nil || len(e.blob) > maxReadCacheEntry {
+		delete(c.entries, key)
+		return e.blob, e.err
+	}
+	e.elem = c.lru.PushFront(e)
+	c.size += int64(len(e.blob))
+	for c.size > c.budget {
+		back := c.lru.Back()
+		if back == nil || back == e.elem {
+			break
+		}
+		old := back.Value.(*readCacheEntry)
+		c.lru.Remove(back)
+		delete(c.entries, old.key)
+		c.size -= int64(len(old.blob))
+	}
+	return e.blob, e.err
+}
+
+// stats snapshots the resident entry and byte counts (for the
+// cobrawalkd_results_cache_* gauges).
+func (c *readCache) stats() (entries int, bytes int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lru.Len(), c.size
+}

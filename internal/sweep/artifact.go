@@ -4,8 +4,10 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"hash/fnv"
 	"os"
 	"path/filepath"
+	"strconv"
 )
 
 // Artifact layout inside Options.Dir:
@@ -31,6 +33,25 @@ const (
 	// per-metric summaries plus optional trajectory blocks.
 	manifestVersion = 3
 )
+
+// Hash returns a short stable fingerprint of the normalised spec plus
+// the artifact layout version: equal exactly when two specs expand to
+// the same points and their completed artifacts are byte-identical.
+// The serving layer uses it as the ETag on completed-result reads, so
+// identical sweep requests from many clients collapse onto one cached
+// artifact read (and 304 on revalidation) the way the graph cache
+// collapses graph builds.
+func (s Spec) Hash() string {
+	blob, err := json.Marshal(s.withDefaults())
+	if err != nil {
+		// Spec holds only plain marshallable fields; this cannot fail.
+		panic(fmt.Sprintf("sweep: encoding spec for hash: %v", err))
+	}
+	h := fnv.New64a()
+	fmt.Fprintf(h, "v%d:", manifestVersion)
+	h.Write(blob)
+	return strconv.FormatUint(h.Sum64(), 16)
+}
 
 // manifest pins a sweep to its artifact directory.
 type manifest struct {

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"cobrawalk/internal/graph"
 	"cobrawalk/internal/graphcache"
@@ -49,6 +50,18 @@ type Options struct {
 	// resumed points first, in expansion order, then live points as
 	// they finish. Calls are serialised.
 	PointDone func(res Result, resumed bool)
+	// Snapshot, when non-nil, receives periodic mid-ensemble digest
+	// snapshots of each running point — partial summaries over the
+	// trials folded so far, at most one delivery per SnapshotInterval
+	// per point. Calls are serialised with PointStart and PointDone.
+	// Resumed points deliver no snapshots (they are loaded, not run).
+	// Like every Options field it cannot affect results: snapshots
+	// read shadow accumulators outside the reduction tree and the
+	// random streams never see them (see snapshot.go).
+	Snapshot func(Snapshot)
+	// SnapshotInterval spaces Snapshot deliveries per running point
+	// (<= 0 = DefaultSnapshotInterval).
+	SnapshotInterval time.Duration
 	// GraphCache, when non-nil, serves graph builds across points (and,
 	// for a long-lived cache, across runs): points sharing a topology and
 	// GraphSeed reuse one built graph instead of rebuilding it. Like
@@ -167,6 +180,14 @@ func Run(ctx context.Context, spec Spec, opts Options) (*Report, error) {
 		defer cbMu.Unlock()
 		opts.PointStart(pt)
 	}
+	var snap func(Snapshot)
+	if opts.Snapshot != nil {
+		snap = func(s Snapshot) {
+			cbMu.Lock()
+			defer cbMu.Unlock()
+			opts.Snapshot(s)
+		}
+	}
 
 	results := make([]Result, len(pts))
 	var todo []int
@@ -224,7 +245,7 @@ func Run(ctx context.Context, spec Spec, opts Options) (*Report, error) {
 				}
 				i := todo[k]
 				notifyStart(pts[i])
-				res, err := runPoint(cctx, pts[i], opts.TrialWorkers, opts.GraphCache)
+				res, err := runPoint(cctx, pts[i], opts.TrialWorkers, opts.GraphCache, snap, opts.SnapshotInterval)
 				if err != nil {
 					fail(fmt.Errorf("sweep: point %s: %w", pts[i].ID, err))
 					return
@@ -321,7 +342,7 @@ func pointReducer(scalars, trajs []MetricInfo) sim.Reducer[trialOut, pointAcc] {
 // the trial worker count and cache (which cannot affect the result: the
 // graph is a pure function of family/size/degree/GraphSeed, so a cache
 // hit returns exactly the graph a rebuild would).
-func runPoint(ctx context.Context, pt Point, trialWorkers int, cache *graphcache.Cache) (Result, error) {
+func runPoint(ctx context.Context, pt Point, trialWorkers int, cache *graphcache.Cache, snap func(Snapshot), snapInterval time.Duration) (Result, error) {
 	fam, err := LookupFamily(pt.Family)
 	if err != nil {
 		return Result{}, err
@@ -355,7 +376,7 @@ func runPoint(ctx context.Context, pt Point, trialWorkers int, cache *graphcache
 	if err != nil {
 		return Result{}, err
 	}
-	acc, err := runEnsemble(ctx, g, pt, trialWorkers, scalars, trajs, collects)
+	acc, err := runEnsemble(ctx, g, pt, trialWorkers, scalars, trajs, collects, snap, snapInterval)
 	if err != nil {
 		return Result{}, err
 	}
@@ -396,7 +417,7 @@ type trialState struct {
 // representative of the worst-case start. Attaching a collector never
 // touches the random stream, so the metric set cannot change any drawn
 // trial.
-func runEnsemble(ctx context.Context, g *graph.Graph, pt Point, trialWorkers int, scalars, trajs []MetricInfo, collects bool) (pointAcc, error) {
+func runEnsemble(ctx context.Context, g *graph.Graph, pt Point, trialWorkers int, scalars, trajs []MetricInfo, collects bool, snap func(Snapshot), snapInterval time.Duration) (pointAcc, error) {
 	info, err := process.Lookup(pt.Process)
 	if err != nil {
 		return pointAcc{}, err
@@ -407,7 +428,8 @@ func runEnsemble(ctx context.Context, g *graph.Graph, pt Point, trialWorkers int
 	}
 	spec := sim.Spec{Trials: pt.Trials, Seed: pt.Seed, Workers: trialWorkers}
 	start := []int32{0} // hoisted so the per-trial Run call allocates nothing
-	return sim.ReduceWithState(ctx, spec, pointReducer(scalars, trajs),
+	red := snapshotReducer(pointReducer(scalars, trajs), pt, scalars, trajs, snap, snapInterval)
+	return sim.ReduceWithState(ctx, spec, red,
 		func() trialState {
 			cfg := process.Config{Branching: pt.Branching}
 			var col *process.Collector
