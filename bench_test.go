@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"testing"
 	"time"
 
@@ -646,6 +647,60 @@ func BenchmarkScaleBaseline(b *testing.B) {
 	}
 }
 
+// BenchmarkScaleParallel measures the parallel round kernel at the
+// baseline's n = 10^7 scale: one full collected trial per op for
+// cobra-par and bips-par, each at kernel worker counts 1 and
+// GOMAXPROCS. The w1 and wN results are byte-identical by the kernel's
+// determinism contract (pinned in internal/process/difftest), so the
+// ratio between them is pure kernel speedup with zero semantic risk;
+// on a single-core runner the two collapse to the same number and the
+// interesting figure is w1 vs the sequential baseline — the price of
+// the staging+merge structure. Opt-in via COBRAWALK_SCALE_BENCH=1 like
+// the baseline; the committed record lives in BENCH_scale.json.
+func BenchmarkScaleParallel(b *testing.B) {
+	if os.Getenv("COBRAWALK_SCALE_BENCH") == "" {
+		b.Skip("set COBRAWALK_SCALE_BENCH=1 to run the n=10^7 parallel-kernel benchmark")
+	}
+	g := buildRandomRegular(b, 10_000_000, 8)
+	starts := []int32{0}
+	workerCounts := []int{1, runtime.GOMAXPROCS(0)}
+	if workerCounts[1] == 1 {
+		workerCounts = workerCounts[:1]
+	}
+	for _, name := range []string{process.CobraPar, process.BIPSPar} {
+		for _, w := range workerCounts {
+			b.Run(fmt.Sprintf("%s/w%d", name, w), func(b *testing.B) {
+				col := process.NewCollector(g.N())
+				col.Reserve(1 << 12)
+				p, err := process.New(name, g, process.Config{Observer: col.Observe, KernelWorkers: w})
+				if err != nil {
+					b.Fatal(err)
+				}
+				r := rng.New(1)
+				trial := func() int {
+					res, err := process.RunCollect(nil, p, col, r, 1<<12, starts...)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if !res.Done {
+						b.Fatal("trial hit the round cap")
+					}
+					return res.Rounds
+				}
+				trial()
+				var rounds int64
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					rounds += int64(trial())
+				}
+				b.ReportMetric(float64(rounds)/float64(b.N), "rounds/op")
+				b.ReportMetric(float64(w), "workers")
+			})
+		}
+	}
+}
+
 // BenchmarkScaleStoreLoad measures the graph store's load path at the
 // same n = 10^7 scale as BenchmarkScaleBaseline: the generator builds the
 // expander once (minutes of CPU — reported as generator_s), the store
@@ -681,6 +736,23 @@ func BenchmarkScaleStoreLoad(b *testing.B) {
 		}
 		if loaded.N() != 10_000_000 {
 			b.Fatalf("loaded n = %d", loaded.N())
+		}
+	})
+
+	// Same load with both madvise hints requested (-graph-madvise
+	// willneed,hugepage): the delta against plain mmap is what the
+	// advice costs or saves on this kernel/page-cache state.
+	b.Run("mmap-advise", func(b *testing.B) {
+		adv := graphstore.Advice{WillNeed: true, HugePage: true}
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			g, err := graphstore.MmapAdvise(path, adv)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if g.N() != 10_000_000 {
+				b.Fatalf("loaded n = %d", g.N())
+			}
 		}
 	})
 

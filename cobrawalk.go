@@ -203,7 +203,8 @@ var (
 var DefaultBranching = core.DefaultBranching
 
 // The unified process layer: every spreading process — cobra, bips,
-// push, push-pull, flood, kwalk — is a reusable Process object behind
+// push, push-pull, flood, kwalk, and the parallel-kernel variants
+// cobra-par and bips-par — is a reusable Process object behind
 // one interface, registered by name (see internal/process). Construct
 // once per graph via NewProcess, then Reset/Step (or RunProcess) many
 // times; ensembles run without per-trial graph-sized allocations.
@@ -211,7 +212,7 @@ type (
 	// Process is a reusable spreading process bound to a fixed graph.
 	Process = process.Process
 	// ProcessConfig parameterises process construction (branching,
-	// bips fast sampling, round observer).
+	// bips fast sampling, round observer, kernel workers).
 	ProcessConfig = process.Config
 	// ProcessInfo is one registry entry: name, axis semantics, factory.
 	ProcessInfo = process.Info

@@ -90,6 +90,7 @@ type Cache struct {
 	mu       sync.Mutex
 	budget   int
 	storeDir string // disk tier root; "" disables it
+	madvise  graphstore.Advice
 	entries  map[Key]*entry
 	lru      *list.List // resident entries, front = most recently used
 
@@ -133,6 +134,11 @@ type Options struct {
 	// daemons mmap from it concurrently, and the kernel shares the
 	// physical pages among them.
 	StoreDir string
+	// Madvise is the set of madvise hints applied when the disk tier
+	// mmaps a store file back (graphstore.MmapAdvise). Best-effort and
+	// linux-only; a load-latency knob that never affects which graph is
+	// returned.
+	Madvise graphstore.Advice
 }
 
 // NewWithOptions returns an empty cache configured by o, creating the
@@ -149,6 +155,7 @@ func NewWithOptions(o Options) (*Cache, error) {
 	return &Cache{
 		budget:   o.BudgetVertices,
 		storeDir: o.StoreDir,
+		madvise:  o.Madvise,
 		entries:  make(map[Key]*entry),
 		lru:      list.New(),
 	}, nil
@@ -223,7 +230,7 @@ func (c *Cache) loadOrBuild(key Key, build func() (*graph.Graph, error)) (*graph
 		return build()
 	}
 	path := filepath.Join(c.storeDir, StoreFileName(key))
-	if g, err := graphstore.Mmap(path); err == nil {
+	if g, err := graphstore.MmapAdvise(path, c.madvise); err == nil {
 		c.mu.Lock()
 		c.diskHits++
 		c.mu.Unlock()

@@ -1,0 +1,65 @@
+package graphstore
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Advice is the set of madvise hints MmapAdvise applies to a mapping
+// before the graph is verified and returned. Hints are best-effort and
+// linux-only: on other platforms (and on kernels rejecting a hint) they
+// are silently skipped — advice can change load latency, never
+// semantics.
+type Advice struct {
+	// WillNeed issues madvise(MADV_WILLNEED): the kernel starts reading
+	// the whole file into the page cache immediately instead of faulting
+	// pages one random access at a time, turning the first trial's
+	// random CSR gathers into page-cache hits.
+	WillNeed bool
+	// HugePage issues madvise(MADV_HUGEPAGE): the mapping becomes
+	// eligible for transparent huge pages, cutting TLB pressure for the
+	// random neighbour gathers over multi-GB adjacency arrays. Only
+	// effective on kernels with THP enabled (and never for page-cache
+	// backed file mappings on kernels without CONFIG_READ_ONLY_THP_FOR_FS);
+	// harmless elsewhere.
+	HugePage bool
+}
+
+// zero reports whether no hint is requested.
+func (a Advice) zero() bool { return !a.WillNeed && !a.HugePage }
+
+// String renders the advice in ParseAdvice's syntax.
+func (a Advice) String() string {
+	var parts []string
+	if a.WillNeed {
+		parts = append(parts, "willneed")
+	}
+	if a.HugePage {
+		parts = append(parts, "hugepage")
+	}
+	if len(parts) == 0 {
+		return "off"
+	}
+	return strings.Join(parts, ",")
+}
+
+// ParseAdvice parses a -graph-madvise flag value: a comma-separated
+// subset of {willneed, hugepage}, or "off"/"" for no hints.
+func ParseAdvice(s string) (Advice, error) {
+	var a Advice
+	s = strings.TrimSpace(s)
+	if s == "" || s == "off" {
+		return a, nil
+	}
+	for _, part := range strings.Split(s, ",") {
+		switch strings.TrimSpace(part) {
+		case "willneed":
+			a.WillNeed = true
+		case "hugepage":
+			a.HugePage = true
+		default:
+			return Advice{}, fmt.Errorf("graphstore: unknown madvise hint %q (want willneed, hugepage or off)", part)
+		}
+	}
+	return a, nil
+}

@@ -1,0 +1,59 @@
+package graphstore
+
+import (
+	"testing"
+
+	"cobrawalk/internal/graph"
+	"cobrawalk/internal/rng"
+)
+
+func TestParseAdvice(t *testing.T) {
+	cases := []struct {
+		in      string
+		want    Advice
+		wantErr bool
+	}{
+		{in: "", want: Advice{}},
+		{in: "off", want: Advice{}},
+		{in: " off ", want: Advice{}},
+		{in: "willneed", want: Advice{WillNeed: true}},
+		{in: "hugepage", want: Advice{HugePage: true}},
+		{in: "willneed,hugepage", want: Advice{WillNeed: true, HugePage: true}},
+		{in: "hugepage, willneed", want: Advice{WillNeed: true, HugePage: true}},
+		{in: "madv_free", wantErr: true},
+		{in: "willneed,", wantErr: true},
+	}
+	for _, tc := range cases {
+		got, err := ParseAdvice(tc.in)
+		if tc.wantErr {
+			if err == nil {
+				t.Errorf("ParseAdvice(%q): no error, got %+v", tc.in, got)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("ParseAdvice(%q): %v", tc.in, err)
+			continue
+		}
+		if got != tc.want {
+			t.Errorf("ParseAdvice(%q) = %+v, want %+v", tc.in, got, tc.want)
+		}
+		// String renders back into ParseAdvice's syntax.
+		back, err := ParseAdvice(got.String())
+		if err != nil || back != got {
+			t.Errorf("ParseAdvice(%q.String()) = %+v, %v; not a round trip", tc.in, back, err)
+		}
+	}
+}
+
+func TestMmapAdviseSameGraph(t *testing.T) {
+	g := mustGraph(graph.RandomRegular(256, 6, rng.NewStream(11, 3)))
+	path := writeStore(t, g)
+	for _, adv := range []Advice{{}, {WillNeed: true}, {HugePage: true}, {WillNeed: true, HugePage: true}} {
+		got, err := MmapAdvise(path, adv)
+		if err != nil {
+			t.Fatalf("MmapAdvise(%s): %v", adv, err)
+		}
+		assertSameCSR(t, g, got)
+	}
+}

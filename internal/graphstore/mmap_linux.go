@@ -28,6 +28,16 @@ import (
 // Both checksum levels and the linear CSR invariants are verified before
 // the graph is returned, same as ReadAll.
 func Mmap(path string) (*graph.Graph, error) {
+	return MmapAdvise(path, Advice{})
+}
+
+// MmapAdvise is Mmap with madvise hints applied to the mapping before
+// the load's verification pass touches it — so with WillNeed the
+// checksum sweep itself runs against readahead already in flight, and
+// with HugePage the first faults are THP-eligible. Hints are
+// best-effort: a kernel rejecting one (old kernels for MADV_HUGEPAGE on
+// file mappings) costs nothing but the syscall.
+func MmapAdvise(path string, adv Advice) (*graph.Graph, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, fmt.Errorf("graphstore: %w", err)
@@ -47,6 +57,15 @@ func Mmap(path string) (*graph.Graph, error) {
 	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
 	if err != nil {
 		return nil, fmt.Errorf("graphstore: mmap %s: %w", path, err)
+	}
+	// Hint order matters: hugepage first so any pages the willneed
+	// readahead (or the verification sweep below) faults in are already
+	// THP-eligible.
+	if adv.HugePage {
+		_ = syscall.Madvise(data, syscall.MADV_HUGEPAGE)
+	}
+	if adv.WillNeed {
+		_ = syscall.Madvise(data, syscall.MADV_WILLNEED)
 	}
 	g, _, aliased, err := load(data)
 	if err != nil {

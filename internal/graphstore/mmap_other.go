@@ -10,3 +10,10 @@ import "cobrawalk/internal/graph"
 func Mmap(path string) (*graph.Graph, error) {
 	return ReadAll(path)
 }
+
+// MmapAdvise ignores the advice on platforms without the linux mmap
+// path: hints are best-effort by contract, and a heap load has no
+// mapping to advise.
+func MmapAdvise(path string, _ Advice) (*graph.Graph, error) {
+	return ReadAll(path)
+}

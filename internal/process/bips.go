@@ -40,6 +40,9 @@ import (
 // byte-identity; do not reorder draws or refactor the probability
 // arithmetic.
 type bipsProc struct {
+	// g pins the source graph: see cobraProc — the CSR slices alias it,
+	// and mmap-backed graphs unmap when the graph becomes unreachable.
+	g         *graph.Graph
 	offsets   []int64
 	neighbors []int32
 	n         int
@@ -76,6 +79,7 @@ func newBipsProc(g *graph.Graph, cfg Config) (Process, error) {
 	}
 	offsets, neighbors := g.CSR()
 	p := &bipsProc{
+		g:         g,
 		offsets:   offsets,
 		neighbors: neighbors,
 		n:         g.N(),

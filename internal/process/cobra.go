@@ -33,6 +33,11 @@ import (
 // The differential harness (internal/process/difftest) pins that
 // byte-identity; do not reorder draws.
 type cobraProc struct {
+	// g pins the source graph for the engine's lifetime: the CSR slices
+	// below alias it, and for mmap-backed graphs (graphstore.Mmap) the
+	// mapping is released when the graph becomes unreachable — an engine
+	// holding only the slices would sample unmapped pages.
+	g         *graph.Graph
 	offsets   []int64
 	neighbors []int32
 	n         int
@@ -64,6 +69,7 @@ func newCobraProc(g *graph.Graph, cfg Config) (Process, error) {
 	}
 	offsets, neighbors := g.CSR()
 	p := &cobraProc{
+		g:         g,
 		offsets:   offsets,
 		neighbors: neighbors,
 		n:         g.N(),

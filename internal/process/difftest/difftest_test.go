@@ -131,7 +131,7 @@ func TestLockstepHasTeeth(t *testing.T) {
 // least one message), and Done ⇒ full coverage on these connected graphs.
 func TestInvariants(t *testing.T) {
 	for _, g := range gridGraphs(t) {
-		for _, name := range []string{process.Cobra, process.BIPS} {
+		for _, name := range []string{process.Cobra, process.BIPS, process.CobraPar, process.BIPSPar} {
 			g, name := g, name
 			t.Run(fmt.Sprintf("%s/%s", name, g.Name()), func(t *testing.T) {
 				t.Parallel()

@@ -100,7 +100,8 @@ func TestCollectorContract(t *testing.T) {
 // the only non-monotone process, and on an unfavourable instance its
 // reached series actually dips (the flag is not vacuous).
 func TestMonotoneRegistryTruthful(t *testing.T) {
-	want := map[string]bool{Cobra: true, BIPS: false, Push: true, PushPull: true, Flood: true, KWalk: true}
+	want := map[string]bool{Cobra: true, BIPS: false, Push: true, PushPull: true, Flood: true, KWalk: true,
+		CobraPar: true, BIPSPar: false}
 	for _, info := range All() {
 		if info.Monotone != want[info.Name] {
 			t.Errorf("%s: Monotone = %v, want %v", info.Name, info.Monotone, want[info.Name])

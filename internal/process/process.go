@@ -16,6 +16,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"runtime"
 
 	"cobrawalk/internal/core"
 	"cobrawalk/internal/graph"
@@ -88,6 +89,13 @@ type Config struct {
 	FastSampling bool
 	// Observer, when non-nil, receives a RoundStat after every Step.
 	Observer RoundObserver
+	// KernelWorkers is the worker count (calling goroutine included) of
+	// the parallel round kernels (cobra-par, bips-par; Info.Kernel).
+	// It is a scheduling knob only: per-chunk counter-derived RNG
+	// streams make results byte-identical for every value, pinned by
+	// difftest.LockstepWorkers. <= 0 means GOMAXPROCS. Non-kernel
+	// processes ignore it.
+	KernelWorkers int
 }
 
 // branching resolves the configured branching factor, defaulting the
@@ -97,6 +105,18 @@ func (c Config) branching() Branching {
 		return DefaultBranching
 	}
 	return c.Branching
+}
+
+// kernelWorkers resolves the kernel worker count, defaulting to
+// GOMAXPROCS — "one trial, whole machine". Callers running many trials
+// concurrently (the sweep ensemble reducer) set it explicitly to their
+// share of the CPU budget.
+func (c Config) kernelWorkers() int {
+	w := c.KernelWorkers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	return w
 }
 
 // DefaultMaxRounds caps driven runs that pass maxRounds <= 0 to Run.

@@ -31,7 +31,7 @@ func expander(t *testing.T, n, deg int) *graph.Graph {
 }
 
 func TestRegistry(t *testing.T) {
-	want := []string{Cobra, BIPS, Push, PushPull, Flood, KWalk}
+	want := []string{Cobra, BIPS, Push, PushPull, Flood, KWalk, CobraPar, BIPSPar}
 	if got := Names(); !reflect.DeepEqual(got, want) {
 		t.Fatalf("Names() = %v, want %v", got, want)
 	}
@@ -50,10 +50,15 @@ func TestRegistry(t *testing.T) {
 	if _, err := New("gossip", expander(t, 16, 3), Config{}); err == nil {
 		t.Fatal("New with unknown name should fail")
 	}
-	branchedWant := map[string]bool{Cobra: true, BIPS: true, Push: false, PushPull: false, Flood: false, KWalk: true}
+	branchedWant := map[string]bool{Cobra: true, BIPS: true, Push: false, PushPull: false, Flood: false, KWalk: true,
+		CobraPar: true, BIPSPar: true}
+	kernelWant := map[string]bool{CobraPar: true, BIPSPar: true}
 	for _, info := range All() {
 		if info.Branched != branchedWant[info.Name] {
 			t.Errorf("%s: Branched = %v, want %v", info.Name, info.Branched, branchedWant[info.Name])
+		}
+		if info.Kernel != kernelWant[info.Name] {
+			t.Errorf("%s: Kernel = %v, want %v", info.Name, info.Kernel, kernelWant[info.Name])
 		}
 	}
 }

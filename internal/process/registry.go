@@ -17,6 +17,8 @@ const (
 	PushPull = "push-pull" // push-pull rumour spreading
 	Flood    = "flood"     // flooding (deterministic; Rounds = start eccentricity)
 	KWalk    = "kwalk"     // k independent random walks; K = walker count
+	CobraPar = "cobra-par" // cobra on the parallel intra-trial round kernel
+	BIPSPar  = "bips-par"  // bips on the parallel intra-trial round kernel
 )
 
 // Factory constructs a Process on g with the given configuration.
@@ -41,6 +43,14 @@ type Info struct {
 	// |A_t| and can dip when vertices recover. Trajectory consumers use
 	// this to decide which invariants a reached series satisfies.
 	Monotone bool
+	// Kernel reports whether the process runs on the parallel
+	// intra-trial round kernel: Config.KernelWorkers applies, and the
+	// sweep layer budgets trial-level against kernel-level parallelism
+	// (trialWorkers × kernelWorkers ≤ GOMAXPROCS). Results are
+	// byte-identical for every worker count; kernel processes are
+	// engine variants, not stream-compatible with their sequential
+	// references.
+	Kernel bool
 	// Summary is a one-line description for listings and flag help.
 	Summary string
 	// New constructs a Process on a graph.
@@ -92,6 +102,16 @@ func init() {
 		Name: KWalk, Branched: true, AcceptsRho: false, Monotone: true,
 		Summary: "K independent random walks from the start set",
 		New:     newKWalkProc,
+	})
+	register(Info{
+		Name: CobraPar, Branched: true, AcceptsRho: true, Monotone: true, Kernel: true,
+		Summary: "COBRA on the parallel round kernel (one trial, many cores)",
+		New:     newCobraParProc,
+	})
+	register(Info{
+		Name: BIPSPar, Branched: true, AcceptsRho: true, Monotone: false, Kernel: true,
+		Summary: "BIPS on the parallel round kernel (one trial, many cores)",
+		New:     newBipsParProc,
 	})
 }
 

@@ -81,6 +81,26 @@ func NewStream(seed, stream uint64) *Rand {
 	return New(Mix64(seed) ^ Mix64(stream*0xD1342543DE82EF95+0x2545F4914F6CDD1D))
 }
 
+// Reseed reinitialises r in place to exactly the state New(seed) returns,
+// spare-variate cache included. Hot paths that need many short-lived
+// derived generators (the parallel round kernels reseed one per-worker
+// generator once per work chunk) use this instead of New to stay
+// allocation-free.
+func (r *Rand) Reseed(seed uint64) {
+	sm := NewSplitMix64(seed)
+	r.s0, r.s1, r.s2, r.s3 = sm.Uint64(), sm.Uint64(), sm.Uint64(), sm.Uint64()
+	if r.s0|r.s1|r.s2|r.s3 == 0 {
+		r.s0 = 0x9E3779B97F4A7C15
+	}
+	r.spare, r.hasSpare = 0, false
+}
+
+// ReseedStream is the in-place form of NewStream: it reinitialises r to
+// exactly the state NewStream(seed, stream) returns.
+func (r *Rand) ReseedStream(seed, stream uint64) {
+	r.Reseed(Mix64(seed) ^ Mix64(stream*0xD1342543DE82EF95+0x2545F4914F6CDD1D))
+}
+
 // Uint64 returns the next 64 uniformly distributed bits. It is written to
 // stay within the inlining budget: hot loops calling it compile to the
 // bare xoshiro256++ update with no call.

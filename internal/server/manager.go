@@ -27,6 +27,7 @@ import (
 	"maps"
 	"os"
 	"path/filepath"
+	"runtime"
 	"slices"
 	"sort"
 	"strconv"
@@ -35,6 +36,7 @@ import (
 	"time"
 
 	"cobrawalk/internal/graphcache"
+	"cobrawalk/internal/graphstore"
 	"cobrawalk/internal/obs"
 	"cobrawalk/internal/stats"
 	"cobrawalk/internal/sweep"
@@ -129,11 +131,13 @@ type Config struct {
 	// MaxConcurrent bounds how many jobs run at once (default 1). Queued
 	// jobs start in submission order as slots free up.
 	MaxConcurrent int
-	// PointWorkers and TrialWorkers are passed to every job's sweep run
-	// (defaults: 1 point worker, GOMAXPROCS trial workers). Scheduling
-	// knobs only — they never affect results.
-	PointWorkers int
-	TrialWorkers int
+	// PointWorkers, TrialWorkers and KernelWorkers are passed to every
+	// job's sweep run (defaults: 1 point worker; trial and kernel
+	// workers resolve against the per-job CPU budget — see
+	// sweep.Options). Scheduling knobs only — they never affect results.
+	PointWorkers  int
+	TrialWorkers  int
+	KernelWorkers int
 	// CacheBudget is the shared graph cache's vertex budget
 	// (0 = graphcache.DefaultBudget).
 	CacheBudget int
@@ -142,6 +146,10 @@ type Config struct {
 	// back instead of re-running generators. Pre-populate it with
 	// cmd/graphbuild to make even the first job's graph load O(1).
 	GraphDir string
+	// GraphMadvise is the set of madvise hints the disk tier applies
+	// when mmapping store files back (see graphstore.Advice). A load
+	// latency knob only; ignored without GraphDir.
+	GraphMadvise graphstore.Advice
 	// Logger receives structured job-lifecycle logs with job_id fields
 	// (nil = discard). Request logs ride the same logger via NewHandler.
 	Logger *slog.Logger
@@ -213,6 +221,7 @@ func NewManager(cfg Config) (*Manager, error) {
 	cache, err := graphcache.NewWithOptions(graphcache.Options{
 		BudgetVertices: cfg.CacheBudget,
 		StoreDir:       cfg.GraphDir,
+		Madvise:        cfg.GraphMadvise,
 	})
 	if err != nil {
 		return nil, err
@@ -431,11 +440,18 @@ func (m *Manager) enqueue(j *job) {
 
 		total := j.rec.Points
 		_, err := sweep.Run(j.ctx, j.rec.Spec, sweep.Options{
-			Dir:          j.artifactsDir(),
-			Resume:       true, // no-op on a fresh dir; resumes after a crash
-			PointWorkers: m.cfg.PointWorkers,
-			TrialWorkers: m.cfg.TrialWorkers,
-			GraphCache:   m.cache,
+			Dir:           j.artifactsDir(),
+			Resume:        true, // no-op on a fresh dir; resumes after a crash
+			PointWorkers:  m.cfg.PointWorkers,
+			TrialWorkers:  m.cfg.TrialWorkers,
+			KernelWorkers: m.cfg.KernelWorkers,
+			// Each job gets its slice of the machine: with MaxConcurrent
+			// slots filled, GOMAXPROCS trial workers per job would run
+			// MaxConcurrent × GOMAXPROCS goroutines hot — the budget keeps
+			// the whole daemon at one worker per core regardless of how
+			// many jobs are co-scheduled.
+			MaxProcs:   m.jobMaxProcs(),
+			GraphCache: m.cache,
 			PointStart: func(pt sweep.Point) {
 				j.pointStarts[pt.ID] = time.Now()
 				m.event(j, "point-start", pt.ID, pointProgress{Point: pt.ID, Total: total})
@@ -563,6 +579,19 @@ func (m *Manager) persist(j *job) error {
 // snapshot assembles a Status under the lock. Events are stripped —
 // they have their own endpoint (and job.json) and would bloat every
 // list response otherwise.
+// jobMaxProcs is one job's share of the machine: GOMAXPROCS divided by
+// the concurrent job slots (at least 1). The sweep layer resolves its
+// trial- and kernel-worker defaults against this budget, so a daemon
+// with MaxConcurrent=4 on 16 cores runs each job 4-wide instead of
+// every job 16-wide.
+func (m *Manager) jobMaxProcs() int {
+	per := runtime.GOMAXPROCS(0) / m.cfg.MaxConcurrent
+	if per < 1 {
+		per = 1
+	}
+	return per
+}
+
 func (m *Manager) snapshot(j *job) Status {
 	m.mu.Lock()
 	defer m.mu.Unlock()

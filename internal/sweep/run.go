@@ -3,6 +3,7 @@ package sweep
 import (
 	"context"
 	"fmt"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -37,8 +38,22 @@ type Options struct {
 	// PointWorkers bounds how many points run concurrently (default 1).
 	PointWorkers int
 	// TrialWorkers bounds the sim worker pool inside each point
-	// (default GOMAXPROCS).
+	// (default: the MaxProcs budget).
 	TrialWorkers int
+	// KernelWorkers bounds the intra-trial worker count of kernel
+	// processes (cobra-par, bips-par; process.Info.Kernel). Defaults to
+	// the budget slack: MaxProcs / effective trial workers, so a
+	// single-trial point gets the whole budget and a wide ensemble gets
+	// one kernel worker per trial — trialWorkers × kernelWorkers never
+	// exceeds MaxProcs unless both knobs are set explicitly. Like every
+	// Options field it cannot affect results: kernel results are
+	// byte-identical for every worker count.
+	KernelWorkers int
+	// MaxProcs is the CPU budget the two worker knobs above are resolved
+	// against (default GOMAXPROCS). The server sets it to its per-job
+	// share (GOMAXPROCS / MaxConcurrent) so co-scheduled jobs don't
+	// oversubscribe the machine.
+	MaxProcs int
 	// PointStart, when non-nil, is called as a worker begins computing a
 	// point. Resumed points skip it — they are loaded, not computed.
 	// Calls are serialised with each other and with PointDone, so a
@@ -245,7 +260,7 @@ func Run(ctx context.Context, spec Spec, opts Options) (*Report, error) {
 				}
 				i := todo[k]
 				notifyStart(pts[i])
-				res, err := runPoint(cctx, pts[i], opts.TrialWorkers, opts.GraphCache, snap, opts.SnapshotInterval)
+				res, err := runPoint(cctx, pts[i], opts.budget(), opts.GraphCache, snap, opts.SnapshotInterval)
 				if err != nil {
 					fail(fmt.Errorf("sweep: point %s: %w", pts[i].ID, err))
 					return
@@ -337,12 +352,71 @@ func pointReducer(scalars, trajs []MetricInfo) sim.Reducer[trialOut, pointAcc] {
 	}
 }
 
+// workerBudget carries the Options parallelism knobs into runPoint; see
+// resolve for how they become a per-point (trialWorkers, kernelWorkers)
+// pair.
+type workerBudget struct {
+	trialWorkers, kernelWorkers, maxProcs int
+}
+
+// budget extracts the parallelism knobs from Options.
+func (o Options) budget() workerBudget {
+	return workerBudget{trialWorkers: o.TrialWorkers, kernelWorkers: o.KernelWorkers, maxProcs: o.MaxProcs}
+}
+
+// resolve turns the configured knobs into the effective worker counts
+// for a point with the given trial count, under the anti-oversubscription
+// invariant trialWorkers × kernelWorkers ≤ maxProcs: an explicit knob is
+// respected and the defaulted side shrinks to the remaining slack, so a
+// single-trial point on an idle daemon gets the whole budget as kernel
+// workers while a wide ensemble gets one kernel worker per trial worker.
+// Only an operator setting both knobs explicitly can oversubscribe.
+// Worker counts are pure scheduling: they cannot affect results.
+func (b workerBudget) resolve(trials int, kernel bool) (tw, kw int) {
+	budget := b.maxProcs
+	if budget <= 0 {
+		budget = runtime.GOMAXPROCS(0)
+	}
+	if budget < 1 {
+		budget = 1
+	}
+	kernelWorkers := b.kernelWorkers
+	if !kernel {
+		kernelWorkers = 1 // non-kernel processes have no intra-trial workers
+	}
+	clampT := func(w int) int {
+		if w > trials {
+			w = trials
+		}
+		if w < 1 {
+			w = 1
+		}
+		return w
+	}
+	switch {
+	case b.trialWorkers > 0 && kernelWorkers > 0:
+		return clampT(b.trialWorkers), kernelWorkers
+	case kernelWorkers > 0:
+		// Kernel width pinned: the trial pool gets the slack.
+		return clampT(budget / kernelWorkers), kernelWorkers
+	case b.trialWorkers > 0:
+		tw = clampT(b.trialWorkers)
+	default:
+		tw = clampT(budget)
+	}
+	kw = budget / tw
+	if kw < 1 {
+		kw = 1
+	}
+	return tw, kw
+}
+
 // runPoint builds the point's graph deterministically from the point's
 // GraphSeed and streams its ensemble. It depends on nothing but pt and
-// the trial worker count and cache (which cannot affect the result: the
+// the worker budget and cache (which cannot affect the result: the
 // graph is a pure function of family/size/degree/GraphSeed, so a cache
 // hit returns exactly the graph a rebuild would).
-func runPoint(ctx context.Context, pt Point, trialWorkers int, cache *graphcache.Cache, snap func(Snapshot), snapInterval time.Duration) (Result, error) {
+func runPoint(ctx context.Context, pt Point, workers workerBudget, cache *graphcache.Cache, snap func(Snapshot), snapInterval time.Duration) (Result, error) {
 	fam, err := LookupFamily(pt.Family)
 	if err != nil {
 		return Result{}, err
@@ -376,7 +450,7 @@ func runPoint(ctx context.Context, pt Point, trialWorkers int, cache *graphcache
 	if err != nil {
 		return Result{}, err
 	}
-	acc, err := runEnsemble(ctx, g, pt, trialWorkers, scalars, trajs, collects, snap, snapInterval)
+	acc, err := runEnsemble(ctx, g, pt, workers, scalars, trajs, collects, snap, snapInterval)
 	if err != nil {
 		return Result{}, err
 	}
@@ -417,13 +491,15 @@ type trialState struct {
 // representative of the worst-case start. Attaching a collector never
 // touches the random stream, so the metric set cannot change any drawn
 // trial.
-func runEnsemble(ctx context.Context, g *graph.Graph, pt Point, trialWorkers int, scalars, trajs []MetricInfo, collects bool, snap func(Snapshot), snapInterval time.Duration) (pointAcc, error) {
+func runEnsemble(ctx context.Context, g *graph.Graph, pt Point, workers workerBudget, scalars, trajs []MetricInfo, collects bool, snap func(Snapshot), snapInterval time.Duration) (pointAcc, error) {
 	info, err := process.Lookup(pt.Process)
 	if err != nil {
 		return pointAcc{}, err
 	}
+	trialWorkers, kernelWorkers := workers.resolve(pt.Trials, info.Kernel)
 	// Validate construction once so the per-worker factory cannot fail.
-	if _, err := info.New(g, process.Config{Branching: pt.Branching}); err != nil {
+	// The probe is single-worker so validating never spins up a pool.
+	if _, err := info.New(g, process.Config{Branching: pt.Branching, KernelWorkers: 1}); err != nil {
 		return pointAcc{}, err
 	}
 	spec := sim.Spec{Trials: pt.Trials, Seed: pt.Seed, Workers: trialWorkers}
@@ -431,7 +507,7 @@ func runEnsemble(ctx context.Context, g *graph.Graph, pt Point, trialWorkers int
 	red := snapshotReducer(pointReducer(scalars, trajs), pt, scalars, trajs, snap, snapInterval)
 	return sim.ReduceWithState(ctx, spec, red,
 		func() trialState {
-			cfg := process.Config{Branching: pt.Branching}
+			cfg := process.Config{Branching: pt.Branching, KernelWorkers: kernelWorkers}
 			var col *process.Collector
 			if collects {
 				col = process.NewCollector(g.N())
